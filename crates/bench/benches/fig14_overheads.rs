@@ -1,0 +1,43 @@
+//! Criterion companion to Figure 14: host-side cost of one full
+//! continuously-powered benchmark run under each system. The simulated
+//! overhead split itself is produced by the `experiments` binary; this
+//! bench tracks that the harness stays fast enough to sweep.
+
+use artemis_bench::health::{benchmark_device, install_artemis, install_mayfly, HEALTH_SPEC};
+use criterion::{criterion_group, criterion_main, Criterion};
+use intermittent_sim::harvester::Harvester;
+use intermittent_sim::simulator::RunLimit;
+use std::hint::black_box;
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_full_run_continuous");
+    g.bench_function("artemis", |b| {
+        b.iter(|| {
+            let mut dev = benchmark_device(Harvester::Continuous);
+            let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
+            let out = rt.run_once(&mut dev, RunLimit::unbounded());
+            assert!(out.is_completed());
+            black_box(dev.stats().consumed)
+        })
+    });
+    g.bench_function("mayfly", |b| {
+        b.iter(|| {
+            let mut dev = benchmark_device(Harvester::Continuous);
+            let mut rt = install_mayfly(&mut dev);
+            let out = rt.run_once(&mut dev, RunLimit::unbounded());
+            assert!(out.is_completed());
+            black_box(dev.stats().consumed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_full_runs
+}
+criterion_main!(benches);

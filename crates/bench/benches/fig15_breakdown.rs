@@ -1,0 +1,46 @@
+//! Criterion companion to Figure 15: per-event monitor-engine cost —
+//! the micro-operation behind the runtime/monitor overhead split.
+
+use artemis_core::event::MonitorEvent;
+use artemis_core::time::SimInstant;
+use artemis_monitor::MonitorEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use intermittent_sim::device::DeviceBuilder;
+use std::hint::black_box;
+
+fn bench_call_monitor(c: &mut Criterion) {
+    let app = artemis_bench::health::health_app();
+    let suite = artemis_ir::compile(artemis_bench::health::HEALTH_SPEC, &app).unwrap();
+    let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+    engine.reset_monitor(&mut dev).unwrap();
+    let accel = app.task_by_name("accel").unwrap();
+
+    let mut seq = 0u64;
+    c.bench_function("fig15_call_monitor_start_event", |b| {
+        b.iter(|| {
+            seq += 1;
+            let ev = MonitorEvent::start(accel, SimInstant::from_micros(seq));
+            black_box(engine.call_monitor(&mut dev, seq, &ev).unwrap())
+        })
+    });
+
+    let mut seq2 = 1_000_000_000u64;
+    c.bench_function("fig15_call_monitor_end_event", |b| {
+        b.iter(|| {
+            seq2 += 1;
+            let ev = MonitorEvent::end(accel, SimInstant::from_micros(seq2));
+            black_box(engine.call_monitor(&mut dev, seq2, &ev).unwrap())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_call_monitor
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! CLI driver: regenerates the paper's figures and tables.
+
+use std::env;
+use std::process::ExitCode;
+
+use artemis_bench::experiments;
+use artemis_bench::Report;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: experiments [--json] <fig12|fig13|fig14|fig15|fig16|table2|ablation|all>\n\
+         Regenerates the evaluation figures/tables of the ARTEMIS paper."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut which = None;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation" | "all" => {
+                which = Some(arg)
+            }
+            _ => return usage(),
+        }
+    }
+    let Some(which) = which else {
+        return usage();
+    };
+
+    let reports: Vec<Report> = match which.as_str() {
+        "fig12" => vec![experiments::fig12()],
+        "fig13" => vec![experiments::fig13()],
+        "fig14" => vec![experiments::fig14()],
+        "fig15" => vec![experiments::fig15()],
+        "fig16" => vec![experiments::fig16()],
+        "table2" => vec![experiments::table2()],
+        "ablation" => vec![experiments::ablation_deployment()],
+        _ => experiments::all(),
+    };
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&reports).expect("reports serialise")
+        );
+    } else {
+        for r in &reports {
+            println!("{}", r.render());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,18 @@
+//! Benchmark application and experiment harness.
+//!
+//! [`health`] builds the paper's wearable health-monitoring benchmark
+//! (Figures 4–6) for both runtimes; [`experiments`] regenerates every
+//! figure and table of the evaluation (§5); [`report`] is the shared
+//! table/JSON plumbing. The `experiments` binary drives it all:
+//!
+//! ```text
+//! cargo run -p artemis-bench --bin experiments --release -- all
+//! cargo run -p artemis-bench --bin experiments --release -- fig12 --json
+//! ```
+
+pub mod experiments;
+pub mod health;
+pub mod report;
+pub mod workload;
+
+pub use report::Report;

@@ -1,0 +1,107 @@
+//! Tabular report plumbing shared by all experiment drivers.
+
+use serde::Serialize;
+
+/// A rendered experiment: an id (figure/table number), a title, and a
+/// simple column/row table, plus free-form notes. Serialises to JSON
+/// for downstream plotting; `render` produces the console table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment id, e.g. `fig12`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of cells, matching `columns`.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form remarks (calibration notes, DNF markers, …).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Starts an empty report.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.columns.len());
+        self.rows.push(cells);
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders an aligned console table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&rule.join("-+-"));
+        out.push('\n');
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("figX", "demo", &["charging (min)", "time (s)"]);
+        r.row(vec!["1".into(), "123.4".into()]);
+        r.row(vec!["10".into(), "DNF".into()]);
+        r.note("cap = 800 uJ");
+        let text = r.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("charging (min) | time (s)"));
+        assert!(text.contains("DNF"));
+        assert!(text.contains("note: cap"));
+    }
+
+    #[test]
+    fn serialises_to_json() {
+        let mut r = Report::new("t2", "memory", &["component", "bytes"]);
+        r.row(vec!["runtime".into(), "1024".into()]);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"id\":\"t2\""));
+        assert!(json.contains("1024"));
+    }
+}

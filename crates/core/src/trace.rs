@@ -1,0 +1,238 @@
+//! Execution traces: the timeline of everything the simulated device did.
+//!
+//! Both runtimes (ARTEMIS and the Mayfly baseline) append to a [`Trace`]
+//! as they execute. The trace is what the experiment harness renders —
+//! Figure 13 of the paper is literally a trace — and what the
+//! integration tests assert against.
+
+use serde::{Deserialize, Serialize};
+
+use crate::action::Action;
+use crate::app::{PathId, TaskId};
+use crate::time::{SimDuration, SimInstant};
+
+/// One entry on the execution timeline.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// The device (re)gained power and the runtime re-entered its loop.
+    Boot {
+        /// Reboot ordinal; 0 is the initial hard reset.
+        reboot: u64,
+    },
+    /// The capacitor crossed the off threshold mid-execution.
+    PowerFailure,
+    /// Charging completed after an outage of the given length.
+    Charged {
+        /// How long the device was off.
+        delay: SimDuration,
+    },
+    /// A task body began executing (possibly a re-attempt).
+    TaskStart {
+        /// The task.
+        task: TaskId,
+        /// 1-based attempt counter since the last completion of the task.
+        attempt: u32,
+    },
+    /// A task body completed and its effects were committed.
+    TaskEnd {
+        /// The task.
+        task: TaskId,
+    },
+    /// A monitor reported a property violation.
+    Violation {
+        /// The task the triggering event concerned.
+        task: TaskId,
+        /// Name of the monitor (derived from the property).
+        monitor: String,
+        /// The recommended action.
+        action: Action,
+    },
+    /// The runtime obeyed an arbitrated corrective action.
+    ActionTaken {
+        /// The action executed.
+        action: Action,
+    },
+    /// Execution moved to the first task of a path.
+    PathStart {
+        /// The path.
+        path: PathId,
+    },
+    /// A path ran to completion.
+    PathComplete {
+        /// The path.
+        path: PathId,
+    },
+    /// A path was abandoned by a skip action.
+    PathSkipped {
+        /// The path.
+        path: PathId,
+    },
+    /// The whole application (all paths) completed one run.
+    RunComplete,
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// When the event happened on the persistent clock.
+    pub at: SimInstant,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// An append-only execution timeline.
+///
+/// # Examples
+///
+/// ```
+/// use artemis_core::trace::{Trace, TraceEvent};
+/// use artemis_core::{SimInstant, TaskId};
+///
+/// let mut trace = Trace::new();
+/// trace.push(SimInstant::EPOCH, TraceEvent::Boot { reboot: 0 });
+/// trace.push(
+///     SimInstant::from_micros(10),
+///     TraceEvent::TaskStart { task: TaskId(0), attempt: 1 },
+/// );
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace.count(|e| matches!(e, TraceEvent::TaskStart { .. })), 1);
+/// ```
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// Creates an empty, enabled trace.
+    pub fn new() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Creates a disabled trace that drops every event (for benchmarks
+    /// where trace memory would distort measurements).
+    pub fn disabled() -> Self {
+        Trace {
+            records: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// Appends an event at `at`.
+    pub fn push(&mut self, at: SimInstant, event: TraceEvent) {
+        if self.enabled {
+            self.records.push(TraceRecord { at, event });
+        }
+    }
+
+    /// All records in order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Counts records matching a predicate on the event.
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// Returns the number of completed executions of `task`.
+    pub fn completions_of(&self, task: TaskId) -> usize {
+        self.count(|e| matches!(e, TraceEvent::TaskEnd { task: t } if *t == task))
+    }
+
+    /// Returns the number of start attempts of `task`.
+    pub fn attempts_of(&self, task: TaskId) -> usize {
+        self.count(|e| matches!(e, TraceEvent::TaskStart { task: t, .. } if *t == task))
+    }
+
+    /// Returns the number of reboots (excluding the initial hard reset).
+    pub fn reboots(&self) -> usize {
+        self.count(|e| matches!(e, TraceEvent::Boot { reboot } if *reboot > 0))
+    }
+
+    /// Renders a human-readable timeline, one record per line.
+    pub fn render(&self) -> String {
+        use core::fmt::Write as _;
+
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = write!(out, "[{}] ", r.at);
+            let _ = match &r.event {
+                TraceEvent::Boot { reboot } => writeln!(out, "boot #{reboot}"),
+                TraceEvent::PowerFailure => writeln!(out, "POWER FAILURE"),
+                TraceEvent::Charged { delay } => writeln!(out, "charged after {delay}"),
+                TraceEvent::TaskStart { task, attempt } => {
+                    writeln!(out, "start {task} (attempt {attempt})")
+                }
+                TraceEvent::TaskEnd { task } => writeln!(out, "end   {task}"),
+                TraceEvent::Violation {
+                    task,
+                    monitor,
+                    action,
+                } => writeln!(out, "VIOLATION {monitor} at {task} -> {action}"),
+                TraceEvent::ActionTaken { action } => writeln!(out, "action {action}"),
+                TraceEvent::PathStart { path } => writeln!(out, "enter {path}"),
+                TraceEvent::PathComplete { path } => writeln!(out, "done  {path}"),
+                TraceEvent::PathSkipped { path } => writeln!(out, "skip  {path}"),
+                TraceEvent::RunComplete => writeln!(out, "RUN COMPLETE"),
+            };
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.push(SimInstant::EPOCH, TraceEvent::RunComplete);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let mut t = Trace::new();
+        let task = TaskId(4);
+        t.push(SimInstant::EPOCH, TraceEvent::Boot { reboot: 0 });
+        t.push(SimInstant::EPOCH, TraceEvent::TaskStart { task, attempt: 1 });
+        t.push(SimInstant::EPOCH, TraceEvent::PowerFailure);
+        t.push(SimInstant::EPOCH, TraceEvent::Boot { reboot: 1 });
+        t.push(SimInstant::EPOCH, TraceEvent::TaskStart { task, attempt: 2 });
+        t.push(SimInstant::EPOCH, TraceEvent::TaskEnd { task });
+        assert_eq!(t.attempts_of(task), 2);
+        assert_eq!(t.completions_of(task), 1);
+        assert_eq!(t.reboots(), 1);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn render_mentions_key_events() {
+        let mut t = Trace::new();
+        t.push(SimInstant::EPOCH, TraceEvent::PowerFailure);
+        t.push(
+            SimInstant::from_micros(5),
+            TraceEvent::ActionTaken {
+                action: Action::SkipPath(PathId(1)),
+            },
+        );
+        let s = t.render();
+        assert!(s.contains("POWER FAILURE"));
+        assert!(s.contains("skipPath(path#2)"));
+    }
+}

@@ -1,0 +1,183 @@
+//! Graphviz (DOT) export of monitor state machines — the tool-rendered
+//! equivalent of the paper's Figure 7 diagrams.
+//!
+//! ```text
+//! cargo run --example spec_compiler | …    # or:
+//! artemis compile spec --paths a>b --emit ir | …
+//! dot -Tsvg monitor.dot -o monitor.svg
+//! ```
+
+use core::fmt::Write as _;
+
+use crate::fsm::{MonitorSuite, StateMachine, Trigger};
+use crate::print::{expr, stmt};
+
+/// Renders one machine as a DOT digraph.
+pub fn machine_to_dot(m: &StateMachine) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", m.name);
+    let _ = writeln!(out, "    rankdir=LR;");
+    let _ = writeln!(out, "    node [shape=circle, fontname=\"monospace\"];");
+    let _ = writeln!(out, "    edge [fontname=\"monospace\", fontsize=10];");
+    let _ = writeln!(
+        out,
+        "    label=\"{} (task {})\"; labelloc=t;",
+        m.name, m.task
+    );
+
+    // An invisible entry arrow into the initial state.
+    let _ = writeln!(out, "    __start [shape=point];");
+    let _ = writeln!(
+        out,
+        "    __start -> \"{}\";",
+        m.states[m.initial as usize]
+    );
+    for s in &m.states {
+        let _ = writeln!(out, "    \"{s}\";");
+    }
+    for t in &m.transitions {
+        let mut label = trigger_label(&t.trigger);
+        if let Some(g) = &t.guard {
+            let _ = write!(label, "\\n[{}]", escape(&expr(g)));
+        }
+        if !t.body.is_empty() {
+            let body: Vec<String> = t.body.iter().map(|s| escape(&stmt(s))).collect();
+            let _ = write!(label, "\\n/ {}", body.join(" "));
+        }
+        let mut attrs = String::new();
+        if let Some(e) = &t.emit {
+            let _ = write!(label, "\\nFAIL {}", e.action.keyword());
+            attrs.push_str(", color=red, fontcolor=red");
+        }
+        let _ = writeln!(
+            out,
+            "    \"{}\" -> \"{}\" [label=\"{label}\"{attrs}];",
+            m.states[t.from as usize], m.states[t.to as usize]
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a suite as one DOT file, one cluster per machine. Node ids
+/// are prefixed per machine so same-named states never collide; the
+/// human-readable state name goes in the node label.
+pub fn suite_to_dot(suite: &MonitorSuite) -> String {
+    let mut out = String::from("digraph monitors {\n    rankdir=LR;\n    compound=true;\n");
+    for (i, m) in suite.machines().iter().enumerate() {
+        let _ = writeln!(out, "    subgraph cluster_{i} {{");
+        let _ = writeln!(out, "        label=\"{}\";", escape(&m.name));
+        let node = |s: &str| format!("m{i}_{s}");
+        let _ = writeln!(out, "        {} [shape=point];", node("__start"));
+        let _ = writeln!(
+            out,
+            "        {} -> {};",
+            node("__start"),
+            node(&m.states[m.initial as usize])
+        );
+        for s in &m.states {
+            let _ = writeln!(
+                out,
+                "        {} [shape=circle, label=\"{}\"];",
+                node(s),
+                escape(s)
+            );
+        }
+        for t in &m.transitions {
+            let mut label = trigger_label(&t.trigger);
+            if let Some(g) = &t.guard {
+                let _ = write!(label, "\\n[{}]", escape(&expr(g)));
+            }
+            if !t.body.is_empty() {
+                let body: Vec<String> = t.body.iter().map(|s| escape(&stmt(s))).collect();
+                let _ = write!(label, "\\n/ {}", body.join(" "));
+            }
+            let mut attrs = String::new();
+            if let Some(e) = &t.emit {
+                let _ = write!(label, "\\nFAIL {}", e.action.keyword());
+                attrs.push_str(", color=red, fontcolor=red");
+            }
+            let _ = writeln!(
+                out,
+                "        {} -> {} [label=\"{label}\"{attrs}];",
+                node(&m.states[t.from as usize]),
+                node(&m.states[t.to as usize])
+            );
+        }
+        let _ = writeln!(out, "    }}");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn trigger_label(t: &Trigger) -> String {
+    match t {
+        Trigger::Start(p) => format!("startTask({})", pat(p)),
+        Trigger::End(p) => format!("endTask({})", pat(p)),
+        Trigger::Any => "anyEvent".to_string(),
+    }
+}
+
+fn pat(p: &crate::fsm::TaskPat) -> &str {
+    match p {
+        crate::fsm::TaskPat::Any => "*",
+        crate::fsm::TaskPat::Named(n) => n,
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_core::app::AppGraphBuilder;
+
+    fn suite() -> MonitorSuite {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("accel");
+        let s = b.task("send");
+        b.path(&[a, s]);
+        let app = b.build().unwrap();
+        crate::compile(
+            "send { MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath; }",
+            &app,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn machine_dot_has_graph_structure() {
+        let suite = suite();
+        let dot = machine_to_dot(&suite.machines()[0]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("rankdir=LR"));
+        assert!(dot.contains("\"WaitEndB\""));
+        assert!(dot.contains("\"WaitStartA\""));
+        assert!(dot.contains("__start ->"), "entry arrow missing:\n{dot}");
+        // Failure transitions are highlighted.
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("FAIL restartPath"));
+        assert!(dot.contains("FAIL skipPath"));
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+
+    #[test]
+    fn guards_and_bodies_appear_escaped() {
+        let suite = suite();
+        let dot = machine_to_dot(&suite.machines()[0]);
+        assert!(dot.contains("endB := t;"), "{dot}");
+        assert!(dot.contains("(t - endB)"), "{dot}");
+        assert!(!dot.contains("\n[("), "guards must be \\n-escaped in labels");
+    }
+
+    #[test]
+    fn suite_dot_wraps_clusters() {
+        let suite = suite();
+        let dot = suite_to_dot(&suite);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

@@ -1,0 +1,416 @@
+//! A pure (in-memory) interpreter for IR machines.
+//!
+//! This is the reference semantics of the intermediate language: given
+//! a machine, its mutable [`MachineState`] and one observable event,
+//! [`step`] takes the *first* enabled transition (lowering generates
+//! mutually exclusive guards; the IR validator warns otherwise), runs
+//! its body, moves the state and returns any failure signal. Events
+//! with no enabled transition are accepted silently — the implicit
+//! self-transition of the paper's Figure 7.
+//!
+//! The persistent, power-failure-resilient execution in
+//! `artemis-monitor` delegates to this module for the transition
+//! relation, adding only FRAM round-tripping around it — so the
+//! property tests here pin down behaviour for both.
+
+use artemis_core::event::EventKind;
+
+use crate::expr::{eval, EvalError, EventCtx, Value, VarEnv};
+use crate::fsm::{EmitFail, StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+/// The mutable part of a machine: current state + variable values.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MachineState {
+    /// Current state index.
+    pub state: u32,
+    /// Variable values in slot order.
+    pub vars: Vec<Value>,
+}
+
+impl MachineState {
+    /// The initial state of `machine`.
+    pub fn initial(machine: &StateMachine) -> Self {
+        MachineState {
+            state: machine.initial,
+            vars: machine.initial_vars(),
+        }
+    }
+
+    /// Resets to the machine's initial configuration.
+    pub fn reset(&mut self, machine: &StateMachine) {
+        self.state = machine.initial;
+        self.vars = machine.initial_vars();
+    }
+}
+
+/// One observable event as the interpreter sees it.
+#[derive(Clone, Copy, Debug)]
+pub struct IrEvent<'a> {
+    /// Start or end.
+    pub kind: EventKind,
+    /// Source name of the task the event concerns.
+    pub task: &'a str,
+    /// Evaluation context (timestamp, depData, energy).
+    pub ctx: EventCtx,
+}
+
+struct Env<'a> {
+    machine: &'a StateMachine,
+    vars: &'a [Value],
+}
+
+impl VarEnv for Env<'_> {
+    fn get(&self, name: &str) -> Option<Value> {
+        self.machine.var_index(name).map(|i| self.vars[i])
+    }
+}
+
+fn trigger_matches(trigger: &Trigger, event: &IrEvent<'_>) -> bool {
+    let pat = match (trigger, event.kind) {
+        (Trigger::Any, _) => return true,
+        (Trigger::Start(p), EventKind::StartTask) => p,
+        (Trigger::End(p), EventKind::EndTask) => p,
+        _ => return false,
+    };
+    match pat {
+        TaskPat::Any => true,
+        TaskPat::Named(name) => name == event.task,
+    }
+}
+
+/// Feeds one event to a machine; returns the failure signal, if any.
+///
+/// # Examples
+///
+/// ```
+/// use artemis_core::event::EventKind;
+/// use artemis_ir::exec::{step, IrEvent, MachineState};
+/// use artemis_ir::expr::EventCtx;
+///
+/// let app = {
+///     let mut b = artemis_core::app::AppGraphBuilder::new();
+///     let t = b.task("sense");
+///     b.path(&[t]);
+///     b.build().unwrap()
+/// };
+/// let set = artemis_spec::compile(
+///     "sense: { maxTries: 1 onFail: skipPath; }", &app,
+/// ).unwrap();
+/// let suite = artemis_ir::lower::lower_set(&set, &app).unwrap();
+/// let machine = &suite.machines()[0];
+/// let mut state = MachineState::initial(machine);
+///
+/// let ctx = EventCtx { time_us: 0, dep_data: None, energy_nj: 0 };
+/// let first = step(machine, &mut state, &IrEvent {
+///     kind: EventKind::StartTask, task: "sense", ctx,
+/// }).unwrap();
+/// assert!(first.is_none(), "first start is within budget");
+/// let second = step(machine, &mut state, &IrEvent {
+///     kind: EventKind::StartTask, task: "sense", ctx,
+/// }).unwrap();
+/// assert!(second.is_some(), "second start exceeds maxTries: 1");
+/// ```
+pub fn step(
+    machine: &StateMachine,
+    state: &mut MachineState,
+    event: &IrEvent<'_>,
+) -> Result<Option<EmitFail>, EvalError> {
+    let taken: Option<&Transition> = {
+        let env = Env {
+            machine,
+            vars: &state.vars,
+        };
+        let mut found = None;
+        for t in machine.transitions_from(state.state) {
+            if !trigger_matches(&t.trigger, event) {
+                continue;
+            }
+            let enabled = match &t.guard {
+                None => true,
+                Some(g) => matches!(eval(g, &env, &event.ctx)?, Value::Bool(true)),
+            };
+            if enabled {
+                found = Some(t);
+                break;
+            }
+        }
+        found
+    };
+
+    let Some(transition) = taken else {
+        // Implicit self-transition: accept silently.
+        return Ok(None);
+    };
+
+    run_body(machine, &mut state.vars, &transition.body, &event.ctx)?;
+    state.state = transition.to;
+    Ok(transition.emit.clone())
+}
+
+fn run_body(
+    machine: &StateMachine,
+    vars: &mut Vec<Value>,
+    body: &[Stmt],
+    ctx: &EventCtx,
+) -> Result<(), EvalError> {
+    for stmt in body {
+        match stmt {
+            Stmt::Assign(name, expr) => {
+                let value = {
+                    let env = Env { machine, vars };
+                    eval(expr, &env, ctx)?
+                };
+                let idx = machine.var_index(name).ok_or(EvalError::UnknownVar)?;
+                vars[idx] = coerce(value, vars[idx])?;
+            }
+            Stmt::If(cond, then_body, else_body) => {
+                let c = {
+                    let env = Env { machine, vars };
+                    eval(cond, &env, ctx)?
+                };
+                match c {
+                    Value::Bool(true) => run_body(machine, vars, then_body, ctx)?,
+                    Value::Bool(false) => run_body(machine, vars, else_body, ctx)?,
+                    other => {
+                        return Err(EvalError::TypeMismatch {
+                            expected: crate::expr::VarType::Bool,
+                            found: other.ty(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Keeps a variable's declared type stable across assignments, allowing
+/// only the int↔time widenings the lowering relies on.
+fn coerce(new: Value, old: Value) -> Result<Value, EvalError> {
+    use Value::*;
+    Ok(match (new, old) {
+        (Int(v), Time(_)) => Time(u64::try_from(v).unwrap_or(0)),
+        (Time(v), Int(_)) => Int(i64::try_from(v).unwrap_or(i64::MAX)),
+        (Int(v), Float(_)) => Float(v as f64),
+        (n, o) if n.ty() == o.ty() => n,
+        (n, o) => {
+            return Err(EvalError::TypeMismatch {
+                expected: o.ty(),
+                found: n.ty(),
+            })
+        }
+    })
+}
+
+/// Convenience: builds an [`IrEvent`] from a core event plus the task
+/// name and energy reading.
+pub fn ir_event<'a>(
+    event: &artemis_core::event::MonitorEvent,
+    task_name: &'a str,
+    energy_nj: u64,
+) -> IrEvent<'a> {
+    IrEvent {
+        kind: event.kind,
+        task: task_name,
+        ctx: EventCtx {
+            time_us: event.timestamp.as_micros(),
+            dep_data: event.dep_data,
+            energy_nj,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr, VarType};
+    use crate::fsm::Transition;
+    use artemis_core::property::OnFail;
+
+    fn ctx(t: u64) -> EventCtx {
+        EventCtx {
+            time_us: t,
+            dep_data: None,
+            energy_nj: 0,
+        }
+    }
+
+    /// Hand-built two-state machine: counts starts of `a`, fails on the
+    /// third.
+    fn counting_machine() -> StateMachine {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("i", VarType::Int, Value::Int(0));
+        let idle = m.add_state("Idle");
+        let busy = m.add_state("Busy");
+        m.transitions.push(Transition {
+            from: idle,
+            to: busy,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: None,
+            body: vec![Stmt::Assign("i".into(), Expr::int(1))],
+            emit: None,
+        });
+        m.transitions.push(Transition {
+            from: busy,
+            to: busy,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Lt, Expr::var("i"), Expr::int(2))),
+            body: vec![Stmt::Assign(
+                "i".into(),
+                Expr::bin(BinOp::Add, Expr::var("i"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        m.transitions.push(Transition {
+            from: busy,
+            to: idle,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Ge, Expr::var("i"), Expr::int(2))),
+            body: vec![Stmt::Assign("i".into(), Expr::int(0))],
+            emit: Some(EmitFail {
+                action: OnFail::SkipPath,
+                path: Some(1),
+            }),
+        });
+        m.transitions.push(Transition {
+            from: busy,
+            to: idle,
+            trigger: Trigger::End(TaskPat::named("a")),
+            guard: None,
+            body: vec![Stmt::Assign("i".into(), Expr::int(0))],
+            emit: None,
+        });
+        m
+    }
+
+    fn start(task: &str, t: u64) -> IrEvent<'_> {
+        IrEvent {
+            kind: EventKind::StartTask,
+            task,
+            ctx: ctx(t),
+        }
+    }
+
+    fn end(task: &str, t: u64) -> IrEvent<'_> {
+        IrEvent {
+            kind: EventKind::EndTask,
+            task,
+            ctx: ctx(t),
+        }
+    }
+
+    #[test]
+    fn first_match_wins_and_counts() {
+        let m = counting_machine();
+        let mut s = MachineState::initial(&m);
+        assert_eq!(step(&m, &mut s, &start("a", 0)).unwrap(), None);
+        assert_eq!(s.vars[0], Value::Int(1));
+        assert_eq!(step(&m, &mut s, &start("a", 1)).unwrap(), None);
+        assert_eq!(s.vars[0], Value::Int(2));
+        let fail = step(&m, &mut s, &start("a", 2)).unwrap().unwrap();
+        assert_eq!(fail.action, OnFail::SkipPath);
+        assert_eq!(s.state, 0, "failure transition returns to Idle");
+        assert_eq!(s.vars[0], Value::Int(0));
+    }
+
+    #[test]
+    fn end_resets_the_counter() {
+        let m = counting_machine();
+        let mut s = MachineState::initial(&m);
+        step(&m, &mut s, &start("a", 0)).unwrap();
+        step(&m, &mut s, &end("a", 1)).unwrap();
+        assert_eq!(s.state, 0);
+        assert_eq!(s.vars[0], Value::Int(0));
+    }
+
+    #[test]
+    fn unrelated_events_take_implicit_self_transition() {
+        let m = counting_machine();
+        let mut s = MachineState::initial(&m);
+        step(&m, &mut s, &start("a", 0)).unwrap();
+        let before = s.clone();
+        assert_eq!(step(&m, &mut s, &start("b", 1)).unwrap(), None);
+        assert_eq!(step(&m, &mut s, &end("b", 2)).unwrap(), None);
+        assert_eq!(s, before, "unrelated events must not perturb state");
+    }
+
+    #[test]
+    fn reset_restores_initial_configuration() {
+        let m = counting_machine();
+        let mut s = MachineState::initial(&m);
+        step(&m, &mut s, &start("a", 0)).unwrap();
+        assert_ne!(s, MachineState::initial(&m));
+        s.reset(&m);
+        assert_eq!(s, MachineState::initial(&m));
+    }
+
+    #[test]
+    fn if_statements_branch() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("x", VarType::Int, Value::Int(0));
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Any,
+            guard: None,
+            body: vec![Stmt::If(
+                Expr::bin(BinOp::Lt, Expr::var("x"), Expr::int(2)),
+                vec![Stmt::Assign(
+                    "x".into(),
+                    Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1)),
+                )],
+                vec![Stmt::Assign("x".into(), Expr::int(100))],
+            )],
+            emit: None,
+        });
+        let mut s = MachineState::initial(&m);
+        for _ in 0..2 {
+            step(&m, &mut s, &start("whatever", 0)).unwrap();
+        }
+        assert_eq!(s.vars[0], Value::Int(2));
+        step(&m, &mut s, &start("whatever", 0)).unwrap();
+        assert_eq!(s.vars[0], Value::Int(100));
+    }
+
+    #[test]
+    fn assignment_type_is_stable() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("start", VarType::Time, Value::Time(0));
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Any,
+            guard: None,
+            body: vec![Stmt::Assign("start".into(), Expr::EventTime)],
+            emit: None,
+        });
+        let mut s = MachineState::initial(&m);
+        step(&m, &mut s, &start("x", 777)).unwrap();
+        assert_eq!(s.vars[0], Value::Time(777));
+        // Assigning an int literal to a time slot coerces.
+        m.transitions[0].body = vec![Stmt::Assign("start".into(), Expr::int(5))];
+        step(&m, &mut s, &start("x", 0)).unwrap();
+        assert_eq!(s.vars[0], Value::Time(5));
+    }
+
+    #[test]
+    fn guard_errors_surface() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Any,
+            guard: Some(Expr::var("ghost")),
+            body: vec![],
+            emit: None,
+        });
+        let mut s = MachineState::initial(&m);
+        assert_eq!(
+            step(&m, &mut s, &start("x", 0)),
+            Err(EvalError::UnknownVar)
+        );
+    }
+}

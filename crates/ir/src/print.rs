@@ -1,0 +1,255 @@
+//! Textual syntax for the intermediate language (printer).
+//!
+//! The paper positions the intermediate language as a surface
+//! developers can write directly when the property language lacks
+//! expressiveness (§3.3). This module renders machines in that textual
+//! form; [`crate::parse`] reads it back. `parse ∘ print` is the
+//! identity on machines, which the round-trip tests verify for every
+//! machine the lowering can produce.
+//!
+//! ```text
+//! machine send_MITD_0 task send path 2 persistent {
+//!     var endB: time = 0t;
+//!     var i: int = 0;
+//!     state WaitEndB initial;
+//!     state WaitStartA;
+//!     on endTask(accel) from WaitEndB to WaitStartA { endB := t; };
+//!     on startTask(send) from WaitStartA to WaitEndB
+//!         if ((t - endB) > 300000000t) { i := (i + 1); } fail restartPath path 2;
+//! }
+//! ```
+//!
+//! Binary expressions print fully parenthesised so the parser
+//! reconstructs the exact tree.
+
+use core::fmt::Write as _;
+
+use crate::expr::{Expr, Value};
+use crate::fsm::{MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+/// Renders a whole suite, machines separated by blank lines.
+pub fn print_suite(suite: &MonitorSuite) -> String {
+    let mut out = String::new();
+    for (i, m) in suite.machines().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_machine(m));
+    }
+    out
+}
+
+/// Renders one machine.
+pub fn print_machine(m: &StateMachine) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "machine {} task {}", m.name, m.task);
+    if let Some(p) = m.path {
+        let _ = write!(out, " path {p}");
+    }
+    out.push_str(if m.reset_on_path_restart {
+        " resettable"
+    } else {
+        " persistent"
+    });
+    out.push_str(" {\n");
+    for v in &m.vars {
+        let _ = writeln!(
+            out,
+            "    var {}: {} = {};",
+            v.name,
+            v.ty.keyword(),
+            value(&v.init)
+        );
+    }
+    for (i, s) in m.states.iter().enumerate() {
+        if i as u32 == m.initial {
+            let _ = writeln!(out, "    state {s} initial;");
+        } else {
+            let _ = writeln!(out, "    state {s};");
+        }
+    }
+    for t in &m.transitions {
+        let _ = writeln!(out, "    {}", transition(m, t));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn transition(m: &StateMachine, t: &Transition) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "on {} from {} to {}",
+        trigger(&t.trigger),
+        m.states[t.from as usize],
+        m.states[t.to as usize]
+    );
+    if let Some(g) = &t.guard {
+        let _ = write!(s, " if {}", expr(g));
+    }
+    s.push_str(" { ");
+    for stmt_ in &t.body {
+        let _ = write!(s, "{} ", stmt(stmt_));
+    }
+    s.push('}');
+    if let Some(e) = &t.emit {
+        let _ = write!(s, " fail {}", e.action.keyword());
+        if let Some(p) = e.path {
+            let _ = write!(s, " path {p}");
+        }
+    }
+    s.push(';');
+    s
+}
+
+fn trigger(t: &Trigger) -> String {
+    match t {
+        Trigger::Start(p) => format!("startTask({})", pat(p)),
+        Trigger::End(p) => format!("endTask({})", pat(p)),
+        Trigger::Any => "anyEvent".to_string(),
+    }
+}
+
+fn pat(p: &TaskPat) -> &str {
+    match p {
+        TaskPat::Any => "*",
+        TaskPat::Named(n) => n,
+    }
+}
+
+/// Renders a statement.
+pub fn stmt(s: &Stmt) -> String {
+    match s {
+        Stmt::Assign(name, e) => format!("{name} := {};", expr(e)),
+        Stmt::If(cond, then_b, else_b) => {
+            let mut out = format!("if {} {{ ", expr(cond));
+            for st in then_b {
+                out.push_str(&stmt(st));
+                out.push(' ');
+            }
+            out.push('}');
+            if !else_b.is_empty() {
+                out.push_str(" else { ");
+                for st in else_b {
+                    out.push_str(&stmt(st));
+                    out.push(' ');
+                }
+                out.push('}');
+            }
+            out
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesised.
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => value(v),
+        Expr::Var(name) => name.clone(),
+        Expr::EventTime => "t".to_string(),
+        Expr::DepData => "depData".to_string(),
+        Expr::EnergyLevel => "energy".to_string(),
+        Expr::Not(inner) => format!("!({})", expr(inner)),
+        Expr::Bin(op, l, r) => format!("({} {} {})", expr(l), op.symbol(), expr(r)),
+    }
+}
+
+/// Renders a literal; times carry a `t` suffix to stay typed.
+pub fn value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("{i}"),
+        Value::Bool(b) => format!("{b}"),
+        Value::Time(us) => format!("{us}t"),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                format!("{:.1}", f)
+            } else {
+                format!("{f}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, VarType};
+    use crate::fsm::EmitFail;
+    use artemis_core::property::OnFail;
+
+    #[test]
+    fn machine_header_renders_flags() {
+        let mut m = StateMachine::new("x", "send");
+        m.path = Some(2);
+        m.reset_on_path_restart = false;
+        m.add_state("S");
+        let text = print_machine(&m);
+        assert!(text.starts_with("machine x task send path 2 persistent {"));
+
+        m.reset_on_path_restart = true;
+        m.path = None;
+        let text = print_machine(&m);
+        assert!(text.starts_with("machine x task send resettable {"));
+    }
+
+    #[test]
+    fn values_keep_type_tags() {
+        assert_eq!(value(&Value::Int(-5)), "-5");
+        assert_eq!(value(&Value::Time(300)), "300t");
+        assert_eq!(value(&Value::Bool(true)), "true");
+        assert_eq!(value(&Value::Float(36.0)), "36.0");
+        assert_eq!(value(&Value::Float(36.55)), "36.55");
+    }
+
+    #[test]
+    fn expressions_fully_parenthesise() {
+        let e = Expr::and(
+            Expr::bin(
+                BinOp::Gt,
+                Expr::bin(BinOp::Sub, Expr::EventTime, Expr::var("endB")),
+                Expr::time(100),
+            ),
+            Expr::bin(BinOp::Lt, Expr::var("i"), Expr::int(3)),
+        );
+        assert_eq!(expr(&e), "(((t - endB) > 100t) && (i < 3))");
+    }
+
+    #[test]
+    fn full_transition_line() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("i", VarType::Int, Value::Int(0));
+        let s0 = m.add_state("A");
+        let s1 = m.add_state("B");
+        m.transitions.push(Transition {
+            from: s0,
+            to: s1,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Ge, Expr::var("i"), Expr::int(2))),
+            body: vec![Stmt::Assign("i".into(), Expr::int(0))],
+            emit: Some(EmitFail {
+                action: OnFail::SkipPath,
+                path: Some(1),
+            }),
+        });
+        let text = print_machine(&m);
+        assert!(text.contains(
+            "on startTask(a) from A to B if (i >= 2) { i := 0; } fail skipPath path 1;"
+        ));
+    }
+
+    #[test]
+    fn if_statements_render_with_optional_else() {
+        let s = Stmt::If(
+            Expr::var("c"),
+            vec![Stmt::Assign("x".into(), Expr::int(1))],
+            vec![],
+        );
+        assert_eq!(stmt(&s), "if c { x := 1; }");
+        let s = Stmt::If(
+            Expr::var("c"),
+            vec![Stmt::Assign("x".into(), Expr::int(1))],
+            vec![Stmt::Assign("x".into(), Expr::int(2))],
+        );
+        assert_eq!(stmt(&s), "if c { x := 1; } else { x := 2; }");
+    }
+}

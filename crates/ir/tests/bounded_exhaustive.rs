@@ -1,0 +1,193 @@
+//! Bounded-exhaustive model checking of the lowered monitors: for
+//! EVERY event sequence up to a fixed length, the machine's verdicts
+//! must match an independent oracle implementation of the property.
+//! Random testing samples this space; here we sweep it completely.
+
+use artemis_core::app::AppGraphBuilder;
+use artemis_core::event::EventKind;
+use artemis_ir::exec::{step, IrEvent, MachineState};
+use artemis_ir::expr::EventCtx;
+use artemis_ir::fsm::StateMachine;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Sym {
+    StartA,
+    EndA,
+    StartB,
+    EndB,
+}
+
+const ALPHABET: [Sym; 4] = [Sym::StartA, Sym::EndA, Sym::StartB, Sym::EndB];
+
+fn machine(spec: &str) -> StateMachine {
+    let mut b = AppGraphBuilder::new();
+    let a = b.task("a");
+    let bb = b.task("b");
+    b.path(&[bb, a]);
+    let app = b.build().unwrap();
+    let suite = artemis_ir::compile(spec, &app).unwrap();
+    assert_eq!(suite.len(), 1);
+    suite.machines()[0].clone()
+}
+
+fn drive(
+    m: &StateMachine,
+    seq: &[Sym],
+    times: &[u64],
+) -> Vec<bool> {
+    let mut state = MachineState::initial(m);
+    let mut out = Vec::with_capacity(seq.len());
+    for (i, sym) in seq.iter().enumerate() {
+        let (kind, task) = match sym {
+            Sym::StartA => (EventKind::StartTask, "a"),
+            Sym::EndA => (EventKind::EndTask, "a"),
+            Sym::StartB => (EventKind::StartTask, "b"),
+            Sym::EndB => (EventKind::EndTask, "b"),
+        };
+        let ev = IrEvent {
+            kind,
+            task,
+            ctx: EventCtx {
+                time_us: times[i],
+                dep_data: None,
+                energy_nj: u64::MAX,
+            },
+        };
+        out.push(step(m, &mut state, &ev).unwrap().is_some());
+    }
+    out
+}
+
+/// Enumerates every sequence over `ALPHABET` of exactly `len` symbols.
+fn for_all_sequences(len: usize, mut f: impl FnMut(&[Sym])) {
+    let mut seq = vec![Sym::StartA; len];
+    let total = 4usize.pow(len as u32);
+    for mut code in 0..total {
+        for slot in seq.iter_mut() {
+            *slot = ALPHABET[code % 4];
+            code /= 4;
+        }
+        f(&seq);
+    }
+}
+
+#[test]
+fn max_tries_matches_oracle_exhaustively() {
+    let m = machine("a { maxTries: 2 onFail: skipPath; }");
+    for len in 1..=7 {
+        for_all_sequences(len, |seq| {
+            let times: Vec<u64> = (0..seq.len() as u64).collect();
+            let got = drive(&m, seq, &times);
+
+            // Oracle: count starts of `a`; the start after the budget
+            // (i.e. attempt 3 while incomplete) fails and resets.
+            let mut attempts = 0u32;
+            let mut expected = Vec::new();
+            for sym in seq {
+                let fail = match sym {
+                    Sym::StartA => {
+                        if attempts >= 2 {
+                            attempts = 0;
+                            true
+                        } else {
+                            attempts += 1;
+                            false
+                        }
+                    }
+                    Sym::EndA => {
+                        attempts = 0;
+                        false
+                    }
+                    _ => false,
+                };
+                expected.push(fail);
+            }
+            assert_eq!(got, expected, "sequence {seq:?}");
+        });
+    }
+}
+
+#[test]
+fn collect_matches_oracle_exhaustively() {
+    let m = machine("a { collect: 2 dpTask: b onFail: restartPath; }");
+    for len in 1..=7 {
+        for_all_sequences(len, |seq| {
+            let times: Vec<u64> = (0..seq.len() as u64).collect();
+            let got = drive(&m, seq, &times);
+
+            // Oracle: endB increments; startA with fewer than 2 fails
+            // (no reset); endA consumes the buffer.
+            let mut count = 0u32;
+            let mut expected = Vec::new();
+            for sym in seq {
+                let fail = match sym {
+                    Sym::EndB => {
+                        count += 1;
+                        false
+                    }
+                    Sym::StartA => count < 2,
+                    Sym::EndA => {
+                        count = 0;
+                        false
+                    }
+                    Sym::StartB => false,
+                };
+                expected.push(fail);
+            }
+            assert_eq!(got, expected, "sequence {seq:?}");
+        });
+    }
+}
+
+#[test]
+fn mitd_matches_oracle_exhaustively_with_time() {
+    // Shorter sequences, but each event can arrive after a short (1 s)
+    // or long (5 s) gap; the MITD bound is 3 s.
+    let m = machine("a { MITD: 3s dpTask: b onFail: restartPath; }");
+    let limit_us = 3_000_000u64;
+    for len in 1..=5usize {
+        let combos = 4usize.pow(len as u32) * 2usize.pow(len as u32);
+        for code in 0..combos {
+            let mut c = code;
+            let mut seq = Vec::with_capacity(len);
+            let mut times = Vec::with_capacity(len);
+            let mut t = 0u64;
+            for _ in 0..len {
+                seq.push(ALPHABET[c % 4]);
+                c /= 4;
+                t += if c % 2 == 0 { 1_000_000 } else { 5_000_000 };
+                c /= 2;
+                times.push(t);
+            }
+            let got = drive(&m, &seq, &times);
+
+            // Oracle: after endB (tracking the latest), a startA later
+            // than limit fails; endA discharges until the next endB.
+            let mut end_b: Option<u64> = None;
+            let mut armed = false;
+            let mut expected = Vec::new();
+            for (i, sym) in seq.iter().enumerate() {
+                let now = times[i];
+                let fail = match sym {
+                    Sym::EndB => {
+                        end_b = Some(now);
+                        armed = true;
+                        false
+                    }
+                    Sym::StartA => {
+                        armed && now.saturating_sub(end_b.unwrap_or(0)) > limit_us
+                    }
+                    Sym::EndA => {
+                        if armed {
+                            armed = false;
+                        }
+                        false
+                    }
+                    Sym::StartB => false,
+                };
+                expected.push(fail);
+            }
+            assert_eq!(got, expected, "seq {seq:?} times {times:?}");
+        }
+    }
+}

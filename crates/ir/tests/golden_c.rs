@@ -1,0 +1,71 @@
+//! Golden-file test for the C backend: the generated monitor for the
+//! paper's Figure 5 benchmark is pinned byte-for-byte under
+//! `tests/golden/figure5_monitor.c`. Deliberate codegen changes update
+//! the file by running with `UPDATE_GOLDEN=1`.
+
+use std::path::PathBuf;
+
+fn figure5_c() -> String {
+    let mut b = artemis_core::app::AppGraphBuilder::new();
+    let body = b.task("bodyTemp");
+    let avg = b.task_with_var("calcAvg", "avgTemp");
+    let heart = b.task("heartRate");
+    let accel = b.task("accel");
+    let classify = b.task("classify");
+    let mic = b.task("micSense");
+    let filter = b.task("filter");
+    let send = b.task("send");
+    b.path(&[body, avg, heart, send]);
+    b.path(&[accel, classify, send]);
+    b.path(&[mic, filter, send]);
+    let app = b.build().unwrap();
+    let suite = artemis_ir::compile(artemis_spec::samples::FIGURE5, &app).unwrap();
+    artemis_ir::codegen::emit_c(&suite)
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/figure5_monitor.c")
+}
+
+#[test]
+fn figure5_c_output_matches_golden() {
+    let generated = figure5_c();
+    let path = golden_path();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &generated).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path:?} ({e}); regenerate with UPDATE_GOLDEN=1 \
+             cargo test -p artemis-ir --test golden_c"
+        )
+    });
+    assert_eq!(
+        generated, golden,
+        "C output drifted from the golden file; if intentional, regenerate \
+         with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_has_the_expected_shape() {
+    // Belt and braces: the golden file itself must carry the paper's
+    // landmarks, so an accidentally-truncated regeneration is caught.
+    let c = figure5_c();
+    for landmark in [
+        "monitor_result_t callMonitor(MonitorEvent_t e)",
+        "_begin",
+        "_end",
+        "void resetMonitor(void)",
+        "void monitorRestartPath(uint8_t path)",
+        "__nv static",
+        "300000000ULL", // the 5-minute MITD in microseconds
+        "ACTION_COMPLETE_PATH",
+    ] {
+        assert!(c.contains(landmark), "missing `{landmark}`");
+    }
+    // Eight properties → eight step functions.
+    assert_eq!(c.matches("static monitor_result_t step_").count(), 8);
+}

@@ -1,0 +1,895 @@
+//! The ARTEMIS monitor engine: power-failure-resilient execution of
+//! generated FSM monitors.
+//!
+//! The engine is the runtime realisation of the paper's
+//! application-specific monitors (§3.3–§4.2). It keeps every machine's
+//! `(state, variables)` in FRAM, processes each observable event
+//! through an ImmortalThreads-style [`Routine`] — one crash-atomic step
+//! per machine — and exposes the paper's three entry points:
+//!
+//! - [`MonitorEngine::reset_monitor`] — the initial hard reset
+//!   (Figure 8, `resetMonitor`);
+//! - [`MonitorEngine::monitor_finalize`] — called on every reboot to
+//!   complete an event interrupted by a power failure (Figure 8,
+//!   `monitorFinalize`);
+//! - [`MonitorEngine::call_monitor`] — deliver one event and collect
+//!   verdicts (Figure 9/10, `callMonitor`).
+//!
+//! # Exactly-once event processing
+//!
+//! Every delivery carries a caller-chosen sequence number. A new
+//! sequence number arms the engine atomically (event + verdict reset +
+//! step counter); re-delivering the *same* sequence number resumes or
+//! returns the already-computed verdicts instead of double-stepping the
+//! machines. The ARTEMIS runtime exploits both directions: `StartTask`
+//! re-attempts get fresh numbers (attempt counting is the point of
+//! `maxTries`), while `EndTask` events reuse the number fixed in the
+//! task-commit transaction so a power failure can never double-count a
+//! sample (cf. the paper's timestamp-consistency discussion, §4.1.3).
+
+pub mod remote;
+pub mod state;
+
+use artemis_core::action::Action;
+use artemis_core::app::{AppGraph, PathId, TaskId};
+use artemis_core::event::{EventKind, MonitorEvent};
+use artemis_core::property::OnFail;
+use artemis_ir::exec::{step, IrEvent, MachineState};
+use artemis_ir::expr::EventCtx;
+use artemis_ir::fsm::MonitorSuite;
+use artemis_ir::validate::{validate_strict, Issue};
+use immortal::Routine;
+use intermittent_sim::device::{CostCategory, Device, Interrupt, MemOwner};
+use intermittent_sim::fram::NvCell;
+use intermittent_sim::journal::{Journal, TxWriter};
+
+use state::{EncodedEvent, NvValue};
+
+pub use remote::{NoMonitoring, RemoteMonitorEngine};
+
+/// The interface between the intermittent runtime and *some* monitoring
+/// deployment — the paper's "generic interfaces" between runtime and
+/// monitor module (Table 3, last row). Implementations: the local
+/// power-failure-resilient [`MonitorEngine`], the external
+/// [`RemoteMonitorEngine`] of §7, and [`NoMonitoring`] for ablations.
+pub trait Monitoring {
+    /// Initial hard reset (Figure 8, `resetMonitor`).
+    fn reset_monitor(&self, dev: &mut Device) -> Result<(), Interrupt>;
+
+    /// Per-boot completion of interrupted work (`monitorFinalize`).
+    fn monitor_finalize(&self, dev: &mut Device) -> Result<bool, Interrupt>;
+
+    /// Event delivery under a caller-chosen sequence number;
+    /// re-delivery of a processed number must not double-step.
+    fn call_monitor(
+        &self,
+        dev: &mut Device,
+        seq: u64,
+        event: &MonitorEvent,
+    ) -> Result<Vec<MonitorVerdict>, Interrupt>;
+
+    /// Verdicts of the most recently processed event.
+    fn last_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt>;
+
+    /// Re-initialisation of monitors bound to a restarted path.
+    fn on_path_restart(&self, dev: &mut Device, path: PathId) -> Result<(), Interrupt>;
+
+    /// Number of deployed machines.
+    fn machine_count(&self) -> usize;
+}
+
+/// Modelled CPU cost of scanning one machine's transitions for one
+/// event, in cycles (the interpreter stand-in for generated C code).
+const STEP_BASE_CYCLES: u64 = 40;
+/// Additional cycles per transition considered.
+const STEP_PER_TRANSITION_CYCLES: u64 = 12;
+
+/// Why the engine could not be installed.
+#[derive(Debug)]
+pub enum InstallError {
+    /// A machine failed static validation.
+    Invalid(Issue),
+    /// A machine observes a task that is not in the application graph.
+    UnknownTask {
+        /// Machine name.
+        machine: String,
+        /// The unresolvable task name.
+        task: String,
+    },
+    /// A path-directed failure action has no governing path.
+    MissingPath {
+        /// Machine name.
+        machine: String,
+    },
+    /// Device-level failure (FRAM exhaustion) during installation.
+    Device(Interrupt),
+}
+
+impl core::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InstallError::Invalid(i) => write!(f, "{i}"),
+            InstallError::UnknownTask { machine, task } => {
+                write!(f, "machine `{machine}` observes unknown task `{task}`")
+            }
+            InstallError::MissingPath { machine } => write!(
+                f,
+                "machine `{machine}` emits a path-directed action but has no governing path"
+            ),
+            InstallError::Device(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// One monitor's verdict for a delivered event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MonitorVerdict {
+    /// Index of the machine in the suite.
+    pub machine_index: usize,
+    /// Name of the machine.
+    pub machine: String,
+    /// The resolved corrective action.
+    pub action: Action,
+}
+
+struct LoadedMachine {
+    machine: artemis_ir::StateMachine,
+    state_cell: NvCell<u32>,
+    var_cells: Vec<NvCell<NvValue>>,
+    /// Dense task ids this machine observes; `None` when it has an
+    /// `anyEvent` or wildcard trigger and must see everything.
+    observed: Option<Vec<u32>>,
+}
+
+/// The engine. Create with [`MonitorEngine::install`].
+pub struct MonitorEngine {
+    machines: Vec<LoadedMachine>,
+    task_names: Vec<String>,
+    routine: Routine,
+    journal: Journal,
+    event_cell: NvCell<EncodedEvent>,
+    seq_cell: NvCell<u64>,
+    verdict_count: NvCell<u32>,
+    verdict_cells: Vec<NvCell<(u32, (u8, u32))>>,
+}
+
+impl MonitorEngine {
+    /// Validates the suite against `app` and allocates all persistent
+    /// monitor state in FRAM (billed to the monitor component).
+    pub fn install(
+        dev: &mut Device,
+        suite: MonitorSuite,
+        app: &AppGraph,
+    ) -> Result<Self, InstallError> {
+        let task_names: Vec<String> = app.tasks().iter().map(|t| t.name.clone()).collect();
+
+        for m in suite.machines() {
+            validate_strict(m).map_err(InstallError::Invalid)?;
+            for task in m.observed_tasks() {
+                if app.task_by_name(task).is_none() {
+                    return Err(InstallError::UnknownTask {
+                        machine: m.name.clone(),
+                        task: task.to_string(),
+                    });
+                }
+            }
+            for t in &m.transitions {
+                if let Some(e) = &t.emit {
+                    if e.path.is_none()
+                        && m.path.is_none()
+                        && matches!(
+                            e.action,
+                            OnFail::RestartPath | OnFail::SkipPath | OnFail::CompletePath
+                        )
+                    {
+                        return Err(InstallError::MissingPath {
+                            machine: m.name.clone(),
+                        });
+                    }
+                }
+            }
+        }
+
+        let dev_err = InstallError::Device;
+        let owner = MemOwner::Monitor;
+        let prev = dev.category();
+        dev.set_category(CostCategory::Monitor);
+
+        let result = (|| {
+            let routine = Routine::new(dev, owner, "monitor.routine").map_err(dev_err)?;
+            // The journal must fit the largest transaction: the hard
+            // reset, which rewrites every machine's state and variables
+            // in one atomic commit.
+            let reset_bytes: usize = suite
+                .machines()
+                .iter()
+                .map(|m| 10 + 15 * m.vars.len())
+                .sum::<usize>()
+                + 64;
+            let journal = dev
+                .make_journal(reset_bytes.max(512), owner)
+                .map_err(dev_err)?;
+            let event_cell = dev
+                .nv_alloc(EncodedEvent::default(), owner, "monitor.event")
+                .map_err(dev_err)?;
+            let seq_cell = dev.nv_alloc(0u64, owner, "monitor.seq").map_err(dev_err)?;
+            let verdict_count = dev
+                .nv_alloc(0u32, owner, "monitor.verdicts.count")
+                .map_err(dev_err)?;
+
+            let mut verdict_cells = Vec::with_capacity(suite.len());
+            for i in 0..suite.len() {
+                verdict_cells.push(
+                    dev.nv_alloc(
+                        (0u32, (0u8, 0u32)),
+                        owner,
+                        &format!("monitor.verdicts[{i}]"),
+                    )
+                    .map_err(dev_err)?,
+                );
+            }
+
+            let mut machines = Vec::with_capacity(suite.len());
+            for m in suite {
+                let state_cell = dev
+                    .nv_alloc(m.initial, owner, &format!("{}.state", m.name))
+                    .map_err(dev_err)?;
+                let mut var_cells = Vec::with_capacity(m.vars.len());
+                for v in &m.vars {
+                    var_cells.push(
+                        dev.nv_alloc(
+                            NvValue(v.init),
+                            owner,
+                            &format!("{}.{}", m.name, v.name),
+                        )
+                        .map_err(dev_err)?,
+                    );
+                }
+                // Pre-resolve the observed task set so events for other
+                // tasks skip the machine without touching its state (the
+                // generated C's trigger test, one compare per machine).
+                let has_wildcard = m.transitions.iter().any(|t| {
+                    matches!(
+                        t.trigger,
+                        artemis_ir::fsm::Trigger::Any
+                            | artemis_ir::fsm::Trigger::Start(artemis_ir::fsm::TaskPat::Any)
+                            | artemis_ir::fsm::Trigger::End(artemis_ir::fsm::TaskPat::Any)
+                    )
+                });
+                let observed = if has_wildcard {
+                    None
+                } else {
+                    Some(
+                        m.observed_tasks()
+                            .iter()
+                            .filter_map(|n| app.task_by_name(n).map(|t| t.0))
+                            .collect::<Vec<u32>>(),
+                    )
+                };
+                machines.push(LoadedMachine {
+                    machine: m,
+                    state_cell,
+                    var_cells,
+                    observed,
+                });
+            }
+
+            Ok(MonitorEngine {
+                machines,
+                task_names,
+                routine,
+                journal,
+                event_cell,
+                seq_cell,
+                verdict_count,
+                verdict_cells,
+            })
+        })();
+        dev.set_category(prev);
+        result
+    }
+
+    /// Number of installed machines.
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Machine names, in suite order.
+    pub fn machine_names(&self) -> Vec<&str> {
+        self.machines
+            .iter()
+            .map(|m| m.machine.name.as_str())
+            .collect()
+    }
+
+    /// Hard reset: re-initialises every machine and clears the pending
+    /// event (Figure 8 `resetMonitor`; run once at first boot).
+    pub fn reset_monitor(&self, dev: &mut Device) -> Result<(), Interrupt> {
+        dev.billed(CostCategory::Monitor, |dev| {
+            let mut tx = TxWriter::new();
+            for lm in &self.machines {
+                tx.write(&lm.state_cell, lm.machine.initial);
+                for (cell, decl) in lm.var_cells.iter().zip(&lm.machine.vars) {
+                    tx.write(cell, NvValue(decl.init));
+                }
+            }
+            tx.write(&self.verdict_count, 0u32);
+            tx.write(&self.seq_cell, 0u64);
+            dev.commit(&self.journal, &tx)
+        })
+    }
+
+    /// Completes an event interrupted by a power failure, if any
+    /// (Figure 8 `monitorFinalize`; run on every reboot before task
+    /// processing). Returns `true` if there was work to finish.
+    pub fn monitor_finalize(&self, dev: &mut Device) -> Result<bool, Interrupt> {
+        dev.billed(CostCategory::Monitor, |dev| {
+            // Repair a torn journal commit first.
+            dev.recover(&self.journal)?;
+            if self.routine.is_complete(dev)? {
+                return Ok(false);
+            }
+            self.run_steps(dev)?;
+            Ok(true)
+        })
+    }
+
+    /// Delivers one event under a sequence number and returns the
+    /// verdicts of every machine that reported a violation.
+    ///
+    /// Re-delivering a sequence number the engine has already processed
+    /// (fully or partially) does not re-step machines; it finishes any
+    /// pending work and returns the recorded verdicts.
+    pub fn call_monitor(
+        &self,
+        dev: &mut Device,
+        seq: u64,
+        event: &MonitorEvent,
+    ) -> Result<Vec<MonitorVerdict>, Interrupt> {
+        dev.billed(CostCategory::Monitor, |dev| {
+            dev.recover(&self.journal)?;
+            let last_seq = dev.nv_read(&self.seq_cell)?;
+            if last_seq != seq {
+                // Arm atomically: event, seq, verdict reset, AND the
+                // step counter — a failure after this commit resumes
+                // the new event, a failure before it re-arms cleanly.
+                let encoded = EncodedEvent::from_event(event, dev.energy_level().as_nano_joules());
+                let mut tx = TxWriter::new();
+                tx.write(&self.event_cell, encoded);
+                tx.write(&self.seq_cell, seq);
+                tx.write(&self.verdict_count, 0u32);
+                self.routine.stage_begin(&mut tx, self.machines.len() as u32);
+                dev.commit(&self.journal, &tx)?;
+            }
+            self.run_steps(dev)?;
+            self.read_verdicts(dev)
+        })
+    }
+
+    /// Reads back the verdicts of the most recently processed event.
+    pub fn last_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt> {
+        dev.billed(CostCategory::Monitor, |dev| self.read_verdicts(dev))
+    }
+
+    /// Re-initialises the machines affected by a restart of `path`
+    /// (paper §3.3: monitors linked to tasks of a restarted path).
+    pub fn on_path_restart(&self, dev: &mut Device, path: PathId) -> Result<(), Interrupt> {
+        dev.billed(CostCategory::Monitor, |dev| {
+            let mut tx = TxWriter::new();
+            for lm in &self.machines {
+                if lm.machine.reset_on_path_restart && lm.machine.path == Some(path.number()) {
+                    tx.write(&lm.state_cell, lm.machine.initial);
+                    for (cell, decl) in lm.var_cells.iter().zip(&lm.machine.vars) {
+                        tx.write(cell, NvValue(decl.init));
+                    }
+                }
+            }
+            dev.commit(&self.journal, &tx)
+        })
+    }
+
+    fn run_steps(&self, dev: &mut Device) -> Result<(), Interrupt> {
+        let routine = self.routine;
+        routine.run(dev, &mut |dev, i| self.step_machine(dev, i))
+    }
+
+    /// Processes the stored event through machine `i` as one
+    /// crash-atomic step.
+    fn step_machine(&self, dev: &mut Device, i: u32) -> Result<(), Interrupt> {
+        let lm = &self.machines[i as usize];
+
+        let encoded = dev.nv_read(&self.event_cell)?;
+
+        // Cheap dismissals first — the generated C's trigger test. A
+        // dismissed machine cannot change state, so its step completion
+        // is a plain counter write (re-execution is harmless).
+        let dismissed = matches!(&lm.observed, Some(tasks) if !tasks.contains(&encoded.task))
+            || match lm.machine.path {
+            // The `Path:` qualifier (paper §3.2): a property on a
+            // merged task is checked only against events from its
+            // governing path.
+            Some(machine_path) => {
+                encoded.path_number != 0 && u32::from(encoded.path_number) != machine_path
+            }
+            None => false,
+        };
+        if dismissed {
+            dev.compute(STEP_BASE_CYCLES)?;
+            return self.routine.complete_step(dev, i);
+        }
+
+        // Model the compute cost of the generated step function.
+        dev.compute(
+            STEP_BASE_CYCLES + STEP_PER_TRANSITION_CYCLES * lm.machine.transitions.len() as u64,
+        )?;
+
+        let task_name = self
+            .task_names
+            .get(encoded.task as usize)
+            .map(String::as_str)
+            .unwrap_or("");
+
+        let mut mstate = MachineState {
+            state: dev.nv_read(&lm.state_cell)?,
+            vars: {
+                let mut vars = Vec::with_capacity(lm.var_cells.len());
+                for c in &lm.var_cells {
+                    vars.push(dev.nv_read(c)?.0);
+                }
+                vars
+            },
+        };
+
+        let ir_event = IrEvent {
+            kind: if encoded.kind == 0 {
+                EventKind::StartTask
+            } else {
+                EventKind::EndTask
+            },
+            task: task_name,
+            ctx: EventCtx {
+                time_us: encoded.timestamp_us,
+                dep_data: encoded.dep_data(),
+                energy_nj: encoded.energy_nj,
+            },
+        };
+
+        let before_state = mstate.state;
+        let before_vars = mstate.vars.clone();
+
+        // Evaluation errors cannot occur on validated machines; treat
+        // them as accept-silently to keep the monitor total (the C
+        // monitor has no error channel either).
+        let emit = step(&lm.machine, &mut mstate, &ir_event).unwrap_or(None);
+
+        // Implicit self-transition with no effects: plain counter write,
+        // no journal round-trip (matches the generated C, which only
+        // touches FRAM on actual assignments).
+        if emit.is_none() && mstate.state == before_state && mstate.vars == before_vars {
+            return self.routine.complete_step(dev, i);
+        }
+
+        let mut tx = TxWriter::new();
+        if mstate.state != before_state {
+            tx.write(&lm.state_cell, mstate.state);
+        }
+        for ((cell, v), old) in lm.var_cells.iter().zip(&mstate.vars).zip(&before_vars) {
+            if v != old {
+                tx.write(cell, NvValue(*v));
+            }
+        }
+        if let Some(fail) = emit {
+            let count = dev.nv_read(&self.verdict_count)?;
+            let encoded_action = encode_action(fail.action, fail.path.or(lm.machine.path));
+            tx.write(
+                &self.verdict_cells[count as usize],
+                (i, encoded_action),
+            );
+            tx.write(&self.verdict_count, count + 1);
+        }
+        self.routine.atomic_step(dev, &self.journal, i, &mut tx)
+    }
+
+    fn read_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt> {
+        let count = dev.nv_read(&self.verdict_count)?;
+        let mut out = Vec::with_capacity(count as usize);
+        for slot in 0..count {
+            let (machine_index, encoded) = dev.nv_read(&self.verdict_cells[slot as usize])?;
+            if let Some(action) = decode_action(encoded) {
+                out.push(MonitorVerdict {
+                    machine_index: machine_index as usize,
+                    machine: self.machines[machine_index as usize].machine.name.clone(),
+                    action,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolves a task's id to the name index used in encoded events.
+    pub fn encode_task(task: TaskId) -> u32 {
+        task.0
+    }
+}
+
+impl Monitoring for MonitorEngine {
+    fn reset_monitor(&self, dev: &mut Device) -> Result<(), Interrupt> {
+        MonitorEngine::reset_monitor(self, dev)
+    }
+
+    fn monitor_finalize(&self, dev: &mut Device) -> Result<bool, Interrupt> {
+        MonitorEngine::monitor_finalize(self, dev)
+    }
+
+    fn call_monitor(
+        &self,
+        dev: &mut Device,
+        seq: u64,
+        event: &MonitorEvent,
+    ) -> Result<Vec<MonitorVerdict>, Interrupt> {
+        MonitorEngine::call_monitor(self, dev, seq, event)
+    }
+
+    fn last_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt> {
+        MonitorEngine::last_verdicts(self, dev)
+    }
+
+    fn on_path_restart(&self, dev: &mut Device, path: PathId) -> Result<(), Interrupt> {
+        MonitorEngine::on_path_restart(self, dev, path)
+    }
+
+    fn machine_count(&self) -> usize {
+        MonitorEngine::machine_count(self)
+    }
+}
+
+/// Encodes an action as `(tag, one-based path or 0)`.
+pub(crate) fn encode_action_pub(action: OnFail, path: Option<u32>) -> (u8, u32) {
+    encode_action(action, path)
+}
+
+/// Decodes an action tag back; `None` for unknown tags.
+pub(crate) fn decode_action_pub(encoded: (u8, u32)) -> Option<Action> {
+    decode_action(encoded)
+}
+
+/// Encodes an action as `(tag, one-based path or 0)`.
+fn encode_action(action: OnFail, path: Option<u32>) -> (u8, u32) {
+    let tag = match action {
+        OnFail::RestartTask => 0,
+        OnFail::SkipTask => 1,
+        OnFail::RestartPath => 2,
+        OnFail::SkipPath => 3,
+        OnFail::CompletePath => 4,
+    };
+    (tag, path.unwrap_or(0))
+}
+
+fn decode_action(encoded: (u8, u32)) -> Option<Action> {
+    let (tag, path_num) = encoded;
+    let path = || PathId(path_num.saturating_sub(1));
+    Some(match tag {
+        0 => Action::RestartTask,
+        1 => Action::SkipTask,
+        2 => Action::RestartPath(path()),
+        3 => Action::SkipPath(path()),
+        4 => Action::CompletePath(path()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_core::app::AppGraphBuilder;
+    use artemis_core::time::SimDuration;
+    use intermittent_sim::capacitor::Capacitor;
+    use intermittent_sim::device::DeviceBuilder;
+    use intermittent_sim::energy::Energy;
+    use intermittent_sim::harvester::Harvester;
+    use intermittent_sim::simulator::{RunLimit, Simulator};
+
+    fn app() -> AppGraph {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("accel");
+        let s = b.task("send");
+        b.path(&[a, s]);
+        b.build().unwrap()
+    }
+
+    fn engine(dev: &mut Device, spec: &str) -> (MonitorEngine, AppGraph) {
+        let app = app();
+        let suite = artemis_ir::compile(spec, &app).unwrap();
+        let engine = MonitorEngine::install(dev, suite, &app).unwrap();
+        engine.reset_monitor(dev).unwrap();
+        (engine, app)
+    }
+
+    fn t(us: u64) -> artemis_core::time::SimInstant {
+        artemis_core::time::SimInstant::from_micros(us)
+    }
+
+    #[test]
+    fn max_tries_verdict_flows_through_engine() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let (engine, app) = engine(&mut dev, "accel { maxTries: 2 onFail: skipPath; }");
+        let accel = app.task_by_name("accel").unwrap();
+
+        let mut seq = 0u64;
+        let mut deliver = |dev: &mut Device, ev: MonitorEvent| {
+            seq += 1;
+            engine.call_monitor(dev, seq, &ev).unwrap()
+        };
+        assert!(deliver(&mut dev, MonitorEvent::start(accel, t(0))).is_empty());
+        assert!(deliver(&mut dev, MonitorEvent::start(accel, t(1))).is_empty());
+        let verdicts = deliver(&mut dev, MonitorEvent::start(accel, t(2)));
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].action, Action::SkipPath(PathId(0)));
+        assert!(verdicts[0].machine.starts_with("accel_maxTries"));
+    }
+
+    #[test]
+    fn same_seq_redelivery_does_not_double_step() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let (engine, app) = engine(
+            &mut dev,
+            "send { collect: 2 dpTask: accel onFail: restartPath; }",
+        );
+        let accel = app.task_by_name("accel").unwrap();
+        let send = app.task_by_name("send").unwrap();
+
+        // Deliver the same EndTask three times under one seq: it must
+        // count as ONE completion.
+        let end = MonitorEvent::end(accel, t(10));
+        for _ in 0..3 {
+            engine.call_monitor(&mut dev, 7, &end).unwrap();
+        }
+        // One more completion under a fresh seq.
+        engine
+            .call_monitor(&mut dev, 8, &MonitorEvent::end(accel, t(20)))
+            .unwrap();
+        // Two completions total: the consumer start must pass.
+        let verdicts = engine
+            .call_monitor(&mut dev, 9, &MonitorEvent::start(send, t(30)))
+            .unwrap();
+        assert!(
+            verdicts.is_empty(),
+            "redelivery double-counted: {verdicts:?}"
+        );
+    }
+
+    #[test]
+    fn verdicts_survive_redelivery_queries() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let (engine, app) = engine(&mut dev, "accel { maxTries: 1 onFail: skipPath; }");
+        let accel = app.task_by_name("accel").unwrap();
+        engine
+            .call_monitor(&mut dev, 1, &MonitorEvent::start(accel, t(0)))
+            .unwrap();
+        let v1 = engine
+            .call_monitor(&mut dev, 2, &MonitorEvent::start(accel, t(1)))
+            .unwrap();
+        assert_eq!(v1.len(), 1);
+        // Same seq again: identical verdicts, no extra stepping.
+        let v2 = engine
+            .call_monitor(&mut dev, 2, &MonitorEvent::start(accel, t(1)))
+            .unwrap();
+        assert_eq!(v1, v2);
+        assert_eq!(engine.last_verdicts(&mut dev).unwrap(), v1);
+    }
+
+    #[test]
+    fn path_restart_resets_only_flagged_machines() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let (engine, app) = engine(
+            &mut dev,
+            "accel { maxTries: 2 onFail: skipPath; }\n\
+             send { collect: 2 dpTask: accel onFail: restartPath; }",
+        );
+        let accel = app.task_by_name("accel").unwrap();
+
+        // Burn one maxTries attempt and one collect completion.
+        engine
+            .call_monitor(&mut dev, 1, &MonitorEvent::start(accel, t(0)))
+            .unwrap();
+        engine
+            .call_monitor(&mut dev, 2, &MonitorEvent::end(accel, t(1)))
+            .unwrap();
+
+        engine.on_path_restart(&mut dev, PathId(0)).unwrap();
+
+        // maxTries (resettable) got a fresh budget: two more starts pass.
+        assert!(engine
+            .call_monitor(&mut dev, 3, &MonitorEvent::start(accel, t(2)))
+            .unwrap()
+            .is_empty());
+        assert!(engine
+            .call_monitor(&mut dev, 4, &MonitorEvent::start(accel, t(3)))
+            .unwrap()
+            .is_empty());
+
+        // collect (persistent) kept its count: one more end reaches 2.
+        engine
+            .call_monitor(&mut dev, 5, &MonitorEvent::end(accel, t(4)))
+            .unwrap();
+        let send = app.task_by_name("send").unwrap();
+        assert!(engine
+            .call_monitor(&mut dev, 6, &MonitorEvent::start(send, t(5)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn engine_survives_power_failures_mid_event() {
+        // Tiny budget: event processing will be interrupted repeatedly;
+        // monitorFinalize must complete it without double-counting.
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(700)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(1)))
+            .build();
+        let (engine, app) = engine(
+            &mut dev,
+            "send { collect: 5 dpTask: accel onFail: restartPath; }\n\
+             accel { maxTries: 100 onFail: skipPath; }",
+        );
+        let accel = app.task_by_name("accel").unwrap();
+        let send = app.task_by_name("send").unwrap();
+
+        // Deliver exactly 5 accel completions (seq 1..=5) across power
+        // failures, then a send start (seq 6): must pass.
+        let sim = Simulator::new(RunLimit::reboots(10_000));
+        let delivered = dev
+            .nv_alloc::<u64>(0, MemOwner::App, "delivered")
+            .unwrap();
+        let outcome = sim.run(&mut dev, &mut |dev: &mut Device| {
+            engine.monitor_finalize(dev)?;
+            loop {
+                let n = dev.nv_read(&delivered)?;
+                if n >= 5 {
+                    break;
+                }
+                let seq = n + 1;
+                engine.call_monitor(dev, seq, &MonitorEvent::end(accel, t(seq * 10)))?;
+                dev.nv_write(&delivered, n + 1)?;
+            }
+            engine.call_monitor(dev, 6, &MonitorEvent::start(send, t(100)))
+        });
+        let verdicts = outcome.completed().expect("run must complete");
+        assert!(
+            verdicts.is_empty(),
+            "power failures corrupted the collect count: {verdicts:?}"
+        );
+        assert!(dev.reboots() > 0, "test needs actual power failures");
+    }
+
+    #[test]
+    fn install_rejects_unknown_tasks_and_missing_paths() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let app = app();
+
+        // A hand-written machine observing a ghost task.
+        let suite = artemis_ir::parse::parse_suite(
+            "machine g task ghost persistent { state S initial; \
+             on startTask(ghost) from S to S { }; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            MonitorEngine::install(&mut dev, suite, &app),
+            Err(InstallError::UnknownTask { .. })
+        ));
+
+        // A path-directed action with no path anywhere.
+        let suite = artemis_ir::parse::parse_suite(
+            "machine p task accel persistent { state S initial; \
+             on startTask(accel) from S to S { } fail skipPath; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            MonitorEngine::install(&mut dev, suite, &app),
+            Err(InstallError::MissingPath { .. })
+        ));
+
+        // An invalid machine (unknown guard variable).
+        let suite = artemis_ir::parse::parse_suite(
+            "machine v task accel persistent { state S initial; \
+             on anyEvent from S to S if ghost > 0 { }; }",
+        )
+        .unwrap();
+        assert!(matches!(
+            MonitorEngine::install(&mut dev, suite, &app),
+            Err(InstallError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn monitor_costs_are_billed_to_monitor_category() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let (engine, app) = engine(&mut dev, "accel { maxTries: 5 onFail: skipPath; }");
+        let accel = app.task_by_name("accel").unwrap();
+        let before = dev.stats().time(CostCategory::Monitor);
+        engine
+            .call_monitor(&mut dev, 1, &MonitorEvent::start(accel, t(0)))
+            .unwrap();
+        assert!(dev.stats().time(CostCategory::Monitor) > before);
+        assert_eq!(
+            dev.stats().time(CostCategory::App),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn memory_is_attributed_to_the_monitor_component() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let before = dev.fram().used_by(MemOwner::Monitor);
+        let _ = engine(&mut dev, "accel { maxTries: 5 onFail: skipPath; }");
+        let after = dev.fram().used_by(MemOwner::Monitor);
+        assert!(after > before, "monitor state must live in monitor FRAM");
+    }
+}
+
+#[cfg(test)]
+mod finalize_tests {
+    use super::*;
+    use artemis_core::app::AppGraphBuilder;
+    use artemis_core::time::{SimDuration, SimInstant};
+    use intermittent_sim::capacitor::Capacitor;
+    use intermittent_sim::device::DeviceBuilder;
+    use intermittent_sim::energy::Energy;
+    use intermittent_sim::harvester::Harvester;
+
+    /// `monitorFinalize` must report work when an event was interrupted
+    /// mid-processing, and nothing otherwise (paper Figure 8 line 16).
+    #[test]
+    fn finalize_reports_interrupted_events() {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("a");
+        b.path(&[a]);
+        let app = b.build().unwrap();
+        // Several machines so processing spans multiple steps.
+        let spec = "a { maxTries: 100 onFail: skipPath; \
+                    maxDuration: 1s onFail: skipTask; \
+                    period: 1min onFail: restartTask; }";
+        let suite = artemis_ir::compile(spec, &app).unwrap();
+
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_micro_joules(500)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(1)))
+            .build();
+        let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+
+        // Nothing pending on a fresh engine.
+        assert!(!engine.monitor_finalize(&mut dev).unwrap());
+
+        // Find an energy level at which call_monitor is interrupted
+        // between machine steps, then finalize after "reboot".
+        let mut interrupted = false;
+        for seq in 1..200u64 {
+            // Drain close to empty so the next event brown-outs mid-way.
+            while dev.energy_level() > Energy::from_nano_joules(900) {
+                let _ = dev.compute(100);
+            }
+            let ev = MonitorEvent::start(a, SimInstant::from_micros(seq));
+            match engine.call_monitor(&mut dev, seq, &ev) {
+                Ok(_) => {}
+                Err(Interrupt::PowerFailure) => {
+                    dev.power_cycle();
+                    let resumed = engine.monitor_finalize(&mut dev).unwrap();
+                    if resumed {
+                        interrupted = true;
+                        // The verdicts of the finalized event are
+                        // available without re-stepping.
+                        let _ = engine.last_verdicts(&mut dev).unwrap();
+                        break;
+                    }
+                }
+                Err(other) => panic!("unexpected: {other}"),
+            }
+        }
+        assert!(interrupted, "never observed a mid-event interruption");
+        // A second finalize is a no-op.
+        assert!(!engine.monitor_finalize(&mut dev).unwrap());
+    }
+}

@@ -1,0 +1,172 @@
+//! The persistent engine must implement exactly the reference
+//! semantics: for any event stream, the verdicts of
+//! [`MonitorEngine`] (FRAM-backed, journaled, resumable) equal those of
+//! the pure in-memory interpreter in `artemis_ir::exec` — with and
+//! without power failures injected between deliveries.
+
+use artemis_core::app::{AppGraph, AppGraphBuilder, TaskId};
+use artemis_core::event::MonitorEvent;
+use artemis_core::property::OnFail;
+use artemis_core::time::{SimDuration, SimInstant};
+use artemis_ir::exec::{ir_event, step, MachineState};
+use artemis_monitor::MonitorEngine;
+use intermittent_sim::capacitor::Capacitor;
+use intermittent_sim::device::{Device, DeviceBuilder};
+use intermittent_sim::energy::Energy;
+use intermittent_sim::harvester::Harvester;
+use intermittent_sim::simulator::{RunLimit, Simulator};
+use proptest::prelude::*;
+
+const SPEC: &str = "\
+    a { maxTries: 3 onFail: skipPath; }\n\
+    b { MITD: 10s dpTask: a onFail: restartPath maxAttempt: 2 onFail: skipPath; \
+        collect: 2 dpTask: a onFail: restartPath; \
+        maxDuration: 5s onFail: skipTask; }";
+
+fn app() -> AppGraph {
+    let mut builder = AppGraphBuilder::new();
+    let a = builder.task("a");
+    let b = builder.task("b");
+    builder.path(&[a, b]);
+    builder.build().unwrap()
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ev {
+    start: bool,
+    task_a: bool,
+    gap_ms: u64,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Vec<Ev>> {
+    proptest::collection::vec(
+        (any::<bool>(), any::<bool>(), 0u64..20_000).prop_map(|(start, task_a, gap_ms)| Ev {
+            start,
+            task_a,
+            gap_ms,
+        }),
+        1..60,
+    )
+}
+
+/// Reference verdicts from the pure interpreter.
+fn oracle(app: &AppGraph, events: &[Ev]) -> Vec<Vec<(usize, OnFail)>> {
+    let suite = artemis_ir::compile(SPEC, app).unwrap();
+    let mut states: Vec<MachineState> = suite
+        .machines()
+        .iter()
+        .map(MachineState::initial)
+        .collect();
+    let mut t = 0u64;
+    let mut out = Vec::new();
+    for e in events {
+        t += e.gap_ms * 1_000;
+        let task = if e.task_a { TaskId(0) } else { TaskId(1) };
+        let event = if e.start {
+            MonitorEvent::start(task, SimInstant::from_micros(t))
+        } else {
+            MonitorEvent::end(task, SimInstant::from_micros(t))
+        };
+        let name = app.task_name(task);
+        let mut verdicts = Vec::new();
+        for (i, (machine, state)) in suite.machines().iter().zip(states.iter_mut()).enumerate() {
+            let ir = ir_event(&event, name, u64::MAX);
+            if let Some(fail) = step(machine, state, &ir).unwrap() {
+                verdicts.push((i, fail.action));
+            }
+        }
+        out.push(verdicts);
+    }
+    out
+}
+
+/// Engine verdicts on the given device (which may inject failures).
+fn engine_run(app: &AppGraph, events: &[Ev], dev: &mut Device) -> Vec<Vec<(usize, OnFail)>> {
+    let suite = artemis_ir::compile(SPEC, app).unwrap();
+    let engine = MonitorEngine::install(dev, suite, app).unwrap();
+    // Drive through the simulator so power failures reboot and resume.
+    let done = dev.nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done").unwrap();
+    let sim = Simulator::new(RunLimit::reboots(100_000));
+
+    let mut results: Vec<Vec<(usize, OnFail)>> = Vec::new();
+    let outcome = sim.run(dev, &mut |dev: &mut Device| {
+        engine.monitor_finalize(dev)?;
+        loop {
+            let idx = dev.nv_read(&done)? as usize;
+            if idx >= events.len() {
+                return Ok(());
+            }
+            let e = events[idx];
+            // Times derive from the index, not the device clock, so
+            // both runs see identical timestamps.
+            let t: u64 = events[..=idx].iter().map(|e| e.gap_ms * 1_000).sum();
+            let task = if e.task_a { TaskId(0) } else { TaskId(1) };
+            let event = if e.start {
+                MonitorEvent::start(task, SimInstant::from_micros(t))
+            } else {
+                MonitorEvent::end(task, SimInstant::from_micros(t))
+            };
+            let seq = idx as u64 + 1;
+            let verdicts = engine.call_monitor(dev, seq, &event)?;
+            // Record (volatile is fine: re-recording after a failure
+            // overwrites the same index deterministically).
+            let entry: Vec<(usize, OnFail)> = verdicts
+                .iter()
+                .map(|v| {
+                    let action = match v.action {
+                        artemis_core::Action::RestartTask => OnFail::RestartTask,
+                        artemis_core::Action::SkipTask => OnFail::SkipTask,
+                        artemis_core::Action::RestartPath(_) => OnFail::RestartPath,
+                        artemis_core::Action::SkipPath(_) => OnFail::SkipPath,
+                        artemis_core::Action::CompletePath(_) => OnFail::CompletePath,
+                    };
+                    (v.machine_index, action)
+                })
+                .collect();
+            if results.len() <= idx {
+                results.resize(idx + 1, Vec::new());
+            }
+            results[idx] = entry;
+            dev.nv_write(&done, (idx + 1) as u32)?;
+        }
+    });
+    assert!(outcome.is_completed(), "stream never finished");
+    results
+}
+
+/// Lowers the oracle's EmitFail actions to the same space.
+fn normalise(oracle: Vec<Vec<(usize, OnFail)>>) -> Vec<Vec<(usize, OnFail)>> {
+    oracle
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Continuous power: engine ≡ interpreter, verdict for verdict.
+    #[test]
+    fn engine_equals_interpreter_on_continuous_power(events in ev_strategy()) {
+        let app = app();
+        let expected = normalise(oracle(&app, &events));
+        let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let got = engine_run(&app, &events, &mut dev);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Intermittent power: power failures between (and inside) event
+    /// deliveries must not change a single verdict.
+    #[test]
+    fn engine_equals_interpreter_under_power_failures(
+        events in ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = app();
+        let expected = normalise(oracle(&app, &events));
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let got = engine_run(&app, &events, &mut dev);
+        prop_assert_eq!(got, expected, "budget {} nJ", budget_nj);
+    }
+}

@@ -1,0 +1,143 @@
+//! Chain-style nonvolatile channels for inter-task data.
+//!
+//! Task-based intermittent systems pass data between tasks through
+//! nonvolatile channels (Chain's core abstraction, which the paper's
+//! programming model inherits). A [`Channel`] here is a fixed-capacity
+//! ring of `f64` samples in FRAM. Writes are *staged* into the task's
+//! write-set and only reach FRAM at task commit, preserving the
+//! all-or-nothing task semantics: a power failure mid-task can never
+//! leave a half-appended sample.
+
+use intermittent_sim::device::{Device, Interrupt, MemOwner};
+use intermittent_sim::fram::NvCell;
+use intermittent_sim::journal::TxWriter;
+
+/// Fixed capacity of every channel, in samples.
+pub const CHANNEL_CAPACITY: usize = 32;
+
+/// A nonvolatile sample channel.
+#[derive(Clone, Copy, Debug)]
+pub struct Channel {
+    values: NvCell<[f64; CHANNEL_CAPACITY]>,
+    len: NvCell<u32>,
+}
+
+impl Channel {
+    /// Allocates an empty channel in FRAM.
+    pub fn new(dev: &mut Device, owner: MemOwner, label: &str) -> Result<Channel, Interrupt> {
+        Ok(Channel {
+            values: dev.nv_alloc(
+                [0.0; CHANNEL_CAPACITY],
+                owner,
+                &format!("{label}.values"),
+            )?,
+            len: dev.nv_alloc(0u32, owner, &format!("{label}.len"))?,
+        })
+    }
+
+    /// Appends a sample through the write-set; oldest samples are
+    /// dropped when the channel is full (ring behaviour).
+    pub fn push(&self, dev: &mut Device, tx: &mut TxWriter, value: f64) -> Result<(), Interrupt> {
+        let mut values = dev.tx_read(tx, &self.values)?;
+        let len = dev.tx_read(tx, &self.len)? as usize;
+        if len < CHANNEL_CAPACITY {
+            values[len] = value;
+            tx.write(&self.len, (len + 1) as u32);
+        } else {
+            values.rotate_left(1);
+            values[CHANNEL_CAPACITY - 1] = value;
+        }
+        tx.write(&self.values, values);
+        Ok(())
+    }
+
+    /// Reads all committed-or-staged samples.
+    pub fn read_all(&self, dev: &mut Device, tx: &TxWriter) -> Result<Vec<f64>, Interrupt> {
+        let values = dev.tx_read(tx, &self.values)?;
+        let len = dev.tx_read(tx, &self.len)? as usize;
+        Ok(values[..len.min(CHANNEL_CAPACITY)].to_vec())
+    }
+
+    /// Number of samples (committed or staged).
+    pub fn len(&self, dev: &mut Device, tx: &TxWriter) -> Result<usize, Interrupt> {
+        Ok(dev.tx_read(tx, &self.len)? as usize)
+    }
+
+    /// Returns `true` when no samples are stored.
+    pub fn is_empty(&self, dev: &mut Device, tx: &TxWriter) -> Result<bool, Interrupt> {
+        Ok(self.len(dev, tx)? == 0)
+    }
+
+    /// Stages a clear (consumption of all samples).
+    pub fn clear(&self, tx: &mut TxWriter) {
+        tx.write(&self.len, 0u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use intermittent_sim::device::DeviceBuilder;
+    use intermittent_sim::journal::Journal;
+    use intermittent_sim::fram::MemOwner;
+
+    fn setup() -> (Device, Channel, Journal) {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let ch = Channel::new(&mut dev, MemOwner::App, "temps").unwrap();
+        let journal = dev.make_journal(1024, MemOwner::Runtime).unwrap();
+        (dev, ch, journal)
+    }
+
+    #[test]
+    fn staged_pushes_are_invisible_until_commit() {
+        let (mut dev, ch, journal) = setup();
+        let mut tx = TxWriter::new();
+        ch.push(&mut dev, &mut tx, 1.5).unwrap();
+        ch.push(&mut dev, &mut tx, 2.5).unwrap();
+        // Read-your-writes inside the transaction…
+        assert_eq!(ch.read_all(&mut dev, &tx).unwrap(), vec![1.5, 2.5]);
+        // …but a fresh reader sees nothing yet.
+        let fresh = TxWriter::new();
+        assert!(ch.is_empty(&mut dev, &fresh).unwrap());
+
+        dev.commit(&journal, &tx).unwrap();
+        assert_eq!(ch.read_all(&mut dev, &fresh).unwrap(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest() {
+        let (mut dev, ch, journal) = setup();
+        let mut tx = TxWriter::new();
+        for i in 0..(CHANNEL_CAPACITY + 3) {
+            ch.push(&mut dev, &mut tx, i as f64).unwrap();
+        }
+        dev.commit(&journal, &tx).unwrap();
+        let all = ch.read_all(&mut dev, &TxWriter::new()).unwrap();
+        assert_eq!(all.len(), CHANNEL_CAPACITY);
+        assert_eq!(all[0], 3.0, "oldest three dropped");
+        assert_eq!(*all.last().unwrap(), (CHANNEL_CAPACITY + 2) as f64);
+    }
+
+    #[test]
+    fn clear_consumes_samples() {
+        let (mut dev, ch, journal) = setup();
+        let mut tx = TxWriter::new();
+        ch.push(&mut dev, &mut tx, 9.0).unwrap();
+        dev.commit(&journal, &tx).unwrap();
+
+        let mut tx = TxWriter::new();
+        ch.clear(&mut tx);
+        assert!(ch.is_empty(&mut dev, &tx).unwrap());
+        dev.commit(&journal, &tx).unwrap();
+        assert!(ch.is_empty(&mut dev, &TxWriter::new()).unwrap());
+    }
+
+    #[test]
+    fn abandoned_tx_leaves_channel_untouched() {
+        let (mut dev, ch, _journal) = setup();
+        let mut tx = TxWriter::new();
+        ch.push(&mut dev, &mut tx, 7.0).unwrap();
+        drop(tx); // power failure before commit
+        assert!(ch.is_empty(&mut dev, &TxWriter::new()).unwrap());
+    }
+}

@@ -1,0 +1,524 @@
+//! Behavioural tests for the ARTEMIS runtime.
+
+use artemis_core::action::Action;
+use artemis_core::app::{AppGraph, AppGraphBuilder, PathId};
+use artemis_core::time::SimDuration;
+use artemis_core::trace::TraceEvent;
+use intermittent_sim::capacitor::Capacitor;
+use intermittent_sim::device::{Device, DeviceBuilder};
+use intermittent_sim::energy::Energy;
+use intermittent_sim::harvester::Harvester;
+use intermittent_sim::peripherals::Peripheral;
+use intermittent_sim::simulator::{RunLimit, SimOutcome};
+
+use crate::{ArtemisRuntime, ArtemisRuntimeBuilder, RunOutcome};
+
+fn continuous_device() -> Device {
+    DeviceBuilder::msp430fr5994().build()
+}
+
+fn intermittent_device(budget_uj: u64, delay: SimDuration) -> Device {
+    DeviceBuilder::msp430fr5994()
+        .capacitor(Capacitor::with_budget(Energy::from_micro_joules(budget_uj)))
+        .harvester(Harvester::FixedDelay(delay))
+        .build()
+}
+
+/// Two tasks, one path: sense pushes a sample, send consumes.
+fn sense_send_app() -> AppGraph {
+    let mut b = AppGraphBuilder::new();
+    let sense = b.task("sense");
+    let send = b.task("send");
+    b.path(&[sense, send]);
+    b.build().unwrap()
+}
+
+fn install(dev: &mut Device, app: &AppGraph, spec: &str) -> ArtemisRuntime {
+    let suite = artemis_ir::compile(spec, app).unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.channel("samples");
+    rb.channel("sent");
+    rb.body("sense", |ctx| {
+        let v = ctx.sample(Peripheral::TemperatureAdc)?;
+        ctx.push("samples", v)
+    });
+    rb.body("send", |ctx| {
+        // Several small bursts so power failures can land mid-task.
+        for _ in 0..5 {
+            ctx.compute(2_000)?;
+        }
+        let n = ctx.channel_len("samples")? as f64;
+        ctx.consume("samples")?;
+        // Committed exactly once per completed send execution.
+        ctx.push("sent", n)
+    });
+    rb.install(dev, suite).unwrap()
+}
+
+/// Committed number of `send` executions, read from FRAM (robust even
+/// when a power failure hides the TaskEnd trace line inside a commit).
+fn committed_sends(rt: &ArtemisRuntime, dev: &mut Device) -> usize {
+    let ch = rt.channel("sent").unwrap();
+    let tx = intermittent_sim::journal::TxWriter::new();
+    ch.len(dev, &tx).unwrap()
+}
+
+#[test]
+fn completes_on_continuous_power() {
+    let mut dev = continuous_device();
+    let app = sense_send_app();
+    let mut rt = install(&mut dev, &app, "");
+    let outcome = rt.run_once(&mut dev, RunLimit::unbounded());
+    assert_eq!(
+        outcome,
+        SimOutcome::Completed(RunOutcome {
+            completed: vec![PathId(0)],
+            skipped: vec![],
+            emergency: false,
+        })
+    );
+    let trace = dev.trace();
+    assert_eq!(trace.completions_of(app.task_by_name("sense").unwrap()), 1);
+    assert_eq!(trace.completions_of(app.task_by_name("send").unwrap()), 1);
+}
+
+#[test]
+fn completes_across_power_failures_without_duplicating_commits() {
+    // Small budget: several failures per run. The channel must hold
+    // exactly one sample regardless of how many times `sense` was
+    // re-attempted.
+    let mut dev = intermittent_device(8, SimDuration::from_secs(1));
+    let app = sense_send_app();
+    let mut rt = install(&mut dev, &app, "");
+    let outcome = rt.run_once(&mut dev, RunLimit::reboots(100_000));
+    let out = outcome.completed().expect("must complete");
+    assert!(out.all_completed());
+    assert!(dev.reboots() > 0, "test needs power failures");
+    // `send` committed exactly once, and it consumed exactly one staged
+    // sample: duplicated commits would show up in either number.
+    assert_eq!(committed_sends(&rt, &mut dev), 1);
+    let ch = rt.channel("sent").unwrap();
+    let tx = intermittent_sim::journal::TxWriter::new();
+    assert_eq!(ch.read_all(&mut dev, &tx).unwrap(), vec![1.0]);
+}
+
+#[test]
+fn crash_consistent_result_matches_continuous_run() {
+    // Property-style check across budgets: the committed application
+    // result must be identical to the continuous-power run.
+    let app = sense_send_app();
+
+    let mut cont = continuous_device();
+    let mut rt = install(&mut cont, &app, "");
+    rt.run_once(&mut cont, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    let expected = committed_sends(&rt, &mut cont);
+
+    for budget_nj in [6_000u64, 8_000, 11_000, 16_000, 25_000, 60_000] {
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(1)))
+            .build();
+        let mut rt = install(&mut dev, &app, "");
+        let out = rt.run_once(&mut dev, RunLimit::reboots(1_000_000));
+        let out = out
+            .completed()
+            .unwrap_or_else(|| panic!("budget {budget_nj} nJ did not complete"));
+        assert!(out.all_completed(), "budget {budget_nj}");
+        assert_eq!(
+            committed_sends(&rt, &mut dev),
+            expected,
+            "budget {budget_nj} nJ diverged from continuous run"
+        );
+    }
+}
+
+#[test]
+fn collect_property_restarts_path_until_enough_samples() {
+    let mut dev = continuous_device();
+    let app = sense_send_app();
+    let mut rt = install(
+        &mut dev,
+        &app,
+        "send { collect: 3 dpTask: sense onFail: restartPath; }",
+    );
+    let out = rt
+        .run_once(&mut dev, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    assert!(out.all_completed());
+    let sense = app.task_by_name("sense").unwrap();
+    // Path restarted twice: three sense completions before send passed.
+    assert_eq!(dev.trace().completions_of(sense), 3);
+    assert_eq!(
+        dev.trace()
+            .count(|e| matches!(e, TraceEvent::ActionTaken { action } if action.restarts_path())),
+        2
+    );
+}
+
+#[test]
+fn max_tries_skips_path_when_task_cannot_complete() {
+    // A task more expensive than the whole capacitor budget would
+    // power-fail forever; maxTries must bound the attempts and skip.
+    let mut b = AppGraphBuilder::new();
+    let greedy = b.task("greedy");
+    let modest = b.task("modest");
+    b.path(&[greedy]);
+    b.path(&[modest]);
+    let app = b.build().unwrap();
+
+    // 50 µJ budget; `greedy` needs an accel sample (300 µJ) - but that
+    // would fault as impossible. Use repeated compute bursts that in
+    // total exceed the budget so each attempt browns out mid-way.
+    let mut dev = intermittent_device(50, SimDuration::from_secs(30));
+    let suite = artemis_ir::compile("greedy { maxTries: 5 onFail: skipPath; }", &app).unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("greedy", |ctx| {
+        // ~216 µJ of compute in small bursts: never fits in 50 µJ, and
+        // each burst is small enough to brown out between bursts.
+        for _ in 0..60 {
+            ctx.compute(10_000)?;
+        }
+        Ok(())
+    });
+    rb.body("modest", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::reboots(1_000))
+        .completed()
+        .expect("maxTries must rescue the run");
+    assert_eq!(out.skipped, vec![PathId(0)]);
+    assert_eq!(out.completed, vec![PathId(1)]);
+
+    let greedy_id = app.task_by_name("greedy").unwrap();
+    // Exactly maxTries start attempts were allowed.
+    assert_eq!(dev.trace().attempts_of(greedy_id), 5);
+    assert_eq!(dev.trace().completions_of(greedy_id), 0);
+}
+
+#[test]
+fn mitd_with_max_attempt_skips_after_three_restarts() {
+    // The Figure 13 scenario: the delay between the producer's end and
+    // the consumer's start always exceeds the MITD, so each path
+    // attempt fails; after three attempts the path is skipped and the
+    // run completes. The 1.5 s `classify` stage models the charging
+    // delay of the paper's testbed deterministically.
+    let mut b = AppGraphBuilder::new();
+    let accel = b.task("accel");
+    let classify = b.task("classify");
+    let send = b.task("send");
+    b.path(&[accel, classify, send]);
+    let app = b.build().unwrap();
+
+    let mut dev = continuous_device();
+    let suite = artemis_ir::compile(
+        "send { MITD: 1s dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath; }",
+        &app,
+    )
+    .unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("accel", |ctx| ctx.compute(10_000));
+    rb.body("classify", |ctx| ctx.idle(SimDuration::from_micros(1_500_000)));
+    rb.body("send", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::sim_time(SimDuration::from_mins(30)))
+        .completed()
+        .expect("maxAttempt must prevent non-termination");
+    assert_eq!(out.skipped, vec![PathId(0)]);
+
+    // Three MITD violations: two primary restarts + one escalation.
+    let restarts = dev
+        .trace()
+        .count(|e| matches!(e, TraceEvent::ActionTaken { action } if action.restarts_path()));
+    assert_eq!(restarts, 2);
+    let skips = dev
+        .trace()
+        .count(|e| matches!(e, TraceEvent::PathSkipped { .. }));
+    assert_eq!(skips, 1);
+}
+
+#[test]
+fn dp_data_out_of_range_triggers_emergency_complete_path() {
+    let mut b = AppGraphBuilder::new();
+    let temp = b.task_with_var("temp", "avg");
+    let alert = b.task("alert");
+    let other = b.task("other");
+    b.path(&[temp, alert]);
+    b.path(&[other]);
+    let app = b.build().unwrap();
+
+    let mut dev = continuous_device();
+    let suite = artemis_ir::compile(
+        "temp { dpData: avg Range: [36, 38] onFail: completePath; }",
+        &app,
+    )
+    .unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("temp", |ctx| {
+        ctx.compute(1_000)?;
+        ctx.set_monitored(39.5); // fever!
+        Ok(())
+    });
+    rb.body("alert", |ctx| ctx.transmit(16));
+    rb.body("other", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    assert!(out.emergency);
+    // Path 1 completed (alert ran, unmonitored); path 2 never executed.
+    assert_eq!(out.completed, vec![PathId(0)]);
+    assert_eq!(out.skipped, vec![PathId(1)]);
+    assert_eq!(dev.trace().completions_of(app.task_by_name("alert").unwrap()), 1);
+    assert_eq!(dev.trace().attempts_of(app.task_by_name("other").unwrap()), 0);
+}
+
+#[test]
+fn dp_data_in_range_runs_normally() {
+    let mut b = AppGraphBuilder::new();
+    let temp = b.task_with_var("temp", "avg");
+    let other = b.task("other");
+    b.path(&[temp]);
+    b.path(&[other]);
+    let app = b.build().unwrap();
+
+    let mut dev = continuous_device();
+    let suite = artemis_ir::compile(
+        "temp { dpData: avg Range: [36, 38] onFail: completePath; }",
+        &app,
+    )
+    .unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("temp", |ctx| {
+        ctx.compute(1_000)?;
+        ctx.set_monitored(36.8);
+        Ok(())
+    });
+    rb.body("other", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+    let out = rt
+        .run_once(&mut dev, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    assert!(out.all_completed());
+    assert_eq!(out.completed.len(), 2);
+}
+
+#[test]
+fn max_duration_violation_skips_task() {
+    let mut b = AppGraphBuilder::new();
+    let slow = b.task("slow");
+    let tail = b.task("tail");
+    b.path(&[slow, tail]);
+    let app = b.build().unwrap();
+
+    let mut dev = continuous_device();
+    let suite =
+        artemis_ir::compile("slow { maxDuration: 10ms onFail: skipTask; }", &app).unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("slow", |ctx| ctx.compute(50_000)); // 50 ms at 1 MHz
+    rb.body("tail", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    // The path still completes: the task's completion was too late but
+    // the violation's action (skipTask) just moves on.
+    assert_eq!(out.completed, vec![PathId(0)]);
+    let violations = dev
+        .trace()
+        .count(|e| matches!(e, TraceEvent::Violation { .. }));
+    assert!(violations >= 1, "maxDuration violation must be reported");
+}
+
+#[test]
+fn energy_property_skips_task_when_capacitor_is_low() {
+    let mut b = AppGraphBuilder::new();
+    let hungry = b.task("hungry");
+    let frugal = b.task("frugal");
+    b.path(&[hungry, frugal]);
+    let app = b.build().unwrap();
+
+    // 100 µJ capacitor; the property requires 200 µJ: never satisfied.
+    let mut dev = intermittent_device(100, SimDuration::from_secs(1));
+    let suite =
+        artemis_ir::compile("hungry { energy: 200uJ onFail: skipTask; }", &app).unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("hungry", |ctx| ctx.compute(10_000));
+    rb.body("frugal", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::reboots(100))
+        .completed()
+        .unwrap();
+    assert_eq!(out.completed, vec![PathId(0)]);
+    assert_eq!(dev.trace().completions_of(app.task_by_name("hungry").unwrap()), 0);
+    assert_eq!(dev.trace().completions_of(app.task_by_name("frugal").unwrap()), 1);
+}
+
+#[test]
+fn rearm_supports_repeated_runs_and_period_property() {
+    let mut dev = continuous_device();
+    let app = sense_send_app();
+    let mut rt = install(
+        &mut dev,
+        &app,
+        "sense { period: 10min onFail: restartTask; }",
+    );
+    for run in 0..3 {
+        let out = rt.run_once(&mut dev, RunLimit::unbounded());
+        assert!(out.is_completed(), "run {run} failed: {out:?}");
+        rt.rearm(&mut dev).unwrap();
+    }
+    // Back-to-back runs are far faster than 10 min: no violations.
+    assert_eq!(
+        dev.trace()
+            .count(|e| matches!(e, TraceEvent::Violation { .. })),
+        0
+    );
+
+    // Now stall past the period between runs: the next sense start
+    // violates and restarts the task (restartTask on a READY task just
+    // runs it, so the run still completes).
+    let long = SimDuration::from_mins(15);
+    dev.idle(long).unwrap();
+    let out = rt.run_once(&mut dev, RunLimit::unbounded());
+    assert!(out.is_completed());
+    assert!(
+        dev.trace()
+            .count(|e| matches!(e, TraceEvent::Violation { .. }))
+            >= 1,
+        "stalled run must violate the period property"
+    );
+}
+
+#[test]
+fn overheads_are_attributed_to_categories() {
+    use intermittent_sim::device::CostCategory;
+
+    let mut dev = continuous_device();
+    let app = sense_send_app();
+    let mut rt = install(&mut dev, &app, "sense { maxTries: 10 onFail: skipPath; }");
+    rt.run_once(&mut dev, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    let stats = dev.stats();
+    let app_t = stats.time(CostCategory::App);
+    let rt_t = stats.time(CostCategory::Runtime);
+    let mon_t = stats.time(CostCategory::Monitor);
+    assert!(app_t > SimDuration::ZERO);
+    assert!(rt_t > SimDuration::ZERO);
+    assert!(mon_t > SimDuration::ZERO);
+    // The paper's Figure 14 shape: overheads are small next to the app.
+    assert!(
+        app_t > rt_t + mon_t,
+        "app {app_t} vs rt {rt_t} + mon {mon_t}"
+    );
+}
+
+#[test]
+fn unmonitored_spec_mode_works_without_machines() {
+    // An empty specification yields zero monitors; the runtime must
+    // still drive the app correctly.
+    let mut dev = continuous_device();
+    let app = sense_send_app();
+    let mut rt = install(&mut dev, &app, "");
+    assert_eq!(rt.engine().machine_count(), 0);
+    let out = rt.run_once(&mut dev, RunLimit::unbounded());
+    assert!(out.is_completed());
+}
+
+#[test]
+fn start_triggered_complete_path_runs_task_unmonitored() {
+    // `energy … onFail: completePath`: fires at task START; the runtime
+    // must suspend monitoring, still run the task, finish the path, and
+    // end the run without visiting further paths.
+    let mut b = AppGraphBuilder::new();
+    let hungry = b.task("hungry");
+    let tail = b.task("tail");
+    let other = b.task("other");
+    b.path(&[hungry, tail]);
+    b.path(&[other]);
+    let app = b.build().unwrap();
+
+    // Capacitor holds 100 µJ; the property wants 200 µJ: fires on the
+    // very first start.
+    let mut dev = intermittent_device(100, SimDuration::from_secs(1));
+    let suite =
+        artemis_ir::compile("hungry { energy: 200uJ onFail: completePath; }", &app).unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("hungry", |ctx| ctx.compute(1_000));
+    rb.body("tail", |ctx| ctx.compute(1_000));
+    rb.body("other", |ctx| ctx.compute(1_000));
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::reboots(100))
+        .completed()
+        .unwrap();
+    assert!(out.emergency, "{out:?}");
+    assert_eq!(out.completed, vec![PathId(0)]);
+    assert_eq!(out.skipped, vec![PathId(1)]);
+    // The guarded task itself still ran (completePath suspends
+    // monitoring rather than skipping work).
+    assert_eq!(
+        dev.trace().completions_of(app.task_by_name("hungry").unwrap()),
+        1
+    );
+    assert_eq!(
+        dev.trace().completions_of(app.task_by_name("tail").unwrap()),
+        1
+    );
+    assert_eq!(dev.trace().attempts_of(app.task_by_name("other").unwrap()), 0);
+}
+
+#[test]
+fn end_triggered_restart_task_reruns_until_in_budget() {
+    // A transient overrun: the first execution exceeds maxDuration, the
+    // re-run (warm caches, in this model: a captured flag) is fast.
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    let mut b = AppGraphBuilder::new();
+    let warm = b.task("warm");
+    b.path(&[warm]);
+    let app = b.build().unwrap();
+
+    let mut dev = continuous_device();
+    let suite =
+        artemis_ir::compile("warm { maxDuration: 10ms onFail: restartTask; }", &app).unwrap();
+    let first = Rc::new(Cell::new(true));
+    let flag = Rc::clone(&first);
+    let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+    rb.body("warm", move |ctx| {
+        if flag.replace(false) {
+            ctx.compute(50_000) // 50 ms: overruns
+        } else {
+            ctx.compute(2_000) // 2 ms: fine
+        }
+    });
+    let mut rt = rb.install(&mut dev, suite).unwrap();
+
+    let out = rt
+        .run_once(&mut dev, RunLimit::sim_time(SimDuration::from_mins(1)))
+        .completed()
+        .expect("the warm re-run must satisfy the deadline");
+    assert!(out.all_completed());
+    let warm_id = app.task_by_name("warm").unwrap();
+    assert_eq!(dev.trace().completions_of(warm_id), 2, "one overrun + one re-run");
+    assert_eq!(
+        dev.trace()
+            .count(|e| matches!(e, TraceEvent::ActionTaken { action: Action::RestartTask })),
+        1
+    );
+}

@@ -1,0 +1,178 @@
+//! The energy-storage capacitor.
+//!
+//! Batteryless devices buffer harvested energy in a capacitor. The
+//! usable budget between boot and brown-out is
+//! `½·C·(V_on² − V_off²)`: the device turns on when the capacitor
+//! charges to `V_on` and browns out when it sags to `V_off`. The paper's
+//! testbed uses a Powercast P2110 whose boost converter plays this role;
+//! we model the classic threshold pair directly, the same abstraction
+//! used by HarvOS, Hibernus and capacitor-sizing work the paper cites.
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::Energy;
+
+/// A threshold-switched storage capacitor.
+///
+/// # Examples
+///
+/// ```
+/// use intermittent_sim::Capacitor;
+/// use intermittent_sim::Energy;
+///
+/// // 470 µF charged between 1.8 V and 3.2 V: ~1.6 mJ usable.
+/// let mut cap = Capacitor::new(470e-6, 3.2, 1.8);
+/// assert!(cap.usable_budget() > Energy::from_milli_joules(1));
+///
+/// let draw = Energy::from_micro_joules(100);
+/// assert!(cap.draw(draw));          // plenty stored
+/// assert!(cap.stored() < cap.usable_budget());
+/// cap.recharge_full();
+/// assert_eq!(cap.stored(), cap.usable_budget());
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Capacitor {
+    capacitance_farads: f64,
+    v_on: f64,
+    v_off: f64,
+    /// Usable energy between the thresholds when fully charged.
+    budget: Energy,
+    /// Energy currently stored above the off threshold.
+    stored: Energy,
+}
+
+impl Capacitor {
+    /// Creates a capacitor from electrical parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are non-positive or `v_on <= v_off`;
+    /// these are programming errors in testbed construction, not
+    /// runtime conditions.
+    pub fn new(capacitance_farads: f64, v_on: f64, v_off: f64) -> Self {
+        assert!(
+            capacitance_farads > 0.0 && v_off > 0.0 && v_on > v_off,
+            "invalid capacitor parameters: C={capacitance_farads} V_on={v_on} V_off={v_off}"
+        );
+        let joules = 0.5 * capacitance_farads * (v_on * v_on - v_off * v_off);
+        let budget = Energy::from_joules_f64(joules);
+        Capacitor {
+            capacitance_farads,
+            v_on,
+            v_off,
+            budget,
+            stored: budget,
+        }
+    }
+
+    /// Creates a capacitor directly from a usable energy budget.
+    ///
+    /// Convenient for experiments that sweep the budget without caring
+    /// about C/V details; modelled as a 100 µF part with fitted V_on.
+    pub fn with_budget(budget: Energy) -> Self {
+        let c = 100e-6;
+        let v_off = 1.8;
+        let v_on = (2.0 * budget.as_joules_f64() / c + v_off * v_off).sqrt();
+        Capacitor {
+            capacitance_farads: c,
+            v_on,
+            v_off,
+            budget,
+            stored: budget,
+        }
+    }
+
+    /// The full usable budget between the thresholds.
+    pub fn usable_budget(&self) -> Energy {
+        self.budget
+    }
+
+    /// Energy currently stored above the off threshold.
+    pub fn stored(&self) -> Energy {
+        self.stored
+    }
+
+    /// The on-threshold voltage.
+    pub fn v_on(&self) -> f64 {
+        self.v_on
+    }
+
+    /// The off-threshold voltage.
+    pub fn v_off(&self) -> f64 {
+        self.v_off
+    }
+
+    /// Attempts to draw `amount`; returns `false` (and drains to empty)
+    /// if the stored energy is insufficient — the brown-out.
+    pub fn draw(&mut self, amount: Energy) -> bool {
+        if amount > self.stored {
+            self.stored = Energy::ZERO;
+            false
+        } else {
+            self.stored -= amount;
+            true
+        }
+    }
+
+    /// Adds harvested energy, clamping at the full budget.
+    pub fn deposit(&mut self, amount: Energy) {
+        self.stored = self.budget.min(self.stored + amount);
+    }
+
+    /// Refills to the on threshold (completion of a charging period).
+    pub fn recharge_full(&mut self) {
+        self.stored = self.budget;
+    }
+
+    /// Energy missing until full; what a harvester must deliver after a
+    /// brown-out before the device can boot again.
+    pub fn deficit(&self) -> Energy {
+        self.budget - self.stored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_matches_half_cv_squared() {
+        let cap = Capacitor::new(100e-6, 3.0, 2.0);
+        // ½·100µ·(9−4) = 250 µJ.
+        assert_eq!(cap.usable_budget(), Energy::from_micro_joules(250));
+        assert_eq!(cap.stored(), cap.usable_budget());
+    }
+
+    #[test]
+    fn with_budget_round_trips() {
+        let budget = Energy::from_micro_joules(500);
+        let cap = Capacitor::with_budget(budget);
+        assert_eq!(cap.usable_budget(), budget);
+        assert!(cap.v_on() > cap.v_off());
+    }
+
+    #[test]
+    fn draw_depletes_and_brown_outs() {
+        let mut cap = Capacitor::new(100e-6, 3.0, 2.0);
+        assert!(cap.draw(Energy::from_micro_joules(200)));
+        assert_eq!(cap.stored(), Energy::from_micro_joules(50));
+        // Asking for more than stored drains to zero and fails.
+        assert!(!cap.draw(Energy::from_micro_joules(51)));
+        assert_eq!(cap.stored(), Energy::ZERO);
+        assert_eq!(cap.deficit(), cap.usable_budget());
+    }
+
+    #[test]
+    fn deposit_clamps_at_budget() {
+        let mut cap = Capacitor::new(100e-6, 3.0, 2.0);
+        cap.draw(Energy::from_micro_joules(100));
+        cap.deposit(Energy::from_milli_joules(10));
+        assert_eq!(cap.stored(), cap.usable_budget());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid capacitor parameters")]
+    fn inverted_thresholds_panic() {
+        let _ = Capacitor::new(100e-6, 1.0, 2.0);
+    }
+}

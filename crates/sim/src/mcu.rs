@@ -1,0 +1,171 @@
+//! The MCU cost model.
+//!
+//! Every simulated operation carries a time and an energy price. The
+//! defaults approximate an MSP430FR5994 at 1 MHz and 3.0 V — the paper's
+//! configuration — using datasheet orders of magnitude:
+//!
+//! - active CPU: ~120 µA/MHz at 3 V ≈ 0.36 mW, i.e. ~0.36 nJ per cycle
+//!   (one cycle = 1 µs at 1 MHz);
+//! - FRAM access through the cache: a handful of cycles per word; we
+//!   bill per byte with separate read/write prices;
+//! - low-power idle (LPM3): ~1 µA ≈ 3 µW.
+//!
+//! Absolute fidelity is *not* required (see DESIGN.md §4): the
+//! evaluation depends on relative magnitudes — peripherals dwarf
+//! compute, compute dwarfs bookkeeping — which these numbers preserve.
+
+use serde::{Deserialize, Serialize};
+
+use artemis_core::time::SimDuration;
+
+use crate::energy::Energy;
+
+/// A `(time, energy)` price for one operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Cost {
+    /// Wall time the operation takes.
+    pub time: SimDuration,
+    /// Energy the operation draws from the capacitor.
+    pub energy: Energy,
+}
+
+impl Cost {
+    /// Zero cost.
+    pub const FREE: Cost = Cost {
+        time: SimDuration::ZERO,
+        energy: Energy::ZERO,
+    };
+
+    /// Creates a cost.
+    pub const fn new(time: SimDuration, energy: Energy) -> Self {
+        Cost { time, energy }
+    }
+
+    /// Adds two costs.
+    pub fn plus(self, other: Cost) -> Cost {
+        Cost {
+            time: self.time + other.time,
+            energy: self.energy + other.energy,
+        }
+    }
+
+    /// Scales a per-unit cost by a count.
+    pub fn times(self, k: u64) -> Cost {
+        Cost {
+            time: self.time.saturating_mul(k),
+            energy: self.energy.saturating_mul(k),
+        }
+    }
+}
+
+/// Per-operation prices for the simulated MCU.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Core clock frequency in Hz (cycles per second).
+    pub clock_hz: u64,
+    /// Energy per CPU cycle.
+    pub energy_per_cycle: Energy,
+    /// Price per FRAM byte read.
+    pub fram_read_per_byte: Cost,
+    /// Price per FRAM byte written.
+    pub fram_write_per_byte: Cost,
+    /// Power drawn while idling in low-power mode, in nanowatts.
+    pub idle_power_nanowatts: u64,
+}
+
+impl CostModel {
+    /// The MSP430FR5994 @ 1 MHz / 3.0 V ballpark used by the paper.
+    pub fn msp430fr5994() -> Self {
+        CostModel {
+            clock_hz: 1_000_000,
+            // ~120 µA/MHz · 3 V = 0.36 mW → 0.36 nJ per 1 µs cycle.
+            energy_per_cycle: Energy::from_pico_joules(360),
+            // FRAM via the 2-wait-state cache: ~2 cycles and ~1 nJ/byte.
+            fram_read_per_byte: Cost::new(
+                SimDuration::from_micros(2),
+                Energy::from_pico_joules(700),
+            ),
+            fram_write_per_byte: Cost::new(
+                SimDuration::from_micros(2),
+                Energy::from_pico_joules(1_000),
+            ),
+            // LPM3 ballpark.
+            idle_power_nanowatts: 3_000,
+        }
+    }
+
+    /// Cost of executing `cycles` CPU cycles.
+    pub fn compute(&self, cycles: u64) -> Cost {
+        let micros = cycles.saturating_mul(1_000_000) / self.clock_hz;
+        Cost {
+            time: SimDuration::from_micros(micros),
+            energy: self.energy_per_cycle.saturating_mul(cycles),
+        }
+    }
+
+    /// Cost of reading `bytes` from FRAM.
+    pub fn fram_read(&self, bytes: usize) -> Cost {
+        self.fram_read_per_byte.times(bytes as u64)
+    }
+
+    /// Cost of writing `bytes` to FRAM.
+    pub fn fram_write(&self, bytes: usize) -> Cost {
+        self.fram_write_per_byte.times(bytes as u64)
+    }
+
+    /// Cost of idling for `dt` in low-power mode.
+    pub fn idle(&self, dt: SimDuration) -> Cost {
+        Cost {
+            time: dt,
+            energy: Energy::from_power(self.idle_power_nanowatts, dt),
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::msp430fr5994()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_scales_with_cycles() {
+        let m = CostModel::msp430fr5994();
+        let one = m.compute(1);
+        assert_eq!(one.time, SimDuration::from_micros(1));
+        let kilo = m.compute(1_000);
+        assert_eq!(kilo.time, SimDuration::from_millis(1));
+        assert_eq!(
+            kilo.energy.as_pico_joules(),
+            one.energy.as_pico_joules() * 1_000
+        );
+    }
+
+    #[test]
+    fn fram_write_costs_more_than_read() {
+        let m = CostModel::msp430fr5994();
+        assert!(m.fram_write(16).energy > m.fram_read(16).energy);
+        assert_eq!(m.fram_read(0), Cost::FREE);
+    }
+
+    #[test]
+    fn idle_is_orders_cheaper_than_active() {
+        let m = CostModel::msp430fr5994();
+        let active = m.compute(1_000_000); // 1 s of compute
+        let idle = m.idle(SimDuration::from_secs(1));
+        assert!(idle.energy.as_pico_joules() * 50 < active.energy.as_pico_joules());
+    }
+
+    #[test]
+    fn cost_algebra() {
+        let a = Cost::new(SimDuration::from_micros(2), Energy::from_pico_joules(5));
+        let b = a.plus(a);
+        assert_eq!(b.time, SimDuration::from_micros(4));
+        assert_eq!(b.energy, Energy::from_pico_joules(10));
+        assert_eq!(a.times(3).energy, Energy::from_pico_joules(15));
+    }
+}

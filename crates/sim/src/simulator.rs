@@ -1,0 +1,324 @@
+//! The reboot loop: run → brown-out → charge → reboot → resume.
+//!
+//! [`Simulator::run`] drives an [`IntermittentSystem`] on a [`Device`]
+//! exactly the way hardware does: call the system's boot entry; if it
+//! returns [`Interrupt::PowerFailure`], charge the capacitor (advancing
+//! the persistent clock by the outage) and call the entry again. The
+//! system is responsible for resuming from its nonvolatile state — the
+//! same contract as the paper's Figure 8 main loop re-entering after a
+//! reboot.
+//!
+//! A [`RunLimit`] bounds the experiment so that genuinely non-terminating
+//! configurations (the paper's Mayfly-beyond-MITD scenario, Figure 12)
+//! are detected and reported as [`SimOutcome::NonTermination`] instead of
+//! hanging the host.
+
+use core::fmt;
+
+use artemis_core::time::{SimDuration, SimInstant};
+use artemis_core::trace::TraceEvent;
+
+use crate::device::{Device, Fault, Interrupt};
+
+/// A system that can be booted repeatedly and resumes from nonvolatile
+/// state.
+pub trait IntermittentSystem {
+    /// What a completed run produces.
+    type Output;
+
+    /// (Re-)enters the system's main loop. Must be safe to call again
+    /// after a [`Interrupt::PowerFailure`]: all progress state lives in
+    /// the device's FRAM.
+    fn on_boot(&mut self, dev: &mut Device) -> Result<Self::Output, Interrupt>;
+}
+
+impl<F, O> IntermittentSystem for F
+where
+    F: FnMut(&mut Device) -> Result<O, Interrupt>,
+{
+    type Output = O;
+
+    fn on_boot(&mut self, dev: &mut Device) -> Result<O, Interrupt> {
+        self(dev)
+    }
+}
+
+/// Bounds on a simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunLimit {
+    /// Give up once the persistent clock passes this point.
+    pub max_sim_time: Option<SimDuration>,
+    /// Give up after this many reboots.
+    pub max_reboots: Option<u64>,
+}
+
+impl RunLimit {
+    /// No limits: run until completion or a fault. Use only where
+    /// completion is known to be reachable.
+    pub fn unbounded() -> Self {
+        RunLimit {
+            max_sim_time: None,
+            max_reboots: None,
+        }
+    }
+
+    /// Limits simulated time.
+    pub fn sim_time(limit: SimDuration) -> Self {
+        RunLimit {
+            max_sim_time: Some(limit),
+            max_reboots: None,
+        }
+    }
+
+    /// Limits reboot count.
+    pub fn reboots(limit: u64) -> Self {
+        RunLimit {
+            max_sim_time: None,
+            max_reboots: Some(limit),
+        }
+    }
+
+    /// Combines a time and a reboot limit.
+    pub fn both(time: SimDuration, reboots: u64) -> Self {
+        RunLimit {
+            max_sim_time: Some(time),
+            max_reboots: Some(reboots),
+        }
+    }
+
+    fn exceeded(&self, dev: &Device, started_at: SimInstant, boots: u64) -> Option<NonTermination> {
+        if let Some(t) = self.max_sim_time {
+            if dev.now().duration_since(started_at) > t {
+                return Some(NonTermination::TimeLimit { limit: t });
+            }
+        }
+        if let Some(r) = self.max_reboots {
+            if boots >= r {
+                return Some(NonTermination::RebootLimit { limit: r });
+            }
+        }
+        None
+    }
+}
+
+/// Why a run was declared non-terminating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NonTermination {
+    /// The simulated-time budget ran out.
+    TimeLimit {
+        /// The budget.
+        limit: SimDuration,
+    },
+    /// The reboot budget ran out.
+    RebootLimit {
+        /// The budget.
+        limit: u64,
+    },
+    /// The system hit a non-recoverable configuration fault.
+    Fault(Fault),
+}
+
+impl fmt::Display for NonTermination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonTermination::TimeLimit { limit } => {
+                write!(f, "did not terminate within {limit} of simulated time")
+            }
+            NonTermination::RebootLimit { limit } => {
+                write!(f, "did not terminate within {limit} reboots")
+            }
+            NonTermination::Fault(fault) => {
+                write!(f, "stopped on fault: {}", Interrupt::Fault(*fault))
+            }
+        }
+    }
+}
+
+/// The result of a simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimOutcome<O> {
+    /// The system ran to completion.
+    Completed(O),
+    /// The run was cut off.
+    NonTermination(NonTermination),
+}
+
+impl<O> SimOutcome<O> {
+    /// Returns the output of a completed run.
+    pub fn completed(self) -> Option<O> {
+        match self {
+            SimOutcome::Completed(o) => Some(o),
+            SimOutcome::NonTermination(_) => None,
+        }
+    }
+
+    /// Returns `true` if the run completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SimOutcome::Completed(_))
+    }
+}
+
+/// The reboot-loop driver.
+#[derive(Clone, Copy, Debug)]
+pub struct Simulator {
+    limit: RunLimit,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given limits.
+    pub fn new(limit: RunLimit) -> Self {
+        Simulator { limit }
+    }
+
+    /// Runs `sys` on `dev` until completion, a limit, or a fault.
+    pub fn run<S: IntermittentSystem>(
+        &self,
+        dev: &mut Device,
+        sys: &mut S,
+    ) -> SimOutcome<S::Output> {
+        // Arm the hard deadline so non-termination is detected even on
+        // continuous power, where no reboot boundary exists.
+        if let Some(t) = self.limit.max_sim_time {
+            dev.set_deadline(Some(dev.now() + t));
+        }
+        let outcome = self.run_inner(dev, sys);
+        dev.set_deadline(None);
+        outcome
+    }
+
+    fn run_inner<S: IntermittentSystem>(
+        &self,
+        dev: &mut Device,
+        sys: &mut S,
+    ) -> SimOutcome<S::Output> {
+        // Limits are relative to THIS run: a device that has already
+        // lived for hours must still get the full budget.
+        let started_at = dev.now();
+        let mut boot = 0u64;
+        loop {
+            dev.trace_push(TraceEvent::Boot { reboot: boot });
+            match sys.on_boot(dev) {
+                Ok(output) => return SimOutcome::Completed(output),
+                Err(Interrupt::PowerFailure) => {
+                    dev.power_cycle();
+                    boot += 1;
+                    if let Some(reason) = self.limit.exceeded(dev, started_at, boot) {
+                        return SimOutcome::NonTermination(reason);
+                    }
+                }
+                Err(Interrupt::Fault(Fault::DeadlineExceeded)) => {
+                    return SimOutcome::NonTermination(NonTermination::TimeLimit {
+                        limit: self.limit.max_sim_time.unwrap_or(SimDuration::MAX),
+                    });
+                }
+                Err(Interrupt::Fault(fault)) => {
+                    return SimOutcome::NonTermination(NonTermination::Fault(fault));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacitor::Capacitor;
+    use crate::device::{DeviceBuilder, MemOwner};
+    use crate::energy::Energy;
+    use crate::harvester::Harvester;
+
+    fn device(budget_uj: u64, delay_secs: u64) -> Device {
+        DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_micro_joules(budget_uj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(delay_secs)))
+            .build()
+    }
+
+    #[test]
+    fn completes_across_power_failures() {
+        // A counter that must reach 10; each boot manages a few steps.
+        let mut dev = device(8, 1);
+        let cell = dev.nv_alloc::<u32>(0, MemOwner::App, "n").unwrap();
+        let sim = Simulator::new(RunLimit::unbounded());
+        let outcome = sim.run(&mut dev, &mut |dev: &mut Device| loop {
+            let n = dev.nv_read(&cell)?;
+            if n >= 10 {
+                return Ok(n);
+            }
+            dev.compute(5_000)?;
+            dev.nv_write(&cell, n + 1)?;
+        });
+        assert_eq!(outcome, SimOutcome::Completed(10));
+        assert!(dev.reboots() > 0, "expected at least one power failure");
+    }
+
+    #[test]
+    fn reboot_limit_detects_livelock() {
+        // A system that never makes progress: volatile counter resets on
+        // each boot, so it burns the whole budget every time.
+        let mut dev = device(20, 1);
+        let sim = Simulator::new(RunLimit::reboots(5));
+        let outcome = sim.run(&mut dev, &mut |dev: &mut Device| loop {
+            dev.compute(5_000)?;
+        });
+        assert_eq!(
+            outcome,
+            SimOutcome::NonTermination(NonTermination::RebootLimit { limit: 5 })
+        );
+        let _: Option<u32> = match outcome {
+            SimOutcome::Completed(v) => Some(v),
+            _ => None,
+        };
+    }
+
+    #[test]
+    fn time_limit_detects_livelock() {
+        let mut dev = device(20, 10);
+        let sim = Simulator::new(RunLimit::sim_time(SimDuration::from_secs(25)));
+        let outcome: SimOutcome<()> = sim.run(&mut dev, &mut |dev: &mut Device| loop {
+            dev.compute(5_000)?;
+        });
+        assert!(matches!(
+            outcome,
+            SimOutcome::NonTermination(NonTermination::TimeLimit { .. })
+        ));
+        // Three charge cycles of 10 s exceed the 25 s budget.
+        assert!(dev.reboots() <= 3);
+    }
+
+    #[test]
+    fn faults_stop_immediately() {
+        let mut dev = device(1, 1);
+        let sim = Simulator::new(RunLimit::unbounded());
+        // Demand more than the whole capacitor: an impossible op.
+        let outcome: SimOutcome<()> =
+            sim.run(&mut dev, &mut |dev: &mut Device| {
+                dev.compute(1_000_000_000)?;
+                Ok(())
+            });
+        assert!(matches!(
+            outcome,
+            SimOutcome::NonTermination(NonTermination::Fault(Fault::ImpossibleDemand { .. }))
+        ));
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let c: SimOutcome<u8> = SimOutcome::Completed(3);
+        assert!(c.is_completed());
+        assert_eq!(c.completed(), Some(3));
+        let n: SimOutcome<u8> =
+            SimOutcome::NonTermination(NonTermination::RebootLimit { limit: 1 });
+        assert!(!n.is_completed());
+        assert_eq!(n.completed(), None);
+    }
+
+    #[test]
+    fn non_termination_display() {
+        let s = NonTermination::TimeLimit {
+            limit: SimDuration::from_mins(2),
+        }
+        .to_string();
+        assert!(s.contains("2min"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Abstract syntax of the property specification language.
+//!
+//! The AST stays close to the concrete syntax of the paper's Figure 5:
+//! a specification is a list of task blocks, each carrying property
+//! declarations with their modifier clauses (`dpTask:`, `onFail:`,
+//! `maxAttempt:`, `Path:`, `Range:`). Name resolution and validation
+//! happen later, in [`crate::sema`].
+
+use artemis_core::time::SimDuration;
+
+use crate::diag::{Span, Spanned};
+
+/// A whole specification: one block per task.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SpecAst {
+    /// Task blocks in source order.
+    pub blocks: Vec<TaskBlock>,
+}
+
+impl SpecAst {
+    /// Total number of property declarations.
+    pub fn property_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.props.len()).sum()
+    }
+
+    /// Finds the block for a task name.
+    pub fn block(&self, task: &str) -> Option<&TaskBlock> {
+        self.blocks.iter().find(|b| b.task.value == task)
+    }
+}
+
+/// One `task { … }` block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskBlock {
+    /// The task name before the brace.
+    pub task: Spanned<String>,
+    /// Property declarations in source order.
+    pub props: Vec<PropDecl>,
+}
+
+/// The property keyword and its primary value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PropKind {
+    /// `period: <time>`
+    Period(SimDuration),
+    /// `maxTries: <int>`
+    MaxTries(u64),
+    /// `maxDuration: <time>`
+    MaxDuration(SimDuration),
+    /// `MITD: <time>`
+    Mitd(SimDuration),
+    /// `collect: <int>`
+    Collect(u64),
+    /// `dpData: <ident>`
+    DpData(String),
+    /// `energy: <energy>` — extension property (§4.2.2); nanojoules.
+    Energy(u64),
+}
+
+impl PropKind {
+    /// The keyword as written in source.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            PropKind::Period(_) => "period",
+            PropKind::MaxTries(_) => "maxTries",
+            PropKind::MaxDuration(_) => "maxDuration",
+            PropKind::Mitd(_) => "MITD",
+            PropKind::Collect(_) => "collect",
+            PropKind::DpData(_) => "dpData",
+            PropKind::Energy(_) => "energy",
+        }
+    }
+}
+
+/// An `onFail:` action keyword, unresolved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AstAction {
+    /// `restartPath`
+    RestartPath,
+    /// `skipPath`
+    SkipPath,
+    /// `restartTask`
+    RestartTask,
+    /// `skipTask`
+    SkipTask,
+    /// `completePath`
+    CompletePath,
+}
+
+impl AstAction {
+    /// The keyword as written in source.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AstAction::RestartPath => "restartPath",
+            AstAction::SkipPath => "skipPath",
+            AstAction::RestartTask => "restartTask",
+            AstAction::SkipTask => "skipTask",
+            AstAction::CompletePath => "completePath",
+        }
+    }
+
+    /// Parses an action keyword.
+    pub fn from_keyword(kw: &str) -> Option<AstAction> {
+        Some(match kw {
+            "restartPath" => AstAction::RestartPath,
+            "skipPath" => AstAction::SkipPath,
+            "restartTask" => AstAction::RestartTask,
+            "skipTask" => AstAction::SkipTask,
+            "completePath" => AstAction::CompletePath,
+            _ => return None,
+        })
+    }
+}
+
+/// The `maxAttempt: N onFail: <action>` escalation clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MaxAttemptClause {
+    /// Allowed failures before escalating.
+    pub max: Spanned<u64>,
+    /// Escalation action (the `onFail:` *after* `maxAttempt:`).
+    pub on_fail: Option<Spanned<AstAction>>,
+}
+
+/// One property declaration with its modifiers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PropDecl {
+    /// Covers the whole declaration including the semicolon.
+    pub span: Span,
+    /// Keyword + primary value.
+    pub kind: PropKind,
+    /// `dpTask: <task>` dependency.
+    pub dp_task: Option<Spanned<String>>,
+    /// Primary `onFail:` action (before any `maxAttempt:`).
+    pub on_fail: Option<Spanned<AstAction>>,
+    /// Escalation clause.
+    pub max_attempt: Option<MaxAttemptClause>,
+    /// `Path: <n>` qualifier (one-based).
+    pub path: Option<Spanned<u64>>,
+    /// `Range: [lo, hi]` for `dpData`.
+    pub range: Option<Spanned<(f64, f64)>>,
+    /// `jitter: <time>` for `period`.
+    pub jitter: Option<Spanned<SimDuration>>,
+}
+
+impl PropDecl {
+    /// Creates a bare declaration for construction in tests/tools.
+    pub fn new(kind: PropKind) -> Self {
+        PropDecl {
+            span: Span::default(),
+            kind,
+            dp_task: None,
+            on_fail: None,
+            max_attempt: None,
+            path: None,
+            range: None,
+            jitter: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        for a in [
+            AstAction::RestartPath,
+            AstAction::SkipPath,
+            AstAction::RestartTask,
+            AstAction::SkipTask,
+            AstAction::CompletePath,
+        ] {
+            assert_eq!(AstAction::from_keyword(a.keyword()), Some(a));
+        }
+        assert_eq!(AstAction::from_keyword("explode"), None);
+    }
+
+    #[test]
+    fn property_count_sums_blocks() {
+        let mut ast = SpecAst::default();
+        ast.blocks.push(TaskBlock {
+            task: Spanned::new("a".into(), Span::default()),
+            props: vec![
+                PropDecl::new(PropKind::MaxTries(3)),
+                PropDecl::new(PropKind::Collect(2)),
+            ],
+        });
+        ast.blocks.push(TaskBlock {
+            task: Spanned::new("b".into(), Span::default()),
+            props: vec![PropDecl::new(PropKind::Period(SimDuration::from_secs(1)))],
+        });
+        assert_eq!(ast.property_count(), 3);
+        assert!(ast.block("a").is_some());
+        assert!(ast.block("c").is_none());
+    }
+}

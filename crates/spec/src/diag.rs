@@ -1,0 +1,160 @@
+//! Source spans and diagnostics for the specification language.
+
+use core::fmt;
+
+/// A byte range in the source text.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Span {
+    /// Inclusive start byte offset.
+    pub start: usize,
+    /// Exclusive end byte offset.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub const fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `pos`.
+    pub const fn point(pos: usize) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The smallest span covering both.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// A value together with where it came from in the source.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Spanned<T> {
+    /// The value.
+    pub value: T,
+    /// Its source location.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs a value with its span.
+    pub fn new(value: T, span: Span) -> Self {
+        Spanned { value, span }
+    }
+}
+
+/// One diagnostic message anchored to a span.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diag {
+    /// Where in the source.
+    pub span: Span,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diag {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with a line/column header and a caret
+    /// line pointing at the offending text.
+    pub fn render(&self, source: &str) -> String {
+        let (line_no, col, line) = locate(source, self.span.start);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "error at line {}, column {}: {}\n",
+            line_no + 1,
+            col + 1,
+            self.message
+        ));
+        out.push_str(&format!("  | {line}\n"));
+        let width = (self.span.end.saturating_sub(self.span.start)).max(1);
+        let width = width.min(line.len().saturating_sub(col).max(1));
+        out.push_str(&format!("  | {}{}\n", " ".repeat(col), "^".repeat(width)));
+        out
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// Finds the zero-based line number, column and line text containing
+/// byte offset `pos`.
+fn locate(source: &str, pos: usize) -> (usize, usize, String) {
+    let mut line_start = 0usize;
+    let mut line_no = 0usize;
+    for (i, ch) in source.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if ch == '\n' {
+            line_no += 1;
+            line_start = i + 1;
+        }
+    }
+    let line_end = source[line_start..]
+        .find('\n')
+        .map(|i| line_start + i)
+        .unwrap_or(source.len());
+    let col = pos.saturating_sub(line_start).min(line_end - line_start);
+    (line_no, col, source[line_start..line_end].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(2, 5);
+        let b = Span::new(4, 9);
+        assert_eq!(a.merge(b), Span::new(2, 9));
+        assert_eq!(b.merge(a), Span::new(2, 9));
+    }
+
+    #[test]
+    fn render_points_at_the_right_line() {
+        let src = "first line\nsecond line\nthird";
+        let pos = src.find("second").unwrap();
+        let d = Diag::new(Span::new(pos, pos + 6), "bad keyword");
+        let rendered = d.render(src);
+        assert!(rendered.contains("line 2, column 1"));
+        assert!(rendered.contains("second line"));
+        assert!(rendered.contains("^^^^^^"));
+    }
+
+    #[test]
+    fn render_handles_end_of_input() {
+        let src = "abc";
+        let d = Diag::new(Span::point(3), "unexpected end");
+        let rendered = d.render(src);
+        assert!(rendered.contains("line 1"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d = Diag::new(Span::new(1, 4), "oops");
+        assert_eq!(d.to_string(), "error at bytes 1..4: oops");
+    }
+}

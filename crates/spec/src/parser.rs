@@ -1,0 +1,621 @@
+//! Recursive-descent parser for the specification language.
+//!
+//! Grammar (cf. paper Figure 5):
+//!
+//! ```text
+//! spec       := block*
+//! block      := IDENT ':'? '{' prop* '}'
+//! prop       := keyword ':' value modifier* ';'
+//! keyword    := 'period' | 'maxTries' | 'maxDuration' | 'MITD'
+//!             | 'collect' | 'dpData' | 'energy'
+//! modifier   := 'dpTask' ':' IDENT
+//!             | 'onFail' ':' action
+//!             | 'maxAttempt' ':' INT
+//!             | 'Path' ':' INT
+//!             | 'Range' ':' '[' number ',' number ']'
+//!             | 'jitter' ':' time
+//! ```
+//!
+//! Modifier *order* carries meaning for `onFail:`: an `onFail` seen
+//! before `maxAttempt:` is the property's primary action; an `onFail`
+//! after `maxAttempt:` is the escalation action (exactly the reading of
+//! the paper's `MITD: 5min … onFail: restartPath maxAttempt: 3 onFail:
+//! skipPath` example).
+
+use artemis_core::time::SimDuration;
+
+use crate::ast::{AstAction, MaxAttemptClause, PropDecl, PropKind, SpecAst, TaskBlock};
+use crate::diag::{Diag, Spanned};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses specification text into an AST.
+///
+/// # Examples
+///
+/// ```
+/// let ast = artemis_spec::parser::parse(
+///     "accel { maxTries: 10 onFail: skipPath; }",
+/// ).unwrap();
+/// assert_eq!(ast.blocks.len(), 1);
+/// assert_eq!(ast.blocks[0].task.value, "accel");
+/// ```
+pub fn parse(source: &str) -> Result<SpecAst, Diag> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.spec()
+}
+
+/// Parses with error recovery: on a bad property the parser resyncs at
+/// the next `;` (or the block's `}`) and keeps going, so one pass
+/// reports *all* diagnostics instead of only the first — the editor
+/// experience the paper gets from Xtext.
+///
+/// Returns the recovered AST (bad properties dropped) plus every
+/// diagnostic. An empty diagnostic list means a clean parse.
+///
+/// # Examples
+///
+/// ```
+/// let (ast, diags) = artemis_spec::parser::parse_recovering(
+///     "a { maxTries: bogus; maxDuration: 5s onFail: skipTask; }
+///      b { collect: 1 dpTask: a onFail: explode; }",
+/// );
+/// assert_eq!(diags.len(), 2, "both errors reported in one pass");
+/// assert_eq!(ast.property_count(), 1, "the good property survives");
+/// ```
+pub fn parse_recovering(source: &str) -> (SpecAst, Vec<Diag>) {
+    let tokens = match lex(source) {
+        Ok(t) => t,
+        Err(d) => return (SpecAst::default(), vec![d]),
+    };
+    let mut p = Parser { tokens, pos: 0 };
+    let mut blocks = Vec::new();
+    let mut diags = Vec::new();
+    while p.peek().kind != TokenKind::Eof {
+        match p.block_recovering(&mut diags) {
+            Some(block) => blocks.push(block),
+            None => {
+                // Could not even read a block header: skip one token to
+                // guarantee progress.
+                if p.peek().kind != TokenKind::Eof {
+                    p.bump();
+                }
+            }
+        }
+    }
+    (SpecAst { blocks }, diags)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, Diag> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(Diag::new(
+                self.peek().span,
+                format!("expected {what}, found {}", self.peek().kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<Spanned<String>, Diag> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.bump().span;
+                Ok(Spanned::new(name, span))
+            }
+            other => Err(Diag::new(
+                self.peek().span,
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<Spanned<u64>, Diag> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                let span = self.bump().span;
+                Ok(Spanned::new(v, span))
+            }
+            other => Err(Diag::new(
+                self.peek().span,
+                format!("expected {what}, found {other}"),
+            )),
+        }
+    }
+
+    /// Reads one block, resynchronising inside it on bad properties.
+    fn block_recovering(&mut self, diags: &mut Vec<Diag>) -> Option<TaskBlock> {
+        let task = match self.ident("a task name") {
+            Ok(t) => t,
+            Err(d) => {
+                diags.push(d);
+                return None;
+            }
+        };
+        if self.peek().kind == TokenKind::Colon {
+            self.bump();
+        }
+        if let Err(d) = self.expect(&TokenKind::LBrace, "`{`") {
+            diags.push(d);
+            return None;
+        }
+        let mut props = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                diags.push(Diag::new(
+                    self.peek().span,
+                    format!("unclosed block for task `{}`", task.value),
+                ));
+                return Some(TaskBlock { task, props });
+            }
+            match self.prop() {
+                Ok(p) => props.push(p),
+                Err(d) => {
+                    diags.push(d);
+                    // Resync: skip to just past the next `;`, or stop
+                    // at the block's closing `}`.
+                    loop {
+                        match &self.peek().kind {
+                            TokenKind::Semi => {
+                                self.bump();
+                                break;
+                            }
+                            TokenKind::RBrace | TokenKind::Eof => break,
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.bump(); // the `}`
+        Some(TaskBlock { task, props })
+    }
+
+    fn spec(&mut self) -> Result<SpecAst, Diag> {
+        let mut blocks = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            blocks.push(self.block()?);
+        }
+        Ok(SpecAst { blocks })
+    }
+
+    fn block(&mut self) -> Result<TaskBlock, Diag> {
+        let task = self.ident("a task name")?;
+        // The paper writes both `micSense: { … }` and `calcAvg { … }`.
+        if self.peek().kind == TokenKind::Colon {
+            self.bump();
+        }
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut props = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(Diag::new(
+                    self.peek().span,
+                    format!("unclosed block for task `{}`", task.value),
+                ));
+            }
+            props.push(self.prop()?);
+        }
+        self.expect(&TokenKind::RBrace, "`}`")?;
+        Ok(TaskBlock { task, props })
+    }
+
+    fn prop(&mut self) -> Result<PropDecl, Diag> {
+        let kw = self.ident("a property keyword")?;
+        self.expect(&TokenKind::Colon, "`:` after the property keyword")?;
+        let kind = match kw.value.as_str() {
+            "period" => PropKind::Period(self.time()?),
+            "maxTries" => PropKind::MaxTries(self.int("an attempt count")?.value),
+            "maxDuration" => PropKind::MaxDuration(self.time()?),
+            "MITD" => PropKind::Mitd(self.time()?),
+            "collect" => PropKind::Collect(self.int("a sample count")?.value),
+            "dpData" => PropKind::DpData(self.ident("a monitored variable name")?.value),
+            "energy" => PropKind::Energy(self.energy()?),
+            other => {
+                return Err(Diag::new(
+                    kw.span,
+                    format!(
+                        "unknown property `{other}`; expected one of period, maxTries, \
+                         maxDuration, MITD, collect, dpData, energy"
+                    ),
+                ))
+            }
+        };
+
+        let mut decl = PropDecl::new(kind);
+        decl.span = kw.span;
+        self.modifiers(&mut decl)?;
+        let semi = self.expect(&TokenKind::Semi, "`;` ending the property")?;
+        decl.span = decl.span.merge(semi.span);
+        Ok(decl)
+    }
+
+    fn modifiers(&mut self, decl: &mut PropDecl) -> Result<(), Diag> {
+        loop {
+            let (name, span) = match &self.peek().kind {
+                TokenKind::Ident(name) => (name.clone(), self.peek().span),
+                _ => return Ok(()),
+            };
+            match name.as_str() {
+                "dpTask" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon, "`:` after `dpTask`")?;
+                    let task = self.ident("a task name")?;
+                    if decl.dp_task.replace(task).is_some() {
+                        return Err(Diag::new(span, "duplicate `dpTask:` modifier"));
+                    }
+                }
+                "onFail" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon, "`:` after `onFail`")?;
+                    let action = self.action()?;
+                    match &mut decl.max_attempt {
+                        // After `maxAttempt:` the action escalates.
+                        Some(clause) => {
+                            if clause.on_fail.replace(action).is_some() {
+                                return Err(Diag::new(
+                                    span,
+                                    "duplicate `onFail:` after `maxAttempt:`",
+                                ));
+                            }
+                        }
+                        None => {
+                            if decl.on_fail.replace(action).is_some() {
+                                return Err(Diag::new(span, "duplicate `onFail:` modifier"));
+                            }
+                        }
+                    }
+                }
+                "maxAttempt" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon, "`:` after `maxAttempt`")?;
+                    let max = self.int("an attempt count")?;
+                    if decl
+                        .max_attempt
+                        .replace(MaxAttemptClause { max, on_fail: None })
+                        .is_some()
+                    {
+                        return Err(Diag::new(span, "duplicate `maxAttempt:` modifier"));
+                    }
+                }
+                "Path" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon, "`:` after `Path`")?;
+                    let n = self.int("a path number")?;
+                    if decl.path.replace(n).is_some() {
+                        return Err(Diag::new(span, "duplicate `Path:` modifier"));
+                    }
+                }
+                "Range" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon, "`:` after `Range`")?;
+                    let open = self.expect(&TokenKind::LBracket, "`[`")?;
+                    let lo = self.number()?;
+                    self.expect(&TokenKind::Comma, "`,`")?;
+                    let hi = self.number()?;
+                    let close = self.expect(&TokenKind::RBracket, "`]`")?;
+                    let rspan = open.span.merge(close.span);
+                    if decl.range.replace(Spanned::new((lo, hi), rspan)).is_some() {
+                        return Err(Diag::new(span, "duplicate `Range:` modifier"));
+                    }
+                }
+                "jitter" => {
+                    self.bump();
+                    self.expect(&TokenKind::Colon, "`:` after `jitter`")?;
+                    let t = self.time()?;
+                    if decl.jitter.replace(Spanned::new(t, span)).is_some() {
+                        return Err(Diag::new(span, "duplicate `jitter:` modifier"));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn action(&mut self) -> Result<Spanned<AstAction>, Diag> {
+        let kw = self.ident("an action keyword")?;
+        AstAction::from_keyword(&kw.value)
+            .map(|a| Spanned::new(a, kw.span))
+            .ok_or_else(|| {
+                Diag::new(
+                    kw.span,
+                    format!(
+                        "unknown action `{}`; expected restartPath, skipPath, restartTask, \
+                         skipTask or completePath",
+                        kw.value
+                    ),
+                )
+            })
+    }
+
+    /// A duration literal: `5min`, `100ms`, `3s`, `2h`, `500us`; a bare
+    /// integer means milliseconds (matching the paper's default axis).
+    fn time(&mut self) -> Result<SimDuration, Diag> {
+        match self.peek().kind.clone() {
+            TokenKind::Suffixed { value, suffix } => {
+                let span = self.bump().span;
+                match suffix.as_str() {
+                    "us" => Ok(SimDuration::from_micros(value)),
+                    "ms" => Ok(SimDuration::from_millis(value)),
+                    "s" | "sec" => Ok(SimDuration::from_secs(value)),
+                    "min" => Ok(SimDuration::from_mins(value)),
+                    "h" => Ok(SimDuration::from_hours(value)),
+                    other => Err(Diag::new(
+                        span,
+                        format!("unknown time unit `{other}`; expected us, ms, s, min or h"),
+                    )),
+                }
+            }
+            TokenKind::Int(value) => {
+                self.bump();
+                Ok(SimDuration::from_millis(value))
+            }
+            other => Err(Diag::new(
+                self.peek().span,
+                format!("expected a duration, found {other}"),
+            )),
+        }
+    }
+
+    /// An energy literal for the extension property: `10uJ`, `1mJ`,
+    /// `500nJ`; result in nanojoules.
+    fn energy(&mut self) -> Result<u64, Diag> {
+        match self.peek().kind.clone() {
+            TokenKind::Suffixed { value, suffix } => {
+                let span = self.bump().span;
+                match suffix.as_str() {
+                    "nJ" => Ok(value),
+                    "uJ" => Ok(value.saturating_mul(1_000)),
+                    "mJ" => Ok(value.saturating_mul(1_000_000)),
+                    other => Err(Diag::new(
+                        span,
+                        format!("unknown energy unit `{other}`; expected nJ, uJ or mJ"),
+                    )),
+                }
+            }
+            other => Err(Diag::new(
+                self.peek().span,
+                format!("expected an energy amount, found {other}"),
+            )),
+        }
+    }
+
+    /// A possibly-negative numeric literal (range bounds).
+    fn number(&mut self) -> Result<f64, Diag> {
+        let neg = if self.peek().kind == TokenKind::Minus {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let v = match self.peek().kind.clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                v as f64
+            }
+            TokenKind::Float(v) => {
+                self.bump();
+                v
+            }
+            other => {
+                return Err(Diag::new(
+                    self.peek().span,
+                    format!("expected a number, found {other}"),
+                ))
+            }
+        };
+        Ok(if neg { -v } else { v })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::samples::FIGURE5;
+
+    #[test]
+    fn parses_figure5_verbatim() {
+        let ast = parse(FIGURE5).unwrap();
+        assert_eq!(ast.blocks.len(), 4);
+        assert_eq!(ast.property_count(), 8);
+
+        let send = ast.block("send").unwrap();
+        assert_eq!(send.props.len(), 4);
+
+        let mitd = &send.props[0];
+        assert_eq!(mitd.kind, PropKind::Mitd(SimDuration::from_mins(5)));
+        assert_eq!(mitd.dp_task.as_ref().unwrap().value, "accel");
+        assert_eq!(mitd.on_fail.unwrap().value, AstAction::RestartPath);
+        let ma = mitd.max_attempt.as_ref().unwrap();
+        assert_eq!(ma.max.value, 3);
+        assert_eq!(ma.on_fail.unwrap().value, AstAction::SkipPath);
+        assert_eq!(mitd.path.unwrap().value, 2);
+
+        let dur = &send.props[1];
+        assert_eq!(
+            dur.kind,
+            PropKind::MaxDuration(SimDuration::from_millis(100))
+        );
+        assert_eq!(dur.on_fail.unwrap().value, AstAction::SkipTask);
+
+        let avg = ast.block("calcAvg").unwrap();
+        assert_eq!(avg.props[0].kind, PropKind::Collect(10));
+        let dp = &avg.props[1];
+        assert_eq!(dp.kind, PropKind::DpData("avgTemp".into()));
+        assert_eq!(dp.range.unwrap().value, (36.0, 38.0));
+        assert_eq!(dp.on_fail.unwrap().value, AstAction::CompletePath);
+    }
+
+    #[test]
+    fn block_colon_is_optional() {
+        let a = parse("t: { maxTries: 1 onFail: skipTask; }").unwrap();
+        let b = parse("t { maxTries: 1 onFail: skipTask; }").unwrap();
+        // Spans differ by one byte; compare canonical prints.
+        assert_eq!(crate::printer::print(&a), crate::printer::print(&b));
+    }
+
+    #[test]
+    fn on_fail_position_disambiguates_primary_vs_escalation() {
+        let ast = parse(
+            "t { MITD: 2s dpTask: u onFail: restartPath maxAttempt: 2 onFail: skipPath; }",
+        )
+        .unwrap();
+        let p = &ast.blocks[0].props[0];
+        assert_eq!(p.on_fail.unwrap().value, AstAction::RestartPath);
+        assert_eq!(
+            p.max_attempt.as_ref().unwrap().on_fail.unwrap().value,
+            AstAction::SkipPath
+        );
+    }
+
+    #[test]
+    fn time_units() {
+        let ast = parse(
+            "t { maxDuration: 500us onFail: skipTask; period: 2h onFail: restartTask; \
+             MITD: 250 dpTask: u onFail: skipTask; }",
+        )
+        .unwrap();
+        let props = &ast.blocks[0].props;
+        assert_eq!(
+            props[0].kind,
+            PropKind::MaxDuration(SimDuration::from_micros(500))
+        );
+        assert_eq!(props[1].kind, PropKind::Period(SimDuration::from_hours(2)));
+        // Bare integers default to milliseconds.
+        assert_eq!(props[2].kind, PropKind::Mitd(SimDuration::from_millis(250)));
+    }
+
+    #[test]
+    fn energy_units() {
+        let ast = parse("t { energy: 300uJ onFail: skipTask; }").unwrap();
+        assert_eq!(ast.blocks[0].props[0].kind, PropKind::Energy(300_000));
+        let err = parse("t { energy: 300kJ onFail: skipTask; }").unwrap_err();
+        assert!(err.message.contains("energy unit"));
+    }
+
+    #[test]
+    fn negative_range_bounds() {
+        let ast = parse("t { dpData: g Range: [-2, 2.5] onFail: skipPath; }").unwrap();
+        assert_eq!(ast.blocks[0].props[0].range.unwrap().value, (-2.0, 2.5));
+    }
+
+    #[test]
+    fn errors_have_useful_messages() {
+        let cases: &[(&str, &str)] = &[
+            ("t { bogus: 3; }", "unknown property"),
+            ("t { maxTries: 3 onFail: explode; }", "unknown action"),
+            ("t { maxTries 3; }", "expected `:`"),
+            ("t { maxTries: 3 onFail: skipPath }", "expected `;`"),
+            ("t { maxTries: 3 onFail: skipPath;", "unclosed block"),
+            ("t { MITD: 5lightyears onFail: skipPath; }", "time unit"),
+            (
+                "t { maxTries: 1 onFail: skipTask onFail: skipPath; }",
+                "duplicate `onFail:`",
+            ),
+            (
+                "t { collect: 1 dpTask: a dpTask: b onFail: skipTask; }",
+                "duplicate `dpTask:`",
+            ),
+        ];
+        for (src, needle) in cases {
+            let err = parse(src).expect_err(src);
+            assert!(
+                err.message.contains(needle),
+                "source `{src}`: expected `{needle}` in `{}`",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn empty_spec_and_empty_blocks_parse() {
+        assert_eq!(parse("").unwrap().blocks.len(), 0);
+        let ast = parse("t { }").unwrap();
+        assert_eq!(ast.blocks[0].props.len(), 0);
+    }
+
+    #[test]
+    fn duplicate_escalation_action_is_rejected() {
+        let err = parse(
+            "t { MITD: 1s dpTask: u onFail: restartPath maxAttempt: 2 onFail: skipPath onFail: skipTask; }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("after `maxAttempt:`"));
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+
+    #[test]
+    fn recovering_parser_reports_all_errors() {
+        let src = "a { maxTries: bogus; maxDuration: 5s onFail: skipTask; }\n\
+                   b { collect: 1 dpTask: a onFail: explode; period: 1s onFail: restartTask; }\n\
+                   c { wat: 3; }";
+        let (ast, diags) = parse_recovering(src);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        // The well-formed properties survive.
+        assert_eq!(ast.property_count(), 2);
+        assert_eq!(ast.blocks.len(), 3);
+        assert!(diags[0].message.contains("attempt count"));
+        assert!(diags[1].message.contains("unknown action"));
+        assert!(diags[2].message.contains("unknown property"));
+    }
+
+    #[test]
+    fn recovering_parser_is_clean_on_valid_input() {
+        let (ast, diags) = parse_recovering(crate::samples::FIGURE5);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(ast.property_count(), 8);
+        // And agrees with the strict parser.
+        assert_eq!(ast, parse(crate::samples::FIGURE5).unwrap());
+    }
+
+    #[test]
+    fn recovering_parser_handles_unclosed_blocks() {
+        let (ast, diags) = parse_recovering("a { maxTries: 3 onFail: skipPath;");
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unclosed block"));
+        assert_eq!(ast.property_count(), 1, "parsed content is kept");
+    }
+
+    #[test]
+    fn recovering_parser_survives_garbage() {
+        let (_, diags) = parse_recovering("$$$ not a spec at all ;;; }}}{{{");
+        assert!(!diags.is_empty());
+        // Progress guarantee: it terminated (we are here) and reported
+        // something actionable.
+    }
+
+    #[test]
+    fn recovering_parser_resyncs_on_missing_semicolon() {
+        // The first property lacks `;`: its diagnostic points at the
+        // following keyword, and the resync eats up to the real `;`.
+        let (ast, diags) =
+            parse_recovering("a { maxTries: 3 onFail: skipPath maxDuration: 5s onFail: skipTask; }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(ast.blocks.len(), 1);
+    }
+}

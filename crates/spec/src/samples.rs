@@ -1,0 +1,40 @@
+//! Sample specifications used across tests, examples and benchmarks.
+
+/// The full property specification of the paper's Figure 5: the
+/// wearable health-monitoring benchmark.
+pub const FIGURE5: &str = r#"
+micSense: {
+    maxTries: 10 onFail: skipPath;
+}
+
+send: {
+    MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2;
+    maxDuration: 100ms onFail: skipTask;
+    collect: 1 dpTask: accel onFail: restartPath Path: 2;
+    collect: 1 dpTask: micSense onFail: restartPath Path: 3;
+}
+
+calcAvg {
+    collect: 10 dpTask: bodyTemp onFail: restartPath;
+    dpData: avgTemp Range: [36, 38] onFail: completePath;
+}
+
+accel {
+    maxTries: 10 onFail: skipPath;
+}
+"#;
+
+/// A minimal one-task specification for quickstarts.
+pub const MINIMAL: &str = "sense: { maxTries: 3 onFail: skipPath; }";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn samples_parse() {
+        assert_eq!(parse(FIGURE5).unwrap().blocks.len(), 4);
+        assert_eq!(parse(MINIMAL).unwrap().blocks.len(), 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! The §4.2.2 extension property, end to end: `energy` gates a task on
+//! the capacitor's charge level, skipping it when a completed execution
+//! is unlikely — the paper's worked example of extending the framework
+//! (new grammar rule, new lowering template, new runtime probe).
+//!
+//! ```text
+//! cargo run --example energy_aware
+//! ```
+
+use artemis::prelude::*;
+
+fn main() {
+    let mut b = AppGraphBuilder::new();
+    let cheap = b.task("cheapSense");
+    let hungry = b.task("hungrySense");
+    let send = b.task("send");
+    b.path(&[cheap, hungry, send]);
+    let app = b.build().expect("valid graph");
+
+    // The extension property, written like any other: skip hungrySense
+    // unless at least 500 µJ is banked.
+    let spec = "hungrySense: { energy: 500uJ onFail: skipTask; }";
+    let suite = artemis::ir::compile(spec, &app).expect("compiles");
+    println!(
+        "lowered `energy` property to machine `{}`:\n\n{}",
+        suite.machines()[0].name,
+        artemis::ir::print::print_machine(&suite.machines()[0]),
+    );
+
+    // Scenario A: a big capacitor — the guard passes, the task runs.
+    let run = |budget_uj: u64| {
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_micro_joules(budget_uj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(5)))
+            .build();
+        let suite = artemis::ir::compile(spec, &app).expect("compiles");
+        let mut rb = ArtemisRuntimeBuilder::new(app.clone());
+        rb.body("cheapSense", |ctx| ctx.compute(1_000));
+        rb.body("hungrySense", |ctx| {
+            // ~400 µJ across bursts: viable only on a healthy charge.
+            for _ in 0..40 {
+                ctx.compute(28_000)?;
+            }
+            Ok(())
+        });
+        rb.body("send", |ctx| ctx.compute(2_000));
+        let mut rt = rb.install(&mut dev, suite).expect("install");
+        let out = rt.run_once(&mut dev, RunLimit::sim_time(SimDuration::from_mins(30)));
+        let ran = dev
+            .trace()
+            .completions_of(app.task_by_name("hungrySense").unwrap());
+        (out.is_completed(), ran, dev.reboots())
+    };
+
+    let (done, ran, reboots) = run(1_500);
+    println!("1.5 mJ capacitor: completed={done}, hungrySense ran {ran}x, reboots={reboots}");
+    assert!(done && ran == 1);
+
+    // Scenario B: a 300 µJ capacitor can never bank 500 µJ — the guard
+    // fires every time and the task is skipped instead of thrashing.
+    let (done, ran, reboots) = run(300);
+    println!("300 µJ capacitor: completed={done}, hungrySense ran {ran}x, reboots={reboots}");
+    assert!(done && ran == 0, "energy guard must skip the hungry task");
+    println!("\nwithout the energy property, the 300 µJ device would brown-out loop inside hungrySense until maxTries (if any) rescued it — the guard skips it before wasting the charge.");
+}

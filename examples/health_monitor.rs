@@ -1,0 +1,52 @@
+//! The paper's full benchmark: the wearable health-monitoring
+//! application (Figures 4–6) under the Figure 5 specification, on
+//! intermittent power with a charging delay you choose.
+//!
+//! ```text
+//! cargo run --release --example health_monitor -- [charging-minutes]
+//! ```
+//!
+//! With delays above five minutes, watch the `MITD … maxAttempt: 3`
+//! property bound the path-2 restarts and skip the path — the paper's
+//! Figure 13 in your terminal.
+
+use artemis::bench::health::{benchmark_device, install_artemis, nominal_minutes, HEALTH_SPEC};
+use artemis::prelude::*;
+
+fn main() {
+    let minutes: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(6);
+    println!("charging delay: {minutes} nominal minute(s)\n");
+
+    let mut dev = benchmark_device(Harvester::FixedDelay(nominal_minutes(minutes)));
+    let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
+
+    let outcome = rt.run_once(&mut dev, RunLimit::sim_time(SimDuration::from_hours(6)));
+    let app = rt.app().clone();
+
+    // Render the trace with task names.
+    let mut text = dev.trace().render();
+    for (i, t) in app.tasks().iter().enumerate().rev() {
+        text = text.replace(&format!("task#{i}"), &t.name);
+    }
+    println!("{text}");
+
+    match outcome {
+        SimOutcome::Completed(out) => {
+            println!("== completed ==");
+            println!("paths completed: {:?}", out.completed);
+            println!("paths skipped:   {:?}", out.skipped);
+            println!("emergency (completePath fired): {}", out.emergency);
+        }
+        SimOutcome::NonTermination(why) => println!("== {why} =="),
+    }
+    println!(
+        "reboots: {}, energy: {}, on-time: {}, charging: {}",
+        dev.reboots(),
+        dev.stats().consumed,
+        dev.clock().on_time(),
+        dev.clock().off_time(),
+    );
+}

@@ -1,0 +1,138 @@
+//! Property-based crash-consistency tests: whatever the energy budget
+//! and outage pattern, the committed application state after an
+//! intermittent run must equal the continuous-power run's.
+
+use artemis::prelude::*;
+use proptest::prelude::*;
+
+/// Builds the reference app: three producers feeding one consumer that
+/// sums everything into a persistent accumulator channel.
+fn app() -> AppGraph {
+    let mut b = AppGraphBuilder::new();
+    let a = b.task("a");
+    let bb = b.task("b");
+    let c = b.task("c");
+    let sum = b.task("sum");
+    b.path(&[a, bb, c, sum]);
+    b.build().unwrap()
+}
+
+fn install(dev: &mut Device, graph: &AppGraph) -> ArtemisRuntime {
+    let suite = artemis::ir::compile(
+        "sum { collect: 1 dpTask: c onFail: restartPath; }",
+        graph,
+    )
+    .unwrap();
+    let mut rb = ArtemisRuntimeBuilder::new(graph.clone());
+    rb.channel("values");
+    rb.channel("result");
+    rb.body("a", |ctx| {
+        ctx.compute(3_000)?;
+        ctx.push("values", 1.0)
+    });
+    rb.body("b", |ctx| {
+        ctx.compute(5_000)?;
+        ctx.push("values", 10.0)
+    });
+    rb.body("c", |ctx| {
+        ctx.compute(7_000)?;
+        ctx.push("values", 100.0)
+    });
+    rb.body("sum", |ctx| {
+        let total: f64 = ctx.read_all("values")?.iter().sum();
+        ctx.consume("values")?;
+        ctx.push("result", total)
+    });
+    rb.install(dev, suite).unwrap()
+}
+
+fn result_of(rt: &ArtemisRuntime, dev: &mut Device) -> Vec<f64> {
+    let ch = rt.channel("result").unwrap();
+    let tx = artemis::sim::journal::TxWriter::new();
+    ch.read_all(dev, &tx).unwrap()
+}
+
+fn reference() -> Vec<f64> {
+    let mut dev = DeviceBuilder::msp430fr5994().build();
+    let graph = app();
+    let mut rt = install(&mut dev, &graph);
+    rt.run_once(&mut dev, RunLimit::unbounded())
+        .completed()
+        .unwrap();
+    result_of(&rt, &mut dev)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Fixed-delay harvesting at arbitrary (viable) budgets never
+    /// changes the committed result.
+    #[test]
+    fn committed_state_matches_continuous_run(
+        budget_nj in 12_000u64..200_000,
+        delay_ms in 100u64..60_000,
+    ) {
+        let expected = reference();
+        let graph = app();
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(delay_ms)))
+            .build();
+        let mut rt = install(&mut dev, &graph);
+        let out = rt.run_once(&mut dev, RunLimit::reboots(1_000_000));
+        prop_assert!(out.is_completed(), "budget {budget_nj} nJ, delay {delay_ms} ms");
+        prop_assert_eq!(result_of(&rt, &mut dev), expected);
+    }
+
+    /// Randomised outage traces (stochastic harvester) preserve the
+    /// result too — failure placement is adversarially varied.
+    #[test]
+    fn stochastic_outages_preserve_the_result(
+        budget_nj in 12_000u64..80_000,
+        seed in 0u64..1_000,
+    ) {
+        let expected = reference();
+        let graph = app();
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::stochastic(
+                SimDuration::from_millis(50),
+                SimDuration::from_secs(30),
+                seed,
+            ))
+            .build();
+        let mut rt = install(&mut dev, &graph);
+        let out = rt.run_once(&mut dev, RunLimit::reboots(1_000_000));
+        prop_assert!(out.is_completed(), "budget {budget_nj} nJ, seed {seed}");
+        prop_assert_eq!(result_of(&rt, &mut dev), expected);
+    }
+
+    /// The persistent clock keeps the run's wall time consistent: total
+    /// time equals on-time plus off-time, and on-time is invariant-ish
+    /// across budgets (re-execution adds work, so it can only grow).
+    #[test]
+    fn clock_accounting_is_consistent(
+        budget_nj in 12_000u64..200_000,
+        delay_ms in 100u64..10_000,
+    ) {
+        let graph = app();
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(delay_ms)))
+            .build();
+        let mut rt = install(&mut dev, &graph);
+        let out = rt.run_once(&mut dev, RunLimit::reboots(1_000_000));
+        prop_assert!(out.is_completed());
+        let on = dev.clock().on_time();
+        let off = dev.clock().off_time();
+        prop_assert_eq!(dev.now().as_micros(), (on + off).as_micros());
+        prop_assert_eq!(
+            off.as_micros(),
+            dev.reboots() * delay_ms * 1_000,
+            "each reboot contributes exactly one outage"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Robustness checks beyond the paper's exact setups: stochastic
+//! charging, simultaneous multi-monitor failures, clock measurement
+//! error, and the benchmark under the external-monitor deployment.
+
+use artemis::bench::health::{
+    artemis_builder, benchmark_capacitor, health_app, install_artemis, install_mayfly,
+    HEALTH_SPEC,
+};
+use artemis::monitor::{Monitoring, RemoteMonitorEngine};
+use artemis::prelude::*;
+use artemis::sim::PersistentClock;
+
+/// The Figure 12 story must survive randomised outage durations, not
+/// just fixed delays: with outages well under the MITD bound both
+/// systems complete; with outages well over it only ARTEMIS does.
+#[test]
+fn fig12_shape_holds_under_stochastic_charging() {
+    let limit = RunLimit::sim_time(SimDuration::from_hours(6));
+
+    // Outages 30–90 s: far below the 5-minute bound.
+    for seed in [1u64, 2, 3] {
+        let short = || {
+            Harvester::stochastic(
+                SimDuration::from_secs(30),
+                SimDuration::from_secs(90),
+                seed,
+            )
+        };
+        let mut dev = artemis::bench::health::benchmark_device(short());
+        let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
+        assert!(
+            rt.run_once(&mut dev, limit).is_completed(),
+            "ARTEMIS, short outages, seed {seed}"
+        );
+        let mut dev = artemis::bench::health::benchmark_device(short());
+        let mut rt = install_mayfly(&mut dev);
+        assert!(
+            rt.run_once(&mut dev, limit).is_completed(),
+            "Mayfly, short outages, seed {seed}"
+        );
+    }
+
+    // Outages 6–10 minutes: always beyond the bound.
+    for seed in [1u64, 2, 3] {
+        let long = || {
+            Harvester::stochastic(
+                SimDuration::from_secs(360),
+                SimDuration::from_secs(600),
+                seed,
+            )
+        };
+        let mut dev = artemis::bench::health::benchmark_device(long());
+        let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
+        assert!(
+            rt.run_once(&mut dev, limit).is_completed(),
+            "ARTEMIS must complete under long outages, seed {seed}"
+        );
+        let mut dev = artemis::bench::health::benchmark_device(long());
+        let mut rt = install_mayfly(&mut dev);
+        assert!(
+            !rt.run_once(&mut dev, limit).is_completed(),
+            "Mayfly must NOT complete under long outages, seed {seed}"
+        );
+    }
+}
+
+/// Several monitors failing on one event: all verdicts are reported and
+/// the most severe action wins.
+#[test]
+fn simultaneous_failures_arbitrate_to_most_severe() {
+    let mut b = AppGraphBuilder::new();
+    let a = b.task("a");
+    let z = b.task("z");
+    b.path(&[a, z]);
+    let app = b.build().unwrap();
+
+    // Three properties on `a` that a delayed second start all violates:
+    // maxTries(1) -> skipTask-severity... use distinct actions to check
+    // arbitration: skipTask vs skipPath (skipPath must win).
+    let spec = "a { maxTries: 1 onFail: skipTask; \
+                period: 1ms onFail: skipPath; }";
+    let suite = artemis::ir::compile(spec, &app).unwrap();
+    let mut dev = DeviceBuilder::msp430fr5994().build();
+    let engine = artemis::monitor::MonitorEngine::install(&mut dev, suite, &app).unwrap();
+    engine.reset_monitor(&mut dev).unwrap();
+
+    let t = |ms: u64| SimInstant::from_micros(ms * 1_000);
+    engine
+        .call_monitor(&mut dev, 1, &MonitorEvent::start(a, t(0)))
+        .unwrap();
+    // Second start, 10 ms later: maxTries exceeded AND period violated.
+    let verdicts = engine
+        .call_monitor(&mut dev, 2, &MonitorEvent::start(a, t(10)))
+        .unwrap();
+    assert_eq!(verdicts.len(), 2, "{verdicts:?}");
+    let actions: Vec<Action> = verdicts.iter().map(|v| v.action).collect();
+    assert_eq!(Action::arbitrate(&actions), Some(Action::SkipPath(PathId(0))));
+}
+
+/// Timekeeping error (±5 % per outage, the accuracy class of remanence
+/// timekeepers) must not change the far-from-boundary outcomes.
+#[test]
+fn clock_error_does_not_flip_clear_cut_outcomes() {
+    for seed in [11u64, 12] {
+        // 1-minute outages with a noisy clock: far under the bound.
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(benchmark_capacitor())
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(59)))
+            .clock(PersistentClock::with_outage_error(0.05, seed))
+            .build();
+        let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
+        assert!(
+            rt.run_once(&mut dev, RunLimit::sim_time(SimDuration::from_hours(6)))
+                .is_completed(),
+            "noisy clock, short outages, seed {seed}"
+        );
+
+        // 8-minute outages: far over the bound; ARTEMIS still completes
+        // by skipping after three attempts.
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .capacitor(benchmark_capacitor())
+            .harvester(Harvester::FixedDelay(SimDuration::from_secs(480)))
+            .clock(PersistentClock::with_outage_error(0.05, seed))
+            .build();
+        let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
+        let out = rt
+            .run_once(&mut dev, RunLimit::sim_time(SimDuration::from_hours(6)))
+            .completed()
+            .expect("must complete");
+        assert!(out.skipped.contains(&PathId(1)), "{out:?}");
+    }
+}
+
+/// The full benchmark also runs under the external-monitor deployment
+/// (same verdict semantics, different cost profile).
+#[test]
+fn health_benchmark_runs_under_remote_monitoring() {
+    let app = health_app();
+    let suite = artemis::ir::compile(HEALTH_SPEC, &app).unwrap();
+    let mut dev = artemis::bench::health::benchmark_device(Harvester::Continuous);
+    let remote = RemoteMonitorEngine::install(&mut dev, suite, &app).unwrap();
+    remote.reset_monitor(&mut dev).unwrap();
+    let mut rt = artemis_builder_runtime(&mut dev, remote);
+    let out = rt
+        .run_once(&mut dev, RunLimit::sim_time(SimDuration::from_hours(1)))
+        .completed()
+        .expect("completes");
+    assert!(out.all_completed(), "{out:?}");
+    // And the node kept zero monitor FRAM.
+    assert_eq!(
+        dev.fram().used_by(artemis::sim::MemOwner::Monitor),
+        0
+    );
+}
+
+fn artemis_builder_runtime(
+    dev: &mut Device,
+    remote: RemoteMonitorEngine,
+) -> ArtemisRuntime<RemoteMonitorEngine> {
+    artemis_builder(health_app())
+        .install_with(dev, remote)
+        .expect("installs")
+}
