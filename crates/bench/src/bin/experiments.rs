@@ -1,6 +1,7 @@
 //! CLI driver: regenerates the paper's figures and tables.
 
 use std::env;
+use std::fs;
 use std::process::ExitCode;
 
 use artemis_bench::experiments;
@@ -8,21 +9,25 @@ use artemis_bench::Report;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: experiments [--json] <fig12|fig13|fig14|fig15|fig16|table2|ablation|all>\n\
-         Regenerates the evaluation figures/tables of the ARTEMIS paper."
+        "usage: experiments [--json] [--emit] \
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|dispatch|all>\n\
+         Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
+         --json   print a JSON array to stdout\n\
+         --emit   also write each report to BENCH_<id>.json"
     );
     ExitCode::FAILURE
 }
 
 fn main() -> ExitCode {
     let mut json = false;
+    let mut emit = false;
     let mut which = None;
     for arg in env::args().skip(1) {
         match arg.as_str() {
             "--json" => json = true,
-            "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation" | "all" => {
-                which = Some(arg)
-            }
+            "--emit" => emit = true,
+            "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
+            | "dispatch" | "all" => which = Some(arg),
             _ => return usage(),
         }
     }
@@ -38,17 +43,25 @@ fn main() -> ExitCode {
         "fig16" => vec![experiments::fig16()],
         "table2" => vec![experiments::table2()],
         "ablation" => vec![experiments::ablation_deployment()],
+        "dispatch" => vec![experiments::dispatch()],
         _ => experiments::all(),
     };
 
     if json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&reports).expect("reports serialise")
-        );
+        println!("{}", Report::json_array_pretty(&reports));
     } else {
         for r in &reports {
             println!("{}", r.render());
+        }
+    }
+    if emit {
+        for r in &reports {
+            let path = format!("BENCH_{}.json", r.id);
+            if let Err(e) = fs::write(&path, r.to_json()) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path}");
         }
     }
     ExitCode::SUCCESS

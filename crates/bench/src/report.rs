@@ -1,11 +1,9 @@
 //! Tabular report plumbing shared by all experiment drivers.
 
-use serde::Serialize;
-
 /// A rendered experiment: an id (figure/table number), a title, and a
 /// simple column/row table, plus free-form notes. Serialises to JSON
 /// for downstream plotting; `render` produces the console table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment id, e.g. `fig12`.
     pub id: String,
@@ -77,6 +75,60 @@ impl Report {
         }
         out
     }
+
+    /// Serialises the report to a compact JSON object (field order:
+    /// id, title, columns, rows, notes).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str(&format!("\"id\":{}", json_string(&self.id)));
+        out.push_str(&format!(",\"title\":{}", json_string(&self.title)));
+        out.push_str(&format!(",\"columns\":{}", json_string_array(&self.columns)));
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string_array(row));
+        }
+        out.push(']');
+        out.push_str(&format!(",\"notes\":{}", json_string_array(&self.notes)));
+        out.push('}');
+        out
+    }
+
+    /// Serialises a slice of reports to an indented JSON array, for
+    /// `experiments --json` output.
+    pub fn json_array_pretty(reports: &[Report]) -> String {
+        if reports.is_empty() {
+            return "[]".to_string();
+        }
+        let items: Vec<String> = reports.iter().map(|r| format!("  {}", r.to_json())).collect();
+        format!("[\n{}\n]", items.join(",\n"))
+    }
+}
+
+/// Escapes and quotes `s` as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_string(s)).collect();
+    format!("[{}]", quoted.join(","))
 }
 
 #[cfg(test)]
@@ -100,8 +152,23 @@ mod tests {
     fn serialises_to_json() {
         let mut r = Report::new("t2", "memory", &["component", "bytes"]);
         r.row(vec!["runtime".into(), "1024".into()]);
-        let json = serde_json::to_string(&r).unwrap();
+        let json = r.to_json();
         assert!(json.contains("\"id\":\"t2\""));
         assert!(json.contains("1024"));
+        assert_eq!(
+            json,
+            "{\"id\":\"t2\",\"title\":\"memory\",\
+             \"columns\":[\"component\",\"bytes\"],\
+             \"rows\":[[\"runtime\",\"1024\"]],\"notes\":[]}"
+        );
+    }
+
+    #[test]
+    fn json_strings_escape_control_and_quote_chars() {
+        assert_eq!(json_string("a\"b\\c\nd\te\u{1}"), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        let arr = Report::json_array_pretty(&[Report::new("x", "y", &[])]);
+        assert!(arr.starts_with("[\n  {"));
+        assert!(arr.ends_with("}\n]"));
+        assert_eq!(Report::json_array_pretty(&[]), "[]");
     }
 }

@@ -9,8 +9,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::app::PathId;
 
 /// A corrective action a monitor may recommend on property failure.
@@ -18,7 +16,7 @@ use crate::app::PathId;
 /// The variants mirror Table 1 of the paper. Path-directed actions carry
 /// the path the specification bound them to (explicit `Path:` qualifier,
 /// or the single owning path when the task is not merged).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Action {
     /// Re-run the current task from its start.
     RestartTask,
@@ -103,7 +101,7 @@ impl fmt::Display for Action {
 }
 
 /// The outcome a single monitor reports for one event.
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub enum Verdict {
     /// All properties this monitor tracks held for this event.
     Ok,

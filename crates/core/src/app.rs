@@ -11,12 +11,10 @@
 use core::fmt;
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::BuildError;
 
 /// Index of a task within an [`AppGraph`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -37,7 +35,7 @@ impl fmt::Display for TaskId {
 /// Paths are numbered from **1** in the specification language (matching
 /// the paper's `Path: 2` syntax); internally they are stored densely and
 /// this id is the zero-based index.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct PathId(pub u32);
 
 impl PathId {
@@ -59,7 +57,7 @@ impl fmt::Display for PathId {
 }
 
 /// Static declaration of one task.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct TaskDecl {
     /// Source-level task name, e.g. `bodyTemp`.
     pub name: String,
@@ -69,7 +67,7 @@ pub struct TaskDecl {
 }
 
 /// Static declaration of one path: an ordered task sequence.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct PathDecl {
     /// Tasks in execution order; never empty.
     pub tasks: Vec<TaskId>,
@@ -96,11 +94,10 @@ pub struct PathDecl {
 /// assert_eq!(app.task_by_name("calcAvg"), Some(avg));
 /// assert_eq!(app.paths().len(), 1);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AppGraph {
     tasks: Vec<TaskDecl>,
     paths: Vec<PathDecl>,
-    #[serde(skip)]
     by_name: HashMap<String, TaskId>,
 }
 

@@ -5,13 +5,11 @@
 //! with the persistent clock (paper §3.4 and Figure 8's
 //! `MonitorEvent_t`). All properties are defined on top of this stream.
 
-use serde::{Deserialize, Serialize};
-
 use crate::app::{PathId, TaskId};
 use crate::time::SimInstant;
 
 /// The kind of a primitive observable event.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum EventKind {
     /// Delivered immediately before a task body runs (and again on every
     /// re-attempt after a power failure).
@@ -37,7 +35,7 @@ pub enum EventKind {
 /// assert_eq!(e.kind, EventKind::StartTask);
 /// assert!(e.dep_data.is_none());
 /// ```
-#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Debug)]
 pub struct MonitorEvent {
     /// Start or end.
     pub kind: EventKind,

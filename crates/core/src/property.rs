@@ -12,8 +12,6 @@
 
 use core::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::app::{AppGraph, PathId, TaskId};
 use crate::error::CoreError;
 use crate::time::SimDuration;
@@ -22,7 +20,7 @@ use crate::time::SimDuration;
 ///
 /// This is the raw `onFail:` keyword; [`Property`] stores the resolved
 /// [`Action`](crate::action::Action)-shaped form with concrete paths.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum OnFail {
     /// Restart the governing path from its first task.
     RestartPath,
@@ -69,7 +67,7 @@ impl fmt::Display for OnFail {
 /// restarts; without a cap a long outage makes them restart forever —
 /// the exact non-termination the paper demonstrates in Mayfly. The
 /// escalation bounds the number of failures before a terminal action.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct MaxAttempt {
     /// Number of allowed property failures before escalating.
     pub max: u32,
@@ -79,7 +77,7 @@ pub struct MaxAttempt {
 
 /// The kind and parameters of one property, resolved against the graph.
 // `Eq` is deliberately absent: `DpData` carries `f64` bounds.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum PropertyKind {
     /// Desired interval between consecutive executions of the task, with
     /// an allowed jitter (Table 1 `period`).
@@ -156,7 +154,7 @@ impl PropertyKind {
 }
 
 /// One fully resolved property bound to a task.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct Property {
     /// Kind and parameters.
     pub kind: PropertyKind,
@@ -171,7 +169,7 @@ pub struct Property {
 }
 
 /// A property bound to the task it was declared on.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct TaskProperty {
     /// The task whose block declared the property.
     pub task: TaskId,
@@ -197,7 +195,7 @@ pub struct TaskProperty {
 ///     .unwrap();
 /// assert_eq!(set.for_task(a).count(), 1);
 /// ```
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct PropertySet {
     entries: Vec<TaskProperty>,
 }

@@ -16,8 +16,6 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A span of simulated time, stored as whole microseconds.
 ///
 /// # Examples
@@ -30,7 +28,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(format!("{d}"), "1.500ms");
 /// ```
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimDuration(u64);
 
@@ -191,7 +189,7 @@ impl fmt::Debug for SimDuration {
 /// assert!(t1 > t0);
 /// ```
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimInstant(u64);
 

@@ -5,14 +5,12 @@
 //! Figure 13 of the paper is literally a trace — and what the
 //! integration tests assert against.
 
-use serde::{Deserialize, Serialize};
-
 use crate::action::Action;
 use crate::app::{PathId, TaskId};
 use crate::time::{SimDuration, SimInstant};
 
 /// One entry on the execution timeline.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum TraceEvent {
     /// The device (re)gained power and the runtime re-entered its loop.
     Boot {
@@ -72,7 +70,7 @@ pub enum TraceEvent {
 }
 
 /// A timestamped [`TraceEvent`].
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct TraceRecord {
     /// When the event happened on the persistent clock.
     pub at: SimInstant,
@@ -97,7 +95,7 @@ pub struct TraceRecord {
 /// assert_eq!(trace.len(), 2);
 /// assert_eq!(trace.count(|e| matches!(e, TraceEvent::TaskStart { .. })), 1);
 /// ```
-#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct Trace {
     records: Vec<TraceRecord>,
     enabled: bool,

@@ -1,0 +1,278 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The workspace must build without network access, so this in-tree
+//! crate provides the API subset the `[[bench]]` targets use:
+//! [`Criterion`] with `bench_function` / `benchmark_group`, the
+//! builder knobs (`sample_size`, `warm_up_time`, `measurement_time`),
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement
+//! is deliberately simple — warm up for the configured time, then take
+//! `sample_size` samples and report min/median/max wall-clock per
+//! iteration — with none of upstream's statistical machinery. Good
+//! enough to track regressions by eye; not a confidence interval.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// How long to run the routine before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total duration of the timed phase; iteration counts per
+    /// sample are scaled to roughly fill it.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(r) => r.print(id),
+            None => println!("{id:<40} (no iter() call — nothing measured)"),
+        }
+        self
+    }
+
+    /// Starts a named group; member benchmarks print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one member benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Handed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its output alive so the optimiser
+    /// cannot delete the work.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run untimed until the budget elapses, counting
+        // iterations to size the timed samples.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / u32::try_from(warm_iters).unwrap_or(u32::MAX).max(1);
+
+        // Size each sample so all samples together roughly fill the
+        // measurement budget.
+        let samples = self.config.sample_size;
+        let budget_per_sample = self.config.measurement_time / u32::try_from(samples).unwrap_or(1);
+        let iters_per_sample = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut sample_times: Vec<Duration> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            sample_times.push(start.elapsed() / u32::try_from(iters_per_sample).unwrap_or(1));
+        }
+        sample_times.sort();
+        self.report = Some(Report {
+            min: sample_times[0],
+            median: sample_times[samples / 2],
+            max: sample_times[samples - 1],
+            samples,
+            iters_per_sample,
+        });
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Report {
+    min: Duration,
+    median: Duration,
+    max: Duration,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Report {
+    fn print(&self, id: &str) {
+        println!(
+            "{id:<40} time: [{} {} {}]   ({} samples x {} iters)",
+            fmt_duration(self.min),
+            fmt_duration(self.median),
+            fmt_duration(self.max),
+            self.samples,
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} us", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Re-export so generated code can reference it; prefer
+/// `std::hint::black_box` in new code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions with a shared configuration, mirroring
+/// upstream's two accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = fast_criterion();
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_prefix_names_and_finish() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("member", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.000 us");
+        assert_eq!(fmt_duration(Duration::from_millis(4)), "4.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        targets = trivial_target
+    }
+
+    fn trivial_target(c: &mut Criterion) {
+        c.bench_function("trivial", |b| b.iter(|| 0u8));
+    }
+
+    #[test]
+    fn generated_group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,858 @@
+//! Ahead-of-time compilation of monitors to slot-indexed bytecode.
+//!
+//! The reference interpreter ([`crate::exec`]) resolves names on every
+//! event: variable references are looked up by string, trigger patterns
+//! compare task *names*, and expression trees are walked with one heap
+//! allocation per variable snapshot. All of that is static — a monitor
+//! suite never changes after installation — so this module moves it to
+//! install time (the paper's model-to-text step, specialised for the
+//! simulator instead of C):
+//!
+//! - variable names are interned to dense **slot indices**;
+//! - `TaskPat::Named` patterns are resolved to dense task ids against
+//!   the application graph, and transitions are flattened into
+//!   per-event-kind, per-task **dispatch tables** (`task id →
+//!   [transition index]`), so delivering an event costs one table
+//!   lookup instead of a scan with string compares;
+//! - guard and body expression trees are lowered to a flat
+//!   register-style **bytecode** ([`Op`]) evaluated over a caller-owned
+//!   scratch register file — zero heap allocation per event.
+//!
+//! [`CompiledMachine::step`] mirrors [`crate::exec::step`] exactly —
+//! first-match transition selection, implicit self-transition,
+//! short-circuit `&&`/`||`, saturating arithmetic, assignment coercion,
+//! and the same error surfacing order — which the differential property
+//! tests in `artemis-monitor` pin down.
+
+use core::ops::Range;
+
+use artemis_core::app::AppGraph;
+use artemis_core::event::EventKind;
+
+use crate::exec::coerce;
+use crate::expr::{apply, BinOp, EvalError, EventCtx, Expr, Value};
+use crate::fsm::{EmitFail, MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+/// One bytecode instruction. Operands name registers in the scratch
+/// file (`r`), slots in the machine's variable block (`slot`), entries
+/// in the literal pool (`lit`), or absolute instruction targets.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Op {
+    /// `r[dst] = lits[lit]`
+    Const { dst: u16, lit: u16 },
+    /// `r[dst] = vars[slot]`
+    LoadVar { dst: u16, slot: u16 },
+    /// `r[dst] = Time(ctx.time_us)`
+    LoadEventTime { dst: u16 },
+    /// `r[dst] = Float(ctx.dep_data)`; errors with `NoDepData`.
+    LoadDepData { dst: u16 },
+    /// `r[dst] = Int(ctx.energy_nj)` (saturating).
+    LoadEnergy { dst: u16 },
+    /// `r[dst] = r[a] op r[b]` (non-short-circuit operators).
+    Bin { op: BinOp, dst: u16, a: u16, b: u16 },
+    /// `r[dst] = !r[src]`; errors unless `r[src]` is a bool.
+    Not { dst: u16, src: u16 },
+    /// Errors unless `r[src]` is a bool (tail check of `&&`/`||`).
+    AssertBool { src: u16 },
+    /// `pc = target` if `r[src]` is `false`; errors on non-bool.
+    JumpIfFalse { src: u16, target: u32 },
+    /// `pc = target` if `r[src]` is `true`; errors on non-bool.
+    JumpIfTrue { src: u16, target: u32 },
+    /// `pc = target`.
+    Jump { target: u32 },
+    /// `vars[slot] = coerce(r[src], vars[slot])`.
+    StoreVar { slot: u16, src: u16 },
+}
+
+/// Why a machine could not be compiled. Machines that pass
+/// [`crate::validate::validate_strict`] and observe only tasks present
+/// in the application graph always compile.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileIssue {
+    /// An expression or assignment references an undeclared variable.
+    UnknownVar {
+        /// The unresolvable name.
+        name: String,
+    },
+    /// A trigger names a task missing from the application graph.
+    UnknownTask {
+        /// The unresolvable task name.
+        task: String,
+    },
+    /// The machine exceeds a bytecode index limit (u16 slots/registers,
+    /// u32 instructions) — unreachable for generated monitors.
+    TooLarge,
+}
+
+impl core::fmt::Display for CompileIssue {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CompileIssue::UnknownVar { name } => write!(f, "unknown variable `{name}`"),
+            CompileIssue::UnknownTask { task } => write!(f, "unknown task `{task}`"),
+            CompileIssue::TooLarge => write!(f, "machine exceeds bytecode limits"),
+        }
+    }
+}
+
+impl std::error::Error for CompileIssue {}
+
+/// A transition after compilation: resolved state indices, bytecode
+/// ranges for guard and body, and the original failure signal.
+#[derive(Clone, Debug)]
+struct CompiledTransition {
+    from: u32,
+    to: u32,
+    /// Guard instructions; result lands in register 0. `None` means
+    /// unconditionally enabled.
+    guard: Option<Range<u32>>,
+    /// Body instructions.
+    body: Range<u32>,
+    emit: Option<EmitFail>,
+}
+
+/// One event as the compiled evaluator sees it: kind + dense task id +
+/// evaluation context. The name-free counterpart of
+/// [`crate::exec::IrEvent`].
+#[derive(Clone, Copy, Debug)]
+pub struct CompiledEvent {
+    /// Start or end.
+    pub kind: EventKind,
+    /// Dense task id (index into the application graph).
+    pub task: u32,
+    /// Evaluation context (timestamp, depData, energy).
+    pub ctx: EventCtx,
+}
+
+fn kind_index(kind: EventKind) -> usize {
+    match kind {
+        EventKind::StartTask => 0,
+        EventKind::EndTask => 1,
+    }
+}
+
+/// One monitor compiled to bytecode plus dispatch tables.
+#[derive(Debug)]
+pub struct CompiledMachine {
+    /// Flat instruction stream shared by all guards and bodies.
+    code: Vec<Op>,
+    /// Literal pool.
+    lits: Vec<Value>,
+    transitions: Vec<CompiledTransition>,
+    /// `dispatch[kind][task id]` → indices of transitions whose trigger
+    /// can match that event, in priority order.
+    dispatch: [Vec<Vec<u16>>; 2],
+    /// Fallback lists for task ids beyond the graph (wildcard-matching
+    /// transitions only); events from installed applications never need
+    /// them.
+    wildcard: [Vec<u16>; 2],
+    /// Scratch registers [`CompiledMachine::step`] needs.
+    max_regs: usize,
+    initial_state: u32,
+    var_count: usize,
+}
+
+impl CompiledMachine {
+    /// Compiles one machine against the application graph.
+    pub fn compile(machine: &StateMachine, app: &AppGraph) -> Result<Self, CompileIssue> {
+        Compiler::new(machine, app).run()
+    }
+
+    /// Registers [`CompiledMachine::step`] requires in its scratch file.
+    pub fn max_regs(&self) -> usize {
+        self.max_regs
+    }
+
+    /// Number of bytecode instructions.
+    pub fn op_count(&self) -> usize {
+        self.code.len()
+    }
+
+    /// Number of compiled transitions.
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// The machine's initial state index.
+    pub fn initial_state(&self) -> u32 {
+        self.initial_state
+    }
+
+    /// Number of variable slots.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// Returns `true` when no transition of this machine can match the
+    /// event — the O(1) trigger test that lets the engine dismiss the
+    /// machine without touching its FRAM state.
+    pub fn dismisses(&self, kind: EventKind, task: u32) -> bool {
+        self.transition_list(kind, task).is_empty()
+    }
+
+    /// Number of transitions the dispatch table routes this event to —
+    /// the work a step actually considers (vs. the full transition
+    /// count the interpreter scans).
+    pub fn dispatch_len(&self, kind: EventKind, task: u32) -> usize {
+        self.transition_list(kind, task).len()
+    }
+
+    fn transition_list(&self, kind: EventKind, task: u32) -> &[u16] {
+        let k = kind_index(kind);
+        self.dispatch[k]
+            .get(task as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&self.wildcard[k])
+    }
+
+    /// Feeds one event to the machine: the bytecode counterpart of
+    /// [`crate::exec::step`], operating on a caller-owned `(state,
+    /// vars)` snapshot and `regs` scratch file (at least
+    /// [`CompiledMachine::max_regs`] long). Returns the failure signal
+    /// of the taken transition, if any.
+    ///
+    /// Matches the interpreter bug-for-bug: an evaluation error mid-body
+    /// leaves earlier assignments applied and the state unmoved.
+    pub fn step(
+        &self,
+        state: &mut u32,
+        vars: &mut [Value],
+        event: &CompiledEvent,
+        regs: &mut [Value],
+    ) -> Result<Option<&EmitFail>, EvalError> {
+        debug_assert!(regs.len() >= self.max_regs);
+        debug_assert_eq!(vars.len(), self.var_count);
+
+        let mut taken = None;
+        for &ti in self.transition_list(event.kind, event.task) {
+            let t = &self.transitions[ti as usize];
+            if t.from != *state {
+                continue;
+            }
+            let enabled = match &t.guard {
+                None => true,
+                Some(range) => {
+                    self.exec(range.clone(), vars, &event.ctx, regs)?;
+                    matches!(regs[0], Value::Bool(true))
+                }
+            };
+            if enabled {
+                taken = Some(t);
+                break;
+            }
+        }
+
+        let Some(transition) = taken else {
+            // Implicit self-transition: accept silently.
+            return Ok(None);
+        };
+
+        self.exec(transition.body.clone(), vars, &event.ctx, regs)?;
+        *state = transition.to;
+        Ok(transition.emit.as_ref())
+    }
+
+    /// Runs one instruction range. Guards never touch `vars`; bodies
+    /// mutate them through `StoreVar`.
+    fn exec(
+        &self,
+        range: Range<u32>,
+        vars: &mut [Value],
+        ctx: &EventCtx,
+        regs: &mut [Value],
+    ) -> Result<(), EvalError> {
+        let mut pc = range.start as usize;
+        let end = range.end as usize;
+        while pc < end {
+            match self.code[pc] {
+                Op::Const { dst, lit } => regs[dst as usize] = self.lits[lit as usize],
+                Op::LoadVar { dst, slot } => regs[dst as usize] = vars[slot as usize],
+                Op::LoadEventTime { dst } => regs[dst as usize] = Value::Time(ctx.time_us),
+                Op::LoadDepData { dst } => {
+                    regs[dst as usize] =
+                        ctx.dep_data.map(Value::Float).ok_or(EvalError::NoDepData)?
+                }
+                Op::LoadEnergy { dst } => {
+                    regs[dst as usize] =
+                        Value::Int(i64::try_from(ctx.energy_nj).unwrap_or(i64::MAX))
+                }
+                Op::Bin { op, dst, a, b } => {
+                    regs[dst as usize] = apply(op, regs[a as usize], regs[b as usize])?
+                }
+                Op::Not { dst, src } => {
+                    regs[dst as usize] = Value::Bool(!regs[src as usize].as_bool()?)
+                }
+                Op::AssertBool { src } => {
+                    regs[src as usize].as_bool()?;
+                }
+                Op::JumpIfFalse { src, target } => {
+                    if !regs[src as usize].as_bool()? {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::JumpIfTrue { src, target } => {
+                    if regs[src as usize].as_bool()? {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::Jump { target } => {
+                    pc = target as usize;
+                    continue;
+                }
+                Op::StoreVar { slot, src } => {
+                    vars[slot as usize] = coerce(regs[src as usize], vars[slot as usize])?
+                }
+            }
+            pc += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Per-machine compilation state.
+struct Compiler<'a> {
+    machine: &'a StateMachine,
+    app: &'a AppGraph,
+    code: Vec<Op>,
+    lits: Vec<Value>,
+    max_regs: usize,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(machine: &'a StateMachine, app: &'a AppGraph) -> Self {
+        Compiler {
+            machine,
+            app,
+            code: Vec::new(),
+            lits: Vec::new(),
+            max_regs: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<CompiledMachine, CompileIssue> {
+        if self.machine.vars.len() > u16::MAX as usize
+            || self.machine.transitions.len() > u16::MAX as usize
+        {
+            return Err(CompileIssue::TooLarge);
+        }
+
+        let mut transitions = Vec::with_capacity(self.machine.transitions.len());
+        for t in &self.machine.transitions {
+            transitions.push(self.compile_transition(t)?);
+        }
+
+        // Dispatch tables: for each event kind and task id, the
+        // transitions (by priority) whose trigger can match.
+        let task_count = self.app.task_count();
+        let mut dispatch = [vec![Vec::new(); task_count], vec![Vec::new(); task_count]];
+        let mut wildcard = [Vec::new(), Vec::new()];
+        for (ti, t) in self.machine.transitions.iter().enumerate() {
+            let ti = ti as u16;
+            let kinds: &[usize] = match &t.trigger {
+                Trigger::Any => &[0, 1],
+                Trigger::Start(_) => &[0],
+                Trigger::End(_) => &[1],
+            };
+            let pat = match &t.trigger {
+                Trigger::Any => &TaskPat::Any,
+                Trigger::Start(p) | Trigger::End(p) => p,
+            };
+            match pat {
+                TaskPat::Any => {
+                    for &k in kinds {
+                        for list in dispatch[k].iter_mut() {
+                            list.push(ti);
+                        }
+                        wildcard[k].push(ti);
+                    }
+                }
+                TaskPat::Named(name) => {
+                    let id = self.app.task_by_name(name).ok_or(CompileIssue::UnknownTask {
+                        task: name.clone(),
+                    })?;
+                    for &k in kinds {
+                        dispatch[k][id.0 as usize].push(ti);
+                    }
+                }
+            }
+        }
+
+        Ok(CompiledMachine {
+            code: self.code,
+            lits: self.lits,
+            transitions,
+            dispatch,
+            wildcard,
+            max_regs: self.max_regs,
+            initial_state: self.machine.initial,
+            var_count: self.machine.vars.len(),
+        })
+    }
+
+    fn compile_transition(&mut self, t: &Transition) -> Result<CompiledTransition, CompileIssue> {
+        let guard = match &t.guard {
+            None => None,
+            Some(g) => {
+                let start = self.here()?;
+                self.compile_expr(g, 0)?;
+                Some(start..self.here()?)
+            }
+        };
+        let start = self.here()?;
+        self.compile_body(&t.body)?;
+        Ok(CompiledTransition {
+            from: t.from,
+            to: t.to,
+            guard,
+            body: start..self.here()?,
+            emit: t.emit.clone(),
+        })
+    }
+
+    fn compile_body(&mut self, body: &[Stmt]) -> Result<(), CompileIssue> {
+        for stmt in body {
+            match stmt {
+                Stmt::Assign(name, expr) => {
+                    self.compile_expr(expr, 0)?;
+                    let slot = self.slot(name)?;
+                    self.code.push(Op::StoreVar { slot, src: 0 });
+                }
+                Stmt::If(cond, then_body, else_body) => {
+                    self.compile_expr(cond, 0)?;
+                    let to_else = self.emit_placeholder();
+                    self.compile_body(then_body)?;
+                    let to_end = self.emit_placeholder();
+                    let else_start = self.here()?;
+                    self.code[to_else] = Op::JumpIfFalse {
+                        src: 0,
+                        target: else_start,
+                    };
+                    self.compile_body(else_body)?;
+                    let end = self.here()?;
+                    self.code[to_end] = Op::Jump { target: end };
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers `expr` so its value lands in register `base`, using
+    /// registers `base..` as an expression stack.
+    fn compile_expr(&mut self, expr: &Expr, base: u16) -> Result<(), CompileIssue> {
+        self.max_regs = self.max_regs.max(base as usize + 1);
+        match expr {
+            Expr::Lit(v) => {
+                let lit = self.lit(*v)?;
+                self.code.push(Op::Const { dst: base, lit });
+            }
+            Expr::Var(name) => {
+                let slot = self.slot(name)?;
+                self.code.push(Op::LoadVar { dst: base, slot });
+            }
+            Expr::EventTime => self.code.push(Op::LoadEventTime { dst: base }),
+            Expr::DepData => self.code.push(Op::LoadDepData { dst: base }),
+            Expr::EnergyLevel => self.code.push(Op::LoadEnergy { dst: base }),
+            Expr::Not(inner) => {
+                self.compile_expr(inner, base)?;
+                self.code.push(Op::Not {
+                    dst: base,
+                    src: base,
+                });
+            }
+            Expr::Bin(op @ (BinOp::And | BinOp::Or), lhs, rhs) => {
+                // Short-circuit: the left value doubles as the result
+                // when it decides the outcome.
+                self.compile_expr(lhs, base)?;
+                let skip = self.emit_placeholder();
+                self.compile_expr(rhs, base)?;
+                self.code.push(Op::AssertBool { src: base });
+                let end = self.here()?;
+                self.code[skip] = if *op == BinOp::And {
+                    Op::JumpIfFalse {
+                        src: base,
+                        target: end,
+                    }
+                } else {
+                    Op::JumpIfTrue {
+                        src: base,
+                        target: end,
+                    }
+                };
+            }
+            Expr::Bin(op, lhs, rhs) => {
+                self.compile_expr(lhs, base)?;
+                let rhs_reg = base.checked_add(1).ok_or(CompileIssue::TooLarge)?;
+                self.compile_expr(rhs, rhs_reg)?;
+                self.code.push(Op::Bin {
+                    op: *op,
+                    dst: base,
+                    a: base,
+                    b: rhs_reg,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn slot(&self, name: &str) -> Result<u16, CompileIssue> {
+        self.machine
+            .var_index(name)
+            .map(|i| i as u16)
+            .ok_or_else(|| CompileIssue::UnknownVar {
+                name: name.to_string(),
+            })
+    }
+
+    fn lit(&mut self, v: Value) -> Result<u16, CompileIssue> {
+        // Values are PartialEq (not Eq: floats), so a linear scan dedups
+        // the tiny pools generated monitors produce.
+        let idx = match self.lits.iter().position(|l| *l == v) {
+            Some(i) => i,
+            None => {
+                self.lits.push(v);
+                self.lits.len() - 1
+            }
+        };
+        u16::try_from(idx).map_err(|_| CompileIssue::TooLarge)
+    }
+
+    fn here(&self) -> Result<u32, CompileIssue> {
+        u32::try_from(self.code.len()).map_err(|_| CompileIssue::TooLarge)
+    }
+
+    /// Reserves one instruction to be patched with a jump later.
+    fn emit_placeholder(&mut self) -> usize {
+        self.code.push(Op::Jump { target: 0 });
+        self.code.len() - 1
+    }
+}
+
+/// A whole suite compiled against one application graph, plus the task
+/// name table interned once for everything that still needs names (the
+/// reference interpreter path, verdict reports).
+pub struct CompiledSuite {
+    machines: Vec<CompiledMachine>,
+    task_names: Box<[Box<str>]>,
+    max_regs: usize,
+}
+
+impl CompiledSuite {
+    /// Compiles every machine of `suite` against `app`.
+    pub fn compile(suite: &MonitorSuite, app: &AppGraph) -> Result<Self, CompileIssue> {
+        let machines = suite
+            .machines()
+            .iter()
+            .map(|m| CompiledMachine::compile(m, app))
+            .collect::<Result<Vec<_>, _>>()?;
+        let max_regs = machines.iter().map(CompiledMachine::max_regs).max().unwrap_or(0);
+        Ok(CompiledSuite {
+            machines,
+            task_names: app
+                .tasks()
+                .iter()
+                .map(|t| t.name.clone().into_boxed_str())
+                .collect(),
+            max_regs,
+        })
+    }
+
+    /// Compiled machines, in suite order.
+    pub fn machines(&self) -> &[CompiledMachine] {
+        &self.machines
+    }
+
+    /// Largest scratch register file any machine needs.
+    pub fn max_regs(&self) -> usize {
+        self.max_regs
+    }
+
+    /// Resolves a dense task id back to its source name ("" when out of
+    /// range), without re-cloning: the table is interned at compile
+    /// time and shared by all machines.
+    pub fn task_name(&self, id: u32) -> &str {
+        self.task_names
+            .get(id as usize)
+            .map(AsRef::as_ref)
+            .unwrap_or("")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{step, IrEvent, MachineState};
+    use crate::expr::VarType;
+    use artemis_core::app::AppGraphBuilder;
+    use artemis_core::property::OnFail;
+
+    fn app() -> AppGraph {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("a");
+        let s = b.task("b");
+        b.path(&[a, s]);
+        b.build().unwrap()
+    }
+
+    fn ctx(t: u64) -> EventCtx {
+        EventCtx {
+            time_us: t,
+            dep_data: None,
+            energy_nj: 0,
+        }
+    }
+
+    /// Runs an event through both the interpreter and the bytecode and
+    /// asserts identical outcomes.
+    fn both(
+        m: &StateMachine,
+        c: &CompiledMachine,
+        istate: &mut MachineState,
+        cstate: &mut (u32, Vec<Value>),
+        kind: EventKind,
+        task: &str,
+        ctx: EventCtx,
+    ) -> Option<EmitFail> {
+        let app = app();
+        let iresult = step(m, istate, &IrEvent { kind, task, ctx });
+        let mut regs = vec![Value::Int(0); c.max_regs().max(1)];
+        let task_id = app.task_by_name(task).map(|t| t.0).unwrap_or(u32::MAX);
+        let cresult = c
+            .step(
+                &mut cstate.0,
+                &mut cstate.1,
+                &CompiledEvent {
+                    kind,
+                    task: task_id,
+                    ctx,
+                },
+                &mut regs,
+            )
+            .map(|e| e.cloned());
+        assert_eq!(iresult, cresult, "emit mismatch");
+        assert_eq!(istate.state, cstate.0, "state mismatch");
+        assert_eq!(istate.vars, cstate.1, "vars mismatch");
+        iresult.unwrap_or(None)
+    }
+
+    /// The counting machine of the exec tests: compiled behaviour must
+    /// match transition for transition.
+    #[test]
+    fn compiled_matches_interpreter_on_counting_machine() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("i", VarType::Int, Value::Int(0));
+        let idle = m.add_state("Idle");
+        let busy = m.add_state("Busy");
+        m.transitions.push(Transition {
+            from: idle,
+            to: busy,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: None,
+            body: vec![Stmt::Assign("i".into(), Expr::int(1))],
+            emit: None,
+        });
+        m.transitions.push(Transition {
+            from: busy,
+            to: busy,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Lt, Expr::var("i"), Expr::int(2))),
+            body: vec![Stmt::Assign(
+                "i".into(),
+                Expr::bin(BinOp::Add, Expr::var("i"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        m.transitions.push(Transition {
+            from: busy,
+            to: idle,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Ge, Expr::var("i"), Expr::int(2))),
+            body: vec![Stmt::Assign("i".into(), Expr::int(0))],
+            emit: Some(EmitFail {
+                action: OnFail::SkipPath,
+                path: Some(1),
+            }),
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+        let mut is = MachineState::initial(&m);
+        let mut cs = (c.initial_state(), m.initial_vars());
+
+        for t in 0..2 {
+            let emit = both(&m, &c, &mut is, &mut cs, EventKind::StartTask, "a", ctx(t));
+            assert!(emit.is_none());
+        }
+        let emit = both(&m, &c, &mut is, &mut cs, EventKind::StartTask, "a", ctx(2));
+        assert_eq!(emit.unwrap().action, OnFail::SkipPath);
+        // Unrelated task: implicit self-transition on both sides.
+        both(&m, &c, &mut is, &mut cs, EventKind::StartTask, "b", ctx(3));
+    }
+
+    #[test]
+    fn short_circuit_and_if_else_compile_correctly() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("x", VarType::Int, Value::Int(0));
+        m.add_var("flag", VarType::Bool, Value::Bool(false));
+        m.add_state("S");
+        // if (flag || x < 2) { x := x + 1 } else { x := 100 }, and
+        // flag := !flag && x > 1.
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Any,
+            guard: None,
+            body: vec![
+                Stmt::If(
+                    Expr::or(
+                        Expr::var("flag"),
+                        Expr::bin(BinOp::Lt, Expr::var("x"), Expr::int(2)),
+                    ),
+                    vec![Stmt::Assign(
+                        "x".into(),
+                        Expr::bin(BinOp::Add, Expr::var("x"), Expr::int(1)),
+                    )],
+                    vec![Stmt::Assign("x".into(), Expr::int(100))],
+                ),
+                Stmt::Assign(
+                    "flag".into(),
+                    Expr::and(
+                        Expr::Not(Box::new(Expr::var("flag"))),
+                        Expr::bin(BinOp::Gt, Expr::var("x"), Expr::int(1)),
+                    ),
+                ),
+            ],
+            emit: None,
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+        let mut is = MachineState::initial(&m);
+        let mut cs = (c.initial_state(), m.initial_vars());
+        for t in 0..6 {
+            both(&m, &c, &mut is, &mut cs, EventKind::StartTask, "a", ctx(t));
+        }
+    }
+
+    #[test]
+    fn builtins_and_errors_match_interpreter() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("last", VarType::Time, Value::Time(0));
+        m.add_var("temp", VarType::Float, Value::Float(0.0));
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::End(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Ge, Expr::DepData, Expr::float(0.0))),
+            body: vec![
+                Stmt::Assign("last".into(), Expr::EventTime),
+                Stmt::Assign("temp".into(), Expr::DepData),
+            ],
+            emit: None,
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+        let mut is = MachineState::initial(&m);
+        let mut cs = (c.initial_state(), m.initial_vars());
+        let with_data = EventCtx {
+            time_us: 42,
+            dep_data: Some(36.5),
+            energy_nj: 7,
+        };
+        both(&m, &c, &mut is, &mut cs, EventKind::EndTask, "a", with_data);
+        assert_eq!(cs.1, vec![Value::Time(42), Value::Float(36.5)]);
+        // depData on an event without data: both sides error identically
+        // (checked inside `both` via result equality).
+        both(&m, &c, &mut is, &mut cs, EventKind::EndTask, "a", ctx(50));
+    }
+
+    #[test]
+    fn dispatch_dismisses_unobserved_events() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: None,
+            body: vec![],
+            emit: None,
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+        assert!(!c.dismisses(EventKind::StartTask, 0));
+        assert!(c.dismisses(EventKind::EndTask, 0));
+        assert!(c.dismisses(EventKind::StartTask, 1));
+        // Out-of-graph ids fall back to wildcard lists (empty here).
+        assert!(c.dismisses(EventKind::StartTask, 999));
+    }
+
+    #[test]
+    fn wildcard_triggers_match_everything() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("n", VarType::Int, Value::Int(0));
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Any,
+            guard: None,
+            body: vec![Stmt::Assign(
+                "n".into(),
+                Expr::bin(BinOp::Add, Expr::var("n"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+        assert!(!c.dismisses(EventKind::StartTask, 0));
+        assert!(!c.dismisses(EventKind::EndTask, 1));
+        assert!(!c.dismisses(EventKind::StartTask, 12345));
+
+        let mut is = MachineState::initial(&m);
+        let mut cs = (c.initial_state(), m.initial_vars());
+        both(&m, &c, &mut is, &mut cs, EventKind::EndTask, "b", ctx(0));
+        assert_eq!(cs.1[0], Value::Int(1));
+    }
+
+    #[test]
+    fn compile_rejects_unknown_names() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("ghost")),
+            guard: None,
+            body: vec![],
+            emit: None,
+        });
+        assert_eq!(
+            CompiledMachine::compile(&m, &app()).unwrap_err(),
+            CompileIssue::UnknownTask {
+                task: "ghost".into()
+            }
+        );
+
+        let mut m = StateMachine::new("m", "a");
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Any,
+            guard: Some(Expr::var("ghost")),
+            body: vec![],
+            emit: None,
+        });
+        let err = CompiledMachine::compile(&m, &app()).unwrap_err();
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn suite_compiles_and_interns_names() {
+        let app = app();
+        let suite = crate::compile("a { maxTries: 3 onFail: skipPath; }", &app).unwrap();
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        assert_eq!(cs.machines().len(), suite.len());
+        assert_eq!(cs.task_name(0), "a");
+        assert_eq!(cs.task_name(1), "b");
+        assert_eq!(cs.task_name(99), "");
+        assert!(cs.max_regs() >= 1);
+        assert!(cs.machines()[0].op_count() > 0);
+        assert!(cs.machines()[0].transition_count() > 0);
+    }
+}

@@ -186,7 +186,7 @@ fn run_body(
 
 /// Keeps a variable's declared type stable across assignments, allowing
 /// only the int↔time widenings the lowering relies on.
-fn coerce(new: Value, old: Value) -> Result<Value, EvalError> {
+pub(crate) fn coerce(new: Value, old: Value) -> Result<Value, EvalError> {
     use Value::*;
     Ok(match (new, old) {
         (Int(v), Time(_)) => Time(u64::try_from(v).unwrap_or(0)),

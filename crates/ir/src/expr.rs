@@ -68,7 +68,7 @@ impl Value {
         }
     }
 
-    fn as_bool(self) -> Result<bool, EvalError> {
+    pub(crate) fn as_bool(self) -> Result<bool, EvalError> {
         match self {
             Value::Bool(b) => Ok(b),
             other => Err(EvalError::TypeMismatch {
@@ -284,7 +284,7 @@ pub fn eval(expr: &Expr, env: &dyn VarEnv, ctx: &EventCtx) -> Result<Value, Eval
     }
 }
 
-fn apply(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
+pub(crate) fn apply(op: BinOp, l: Value, r: Value) -> Result<Value, EvalError> {
     use BinOp::*;
     use Value::*;
 

@@ -7,6 +7,9 @@
 //! - the FSM model ([`fsm`]) and its expression language ([`expr`]);
 //! - the reference interpreter ([`exec`]) — the semantics the
 //!   persistent engine in `artemis-monitor` delegates to;
+//! - an ahead-of-time compiler ([`mod@compile`]) lowering machines to
+//!   slot-indexed bytecode with per-event dispatch tables — the
+//!   allocation-free fast path the engine runs by default;
 //! - the model-to-model transformation ([`mod@lower`]) from resolved
 //!   property sets to machines;
 //! - a textual IR syntax with printer ([`mod@print`]) and parser
@@ -17,6 +20,7 @@
 //!   paper's ImmortalThreads style, Figure 10) and Rust monitor source.
 
 pub mod codegen;
+pub mod compile;
 pub mod dot;
 pub mod exec;
 pub mod expr;
@@ -29,6 +33,7 @@ pub mod validate;
 use artemis_core::app::AppGraph;
 use artemis_spec::SpecAst;
 
+pub use compile::{CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue};
 pub use exec::{IrEvent, MachineState};
 pub use fsm::{MonitorSuite, StateMachine};
 pub use lower::lower_set;

@@ -26,21 +26,36 @@
 //! `maxTries`), while `EndTask` events reuse the number fixed in the
 //! task-commit transaction so a power failure can never double-count a
 //! sample (cf. the paper's timestamp-consistency discussion, §4.1.3).
+//!
+//! # Execution modes
+//!
+//! By default the engine runs suites **compiled** to slot-indexed
+//! bytecode ([`artemis_ir::compile`]) with each machine's `(state,
+//! vars)` packed into one contiguous FRAM block: an event step loads
+//! the block with a single FRAM read and commits it with a single
+//! journal entry, so nonvolatile traffic is O(1) block ops instead of
+//! O(vars) cell ops. [`ExecMode::Interpreter`] keeps the original
+//! tree-walking path over per-variable cells as the executable
+//! reference semantics; the two are pinned together by differential
+//! tests.
 
 pub mod remote;
 pub mod state;
+
+use core::cell::RefCell;
 
 use artemis_core::action::Action;
 use artemis_core::app::{AppGraph, PathId, TaskId};
 use artemis_core::event::{EventKind, MonitorEvent};
 use artemis_core::property::OnFail;
+use artemis_ir::compile::{CompileIssue, CompiledEvent, CompiledSuite};
 use artemis_ir::exec::{step, IrEvent, MachineState};
-use artemis_ir::expr::EventCtx;
+use artemis_ir::expr::{EventCtx, Value};
 use artemis_ir::fsm::MonitorSuite;
 use artemis_ir::validate::{validate_strict, Issue};
 use immortal::Routine;
 use intermittent_sim::device::{CostCategory, Device, Interrupt, MemOwner};
-use intermittent_sim::fram::NvCell;
+use intermittent_sim::fram::{NvCell, NvData};
 use intermittent_sim::journal::{Journal, TxWriter};
 
 use state::{EncodedEvent, NvValue};
@@ -83,6 +98,24 @@ pub trait Monitoring {
 const STEP_BASE_CYCLES: u64 = 40;
 /// Additional cycles per transition considered.
 const STEP_PER_TRANSITION_CYCLES: u64 = 12;
+/// Modelled cost of the compiled path's dispatch-table lookup — a
+/// kind/task index instead of a name-comparing scan.
+const COMPILED_DISPATCH_CYCLES: u64 = 10;
+
+/// Which execution core the engine runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// Slot-indexed bytecode over one contiguous FRAM block per machine
+    /// (load once, commit once) — the default, and the closest analogue
+    /// of the paper's generated C monitors.
+    #[default]
+    Compiled,
+    /// The tree-walking reference interpreter over one FRAM cell per
+    /// variable. Kept as the executable semantics for differential
+    /// testing and as the baseline the dispatch benchmark compares
+    /// against.
+    Interpreter,
+}
 
 /// Why the engine could not be installed.
 #[derive(Debug)]
@@ -101,6 +134,8 @@ pub enum InstallError {
         /// Machine name.
         machine: String,
     },
+    /// The suite failed ahead-of-time compilation to bytecode.
+    Compile(CompileIssue),
     /// Device-level failure (FRAM exhaustion) during installation.
     Device(Interrupt),
 }
@@ -116,6 +151,7 @@ impl core::fmt::Display for InstallError {
                 f,
                 "machine `{machine}` emits a path-directed action but has no governing path"
             ),
+            InstallError::Compile(i) => write!(f, "monitor compilation failed: {i}"),
             InstallError::Device(i) => write!(f, "{i}"),
         }
     }
@@ -134,37 +170,124 @@ pub struct MonitorVerdict {
     pub action: Action,
 }
 
+/// Where one machine's persistent `(state, vars)` live in FRAM.
+enum MachineStore {
+    /// One cell per variable plus a state cell (interpreter layout).
+    Cells {
+        state_cell: NvCell<u32>,
+        var_cells: Vec<NvCell<NvValue>>,
+    },
+    /// One contiguous block: the state word (u32 LE) followed by one
+    /// 9-byte [`NvValue`] per slot — a single FRAM op to load and a
+    /// single journal entry to commit.
+    Block { addr: usize, len: usize },
+}
+
+/// Serialises a machine snapshot into its block image.
+fn encode_block(state: u32, vars: &[Value], out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&state.to_le_bytes());
+    let mut buf = [0u8; NvValue::SIZE];
+    for v in vars {
+        NvValue(*v).store(&mut buf);
+        out.extend_from_slice(&buf);
+    }
+}
+
+/// Inverse of [`encode_block`]; returns the state word.
+fn decode_block(bytes: &[u8], vars: &mut Vec<Value>) -> u32 {
+    let mut word = [0u8; 4];
+    word.copy_from_slice(&bytes[0..4]);
+    vars.clear();
+    for chunk in bytes[4..].chunks_exact(NvValue::SIZE) {
+        vars.push(NvValue::load(chunk).0);
+    }
+    u32::from_le_bytes(word)
+}
+
+/// Stages a machine's re-initialisation into `tx`, honouring its
+/// storage layout.
+fn stage_machine_reset(tx: &mut TxWriter, lm: &LoadedMachine) {
+    match &lm.store {
+        MachineStore::Cells {
+            state_cell,
+            var_cells,
+        } => {
+            tx.write(state_cell, lm.machine.initial);
+            for (cell, decl) in var_cells.iter().zip(&lm.machine.vars) {
+                tx.write(cell, NvValue(decl.init));
+            }
+        }
+        MachineStore::Block { addr, .. } => tx.write_raw(*addr, lm.initial_image.clone()),
+    }
+}
+
 struct LoadedMachine {
     machine: artemis_ir::StateMachine,
-    state_cell: NvCell<u32>,
-    var_cells: Vec<NvCell<NvValue>>,
-    /// Dense task ids this machine observes; `None` when it has an
-    /// `anyEvent` or wildcard trigger and must see everything.
+    store: MachineStore,
+    /// Block image of the initial state, staged whole on resets (empty
+    /// in cell mode).
+    initial_image: Vec<u8>,
+    /// Interpreter mode: dense task ids this machine observes; `None`
+    /// when it has a wildcard trigger and must see everything. The
+    /// compiled path answers this from its dispatch tables instead.
     observed: Option<Vec<u32>>,
 }
 
-/// The engine. Create with [`MonitorEngine::install`].
+/// Reused per-event buffers: once installed, the engine's hot path
+/// allocates nothing.
+struct Scratch {
+    /// Bytecode register file (compiled mode).
+    regs: Vec<Value>,
+    /// Decoded variable snapshot.
+    vars: Vec<Value>,
+    /// Pre-step variable snapshot for change detection (interpreter).
+    before_vars: Vec<Value>,
+    /// Block image as loaded (compiled).
+    block: Vec<u8>,
+    /// Block image after the step (compiled).
+    block_new: Vec<u8>,
+    /// Verdict staging for read-back.
+    verdicts: Vec<MonitorVerdict>,
+}
+
+/// The engine. Create with [`MonitorEngine::install`] (compiled mode)
+/// or [`MonitorEngine::install_with_mode`].
 pub struct MonitorEngine {
+    mode: ExecMode,
+    /// Bytecode, dispatch tables, and the task-name table interned once
+    /// at install (both modes resolve event task ids through it).
+    compiled: CompiledSuite,
     machines: Vec<LoadedMachine>,
-    task_names: Vec<String>,
     routine: Routine,
     journal: Journal,
     event_cell: NvCell<EncodedEvent>,
     seq_cell: NvCell<u64>,
     verdict_count: NvCell<u32>,
     verdict_cells: Vec<NvCell<(u32, (u8, u32))>>,
+    scratch: RefCell<Scratch>,
 }
 
 impl MonitorEngine {
-    /// Validates the suite against `app` and allocates all persistent
-    /// monitor state in FRAM (billed to the monitor component).
+    /// Validates the suite against `app`, compiles it to bytecode, and
+    /// allocates all persistent monitor state in FRAM (billed to the
+    /// monitor component). Equivalent to [`MonitorEngine::install_with_mode`]
+    /// with [`ExecMode::Compiled`].
     pub fn install(
         dev: &mut Device,
         suite: MonitorSuite,
         app: &AppGraph,
     ) -> Result<Self, InstallError> {
-        let task_names: Vec<String> = app.tasks().iter().map(|t| t.name.clone()).collect();
+        Self::install_with_mode(dev, suite, app, ExecMode::default())
+    }
 
+    /// [`MonitorEngine::install`] with an explicit execution mode.
+    pub fn install_with_mode(
+        dev: &mut Device,
+        suite: MonitorSuite,
+        app: &AppGraph,
+        mode: ExecMode,
+    ) -> Result<Self, InstallError> {
         for m in suite.machines() {
             validate_strict(m).map_err(InstallError::Invalid)?;
             for task in m.observed_tasks() {
@@ -191,6 +314,12 @@ impl MonitorEngine {
                 }
             }
         }
+
+        // AOT compilation: slot indices, task-id dispatch tables,
+        // bytecode — and the interned task-name table both modes use.
+        // Suites that pass the checks above always compile; the error
+        // arm guards hand-written machines.
+        let compiled = CompiledSuite::compile(&suite, app).map_err(InstallError::Compile)?;
 
         let dev_err = InstallError::Device;
         let owner = MemOwner::Monitor;
@@ -233,62 +362,145 @@ impl MonitorEngine {
 
             let mut machines = Vec::with_capacity(suite.len());
             for m in suite {
-                let state_cell = dev
-                    .nv_alloc(m.initial, owner, &format!("{}.state", m.name))
-                    .map_err(dev_err)?;
-                let mut var_cells = Vec::with_capacity(m.vars.len());
-                for v in &m.vars {
-                    var_cells.push(
-                        dev.nv_alloc(
-                            NvValue(v.init),
-                            owner,
-                            &format!("{}.{}", m.name, v.name),
+                let (store, initial_image) = match mode {
+                    ExecMode::Compiled => {
+                        // One contiguous block per machine, pre-imaged
+                        // with the initial snapshot.
+                        let mut image = Vec::with_capacity(4 + NvValue::SIZE * m.vars.len());
+                        encode_block(m.initial, &m.initial_vars(), &mut image);
+                        let addr = dev
+                            .nv_alloc_raw(image.len(), owner, &format!("{}.block", m.name))
+                            .map_err(dev_err)?;
+                        dev.nv_write_raw(addr, &image).map_err(dev_err)?;
+                        (
+                            MachineStore::Block {
+                                addr,
+                                len: image.len(),
+                            },
+                            image,
                         )
-                        .map_err(dev_err)?,
-                    );
-                }
+                    }
+                    ExecMode::Interpreter => {
+                        let state_cell = dev
+                            .nv_alloc(m.initial, owner, &format!("{}.state", m.name))
+                            .map_err(dev_err)?;
+                        let mut var_cells = Vec::with_capacity(m.vars.len());
+                        for v in &m.vars {
+                            var_cells.push(
+                                dev.nv_alloc(
+                                    NvValue(v.init),
+                                    owner,
+                                    &format!("{}.{}", m.name, v.name),
+                                )
+                                .map_err(dev_err)?,
+                            );
+                        }
+                        (
+                            MachineStore::Cells {
+                                state_cell,
+                                var_cells,
+                            },
+                            Vec::new(),
+                        )
+                    }
+                };
                 // Pre-resolve the observed task set so events for other
                 // tasks skip the machine without touching its state (the
                 // generated C's trigger test, one compare per machine).
-                let has_wildcard = m.transitions.iter().any(|t| {
-                    matches!(
-                        t.trigger,
-                        artemis_ir::fsm::Trigger::Any
-                            | artemis_ir::fsm::Trigger::Start(artemis_ir::fsm::TaskPat::Any)
-                            | artemis_ir::fsm::Trigger::End(artemis_ir::fsm::TaskPat::Any)
-                    )
-                });
-                let observed = if has_wildcard {
+                // The compiled path answers this from its dispatch
+                // tables instead.
+                let observed = if mode == ExecMode::Compiled {
                     None
                 } else {
-                    Some(
-                        m.observed_tasks()
-                            .iter()
-                            .filter_map(|n| app.task_by_name(n).map(|t| t.0))
-                            .collect::<Vec<u32>>(),
-                    )
+                    let has_wildcard = m.transitions.iter().any(|t| {
+                        matches!(
+                            t.trigger,
+                            artemis_ir::fsm::Trigger::Any
+                                | artemis_ir::fsm::Trigger::Start(artemis_ir::fsm::TaskPat::Any)
+                                | artemis_ir::fsm::Trigger::End(artemis_ir::fsm::TaskPat::Any)
+                        )
+                    });
+                    if has_wildcard {
+                        None
+                    } else {
+                        Some(
+                            m.observed_tasks()
+                                .iter()
+                                .filter_map(|n| app.task_by_name(n).map(|t| t.0))
+                                .collect::<Vec<u32>>(),
+                        )
+                    }
                 };
                 machines.push(LoadedMachine {
                     machine: m,
-                    state_cell,
-                    var_cells,
+                    store,
+                    initial_image,
                     observed,
                 });
             }
 
+            let max_vars = machines
+                .iter()
+                .map(|lm| lm.machine.vars.len())
+                .max()
+                .unwrap_or(0);
+            let max_block = machines
+                .iter()
+                .map(|lm| lm.initial_image.len())
+                .max()
+                .unwrap_or(0);
+            let scratch = RefCell::new(Scratch {
+                regs: vec![Value::Int(0); compiled.max_regs()],
+                vars: Vec::with_capacity(max_vars),
+                before_vars: Vec::with_capacity(max_vars),
+                block: Vec::with_capacity(max_block),
+                block_new: Vec::with_capacity(max_block),
+                verdicts: Vec::new(),
+            });
+
             Ok(MonitorEngine {
+                mode,
+                compiled,
                 machines,
-                task_names,
                 routine,
                 journal,
                 event_cell,
                 seq_cell,
                 verdict_count,
                 verdict_cells,
+                scratch,
             })
         })();
         dev.set_category(prev);
         result
+    }
+
+    /// The execution mode the engine was installed with.
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Costless read of every machine's persistent `(state, vars)` —
+    /// the FRAM-visible monitor state, independent of storage layout.
+    /// For differential tests and debugging; does not bill the device.
+    pub fn snapshot(&self, dev: &Device) -> Vec<(u32, Vec<Value>)> {
+        self.machines
+            .iter()
+            .map(|lm| match &lm.store {
+                MachineStore::Cells {
+                    state_cell,
+                    var_cells,
+                } => (
+                    dev.peek(state_cell),
+                    var_cells.iter().map(|c| dev.peek(c).0).collect(),
+                ),
+                MachineStore::Block { addr, len } => {
+                    let mut vars = Vec::new();
+                    let state = decode_block(dev.peek_raw(*addr, *len), &mut vars);
+                    (state, vars)
+                }
+            })
+            .collect()
     }
 
     /// Number of installed machines.
@@ -310,10 +522,7 @@ impl MonitorEngine {
         dev.billed(CostCategory::Monitor, |dev| {
             let mut tx = TxWriter::new();
             for lm in &self.machines {
-                tx.write(&lm.state_cell, lm.machine.initial);
-                for (cell, decl) in lm.var_cells.iter().zip(&lm.machine.vars) {
-                    tx.write(cell, NvValue(decl.init));
-                }
+                stage_machine_reset(&mut tx, lm);
             }
             tx.write(&self.verdict_count, 0u32);
             tx.write(&self.seq_cell, 0u64);
@@ -380,10 +589,7 @@ impl MonitorEngine {
             let mut tx = TxWriter::new();
             for lm in &self.machines {
                 if lm.machine.reset_on_path_restart && lm.machine.path == Some(path.number()) {
-                    tx.write(&lm.state_cell, lm.machine.initial);
-                    for (cell, decl) in lm.var_cells.iter().zip(&lm.machine.vars) {
-                        tx.write(cell, NvValue(decl.init));
-                    }
+                    stage_machine_reset(&mut tx, lm);
                 }
             }
             dev.commit(&self.journal, &tx)
@@ -402,19 +608,120 @@ impl MonitorEngine {
 
         let encoded = dev.nv_read(&self.event_cell)?;
 
-        // Cheap dismissals first — the generated C's trigger test. A
-        // dismissed machine cannot change state, so its step completion
-        // is a plain counter write (re-execution is harmless).
-        let dismissed = matches!(&lm.observed, Some(tasks) if !tasks.contains(&encoded.task))
-            || match lm.machine.path {
-            // The `Path:` qualifier (paper §3.2): a property on a
-            // merged task is checked only against events from its
-            // governing path.
+        // The `Path:` qualifier (paper §3.2): a property on a merged
+        // task is checked only against events from its governing path.
+        let path_dismissed = match lm.machine.path {
             Some(machine_path) => {
                 encoded.path_number != 0 && u32::from(encoded.path_number) != machine_path
             }
             None => false,
         };
+
+        match self.mode {
+            ExecMode::Compiled => self.step_compiled(dev, i, lm, &encoded, path_dismissed),
+            ExecMode::Interpreter => self.step_interpreted(dev, i, lm, &encoded, path_dismissed),
+        }
+    }
+
+    /// Compiled step: dispatch-table trigger test, one FRAM read for
+    /// the whole machine block, bytecode evaluation over scratch
+    /// registers, one journal entry to commit.
+    fn step_compiled(
+        &self,
+        dev: &mut Device,
+        i: u32,
+        lm: &LoadedMachine,
+        encoded: &EncodedEvent,
+        path_dismissed: bool,
+    ) -> Result<(), Interrupt> {
+        let MachineStore::Block { addr, len } = lm.store else {
+            unreachable!("compiled mode allocates block storage");
+        };
+        let cm = &self.compiled.machines()[i as usize];
+        let kind = if encoded.kind == 0 {
+            EventKind::StartTask
+        } else {
+            EventKind::EndTask
+        };
+
+        // O(1) trigger test off the dispatch table — kind-aware, so
+        // finer than the interpreter's observed-task set, but identical
+        // in effect: a dismissed machine has no transition that could
+        // match, and the interpreter's step would be an implicit
+        // self-transition with no FRAM writes. A dismissed machine's
+        // step completion is a plain counter write (re-execution is
+        // harmless).
+        let dispatched = cm.dispatch_len(kind, encoded.task);
+        if path_dismissed || dispatched == 0 {
+            dev.compute(COMPILED_DISPATCH_CYCLES)?;
+            return self.routine.complete_step(dev, i);
+        }
+        dev.compute(COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES * dispatched as u64)?;
+
+        let scratch = &mut *self.scratch.borrow_mut();
+        {
+            let bytes = dev.nv_read_raw(addr, len)?;
+            scratch.block.clear();
+            scratch.block.extend_from_slice(bytes);
+        }
+        let before_state = decode_block(&scratch.block, &mut scratch.vars);
+        let mut state = before_state;
+
+        let event = CompiledEvent {
+            kind,
+            task: encoded.task,
+            ctx: EventCtx {
+                time_us: encoded.timestamp_us,
+                dep_data: encoded.dep_data(),
+                energy_nj: encoded.energy_nj,
+            },
+        };
+
+        // Evaluation errors cannot occur on validated machines; treat
+        // them as accept-silently to keep the monitor total (the C
+        // monitor has no error channel either). Partial variable
+        // mutations are kept, matching the interpreter's observable
+        // effects.
+        let emit = cm
+            .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
+            .unwrap_or(None);
+
+        encode_block(state, &scratch.vars, &mut scratch.block_new);
+        if emit.is_none() && scratch.block_new == scratch.block {
+            return self.routine.complete_step(dev, i);
+        }
+
+        let mut tx = TxWriter::new();
+        tx.write_raw(addr, scratch.block_new.clone());
+        if let Some(fail) = emit {
+            self.stage_verdict(dev, &mut tx, i, fail.action, fail.path.or(lm.machine.path))?;
+        }
+        self.routine.atomic_step(dev, &self.journal, i, &mut tx)
+    }
+
+    /// Interpreter step: the original reference path over per-variable
+    /// cells.
+    fn step_interpreted(
+        &self,
+        dev: &mut Device,
+        i: u32,
+        lm: &LoadedMachine,
+        encoded: &EncodedEvent,
+        path_dismissed: bool,
+    ) -> Result<(), Interrupt> {
+        let MachineStore::Cells {
+            state_cell,
+            var_cells,
+        } = &lm.store
+        else {
+            unreachable!("interpreter mode allocates cell storage");
+        };
+
+        // Cheap dismissals first — the generated C's trigger test. A
+        // dismissed machine cannot change state, so its step completion
+        // is a plain counter write (re-execution is harmless).
+        let dismissed = path_dismissed
+            || matches!(&lm.observed, Some(tasks) if !tasks.contains(&encoded.task));
         if dismissed {
             dev.compute(STEP_BASE_CYCLES)?;
             return self.routine.complete_step(dev, i);
@@ -425,21 +732,20 @@ impl MonitorEngine {
             STEP_BASE_CYCLES + STEP_PER_TRANSITION_CYCLES * lm.machine.transitions.len() as u64,
         )?;
 
-        let task_name = self
-            .task_names
-            .get(encoded.task as usize)
-            .map(String::as_str)
-            .unwrap_or("");
+        let task_name = self.compiled.task_name(encoded.task);
+
+        let scratch = &mut *self.scratch.borrow_mut();
+        let before_state = dev.nv_read(state_cell)?;
+        scratch.vars.clear();
+        for c in var_cells {
+            scratch.vars.push(dev.nv_read(c)?.0);
+        }
+        scratch.before_vars.clear();
+        scratch.before_vars.extend_from_slice(&scratch.vars);
 
         let mut mstate = MachineState {
-            state: dev.nv_read(&lm.state_cell)?,
-            vars: {
-                let mut vars = Vec::with_capacity(lm.var_cells.len());
-                for c in &lm.var_cells {
-                    vars.push(dev.nv_read(c)?.0);
-                }
-                vars
-            },
+            state: before_state,
+            vars: core::mem::take(&mut scratch.vars),
         };
 
         let ir_event = IrEvent {
@@ -456,56 +762,70 @@ impl MonitorEngine {
             },
         };
 
-        let before_state = mstate.state;
-        let before_vars = mstate.vars.clone();
-
         // Evaluation errors cannot occur on validated machines; treat
         // them as accept-silently to keep the monitor total (the C
         // monitor has no error channel either).
         let emit = step(&lm.machine, &mut mstate, &ir_event).unwrap_or(None);
+        scratch.vars = mstate.vars;
 
         // Implicit self-transition with no effects: plain counter write,
         // no journal round-trip (matches the generated C, which only
         // touches FRAM on actual assignments).
-        if emit.is_none() && mstate.state == before_state && mstate.vars == before_vars {
+        if emit.is_none() && mstate.state == before_state && scratch.vars == scratch.before_vars {
             return self.routine.complete_step(dev, i);
         }
 
         let mut tx = TxWriter::new();
         if mstate.state != before_state {
-            tx.write(&lm.state_cell, mstate.state);
+            tx.write(state_cell, mstate.state);
         }
-        for ((cell, v), old) in lm.var_cells.iter().zip(&mstate.vars).zip(&before_vars) {
+        for ((cell, v), old) in var_cells.iter().zip(&scratch.vars).zip(&scratch.before_vars) {
             if v != old {
                 tx.write(cell, NvValue(*v));
             }
         }
         if let Some(fail) = emit {
-            let count = dev.nv_read(&self.verdict_count)?;
-            let encoded_action = encode_action(fail.action, fail.path.or(lm.machine.path));
-            tx.write(
-                &self.verdict_cells[count as usize],
-                (i, encoded_action),
-            );
-            tx.write(&self.verdict_count, count + 1);
+            self.stage_verdict(dev, &mut tx, i, fail.action, fail.path.or(lm.machine.path))?;
         }
         self.routine.atomic_step(dev, &self.journal, i, &mut tx)
     }
 
+    /// Appends one verdict to the persistent verdict log inside `tx`.
+    fn stage_verdict(
+        &self,
+        dev: &mut Device,
+        tx: &mut TxWriter,
+        i: u32,
+        action: OnFail,
+        path: Option<u32>,
+    ) -> Result<(), Interrupt> {
+        let count = dev.nv_read(&self.verdict_count)?;
+        tx.write(&self.verdict_cells[count as usize], (i, encode_action(action, path)));
+        tx.write(&self.verdict_count, count + 1);
+        Ok(())
+    }
+
     fn read_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt> {
         let count = dev.nv_read(&self.verdict_count)?;
-        let mut out = Vec::with_capacity(count as usize);
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.verdicts.clear();
         for slot in 0..count {
             let (machine_index, encoded) = dev.nv_read(&self.verdict_cells[slot as usize])?;
             if let Some(action) = decode_action(encoded) {
-                out.push(MonitorVerdict {
+                scratch.verdicts.push(MonitorVerdict {
                     machine_index: machine_index as usize,
                     machine: self.machines[machine_index as usize].machine.name.clone(),
                     action,
                 });
             }
         }
-        Ok(out)
+        // The common case (no verdicts) allocates nothing: staging
+        // reuses the scratch buffer and the empty result has no heap.
+        if scratch.verdicts.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Ok(scratch.verdicts.clone())
+        }
     }
 
     /// Resolves a task's id to the name index used in encoded events.

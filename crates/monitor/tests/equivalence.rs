@@ -9,7 +9,8 @@ use artemis_core::event::MonitorEvent;
 use artemis_core::property::OnFail;
 use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
-use artemis_monitor::MonitorEngine;
+use artemis_ir::expr::Value;
+use artemis_monitor::{ExecMode, MonitorEngine, MonitorVerdict};
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
 use intermittent_sim::energy::Energy;
@@ -139,6 +140,145 @@ fn normalise(oracle: Vec<Vec<(usize, OnFail)>>) -> Vec<Vec<(usize, OnFail)>> {
     oracle
 }
 
+// ---------------------------------------------------------------------------
+// Differential tests: compiled bytecode vs tree-walking interpreter.
+//
+// The two execution modes of the engine differ in everything but
+// semantics — storage layout (block vs cells), trigger test (dispatch
+// table vs observed set), evaluation (bytecode vs tree walk) — so for
+// any spec, any event stream and any power-failure schedule they must
+// produce identical verdicts AND identical FRAM-visible machine state.
+// ---------------------------------------------------------------------------
+
+/// App with a producer task `a` (declaring the variable `temp` so
+/// `dpData` properties resolve) and a consumer `b` on one path.
+fn rich_app() -> AppGraph {
+    let mut builder = AppGraphBuilder::new();
+    let a = builder.task_with_var("a", "temp");
+    let b = builder.task("b");
+    builder.path(&[a, b]);
+    builder.build().unwrap()
+}
+
+fn action() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("restartTask"),
+        Just("skipTask"),
+        Just("restartPath"),
+        Just("skipPath"),
+        Just("completePath"),
+    ]
+}
+
+/// Random but well-formed specifications exercising every property
+/// kind the language has (maxTries, period, dpData range, collect,
+/// MITD + maxAttempt, maxDuration).
+fn spec_strategy() -> impl Strategy<Value = String> {
+    (
+        proptest::option::of((1u32..4, action())),            // maxTries on a
+        proptest::option::of((1u32..20, action())),           // period on a
+        proptest::option::of((30u32..40, 0u32..5, action())), // dpData range on a
+        proptest::option::of((1u32..4, action())),            // collect on b
+        proptest::option::of((1u32..15, 1u32..3, action())),  // MITD + maxAttempt on b
+        proptest::option::of((1u32..8, action())),            // maxDuration on b
+    )
+        .prop_map(|(mt, per, dp, col, mitd, md)| {
+            let mut a_block = String::new();
+            let mut b_block = String::new();
+            if let Some((n, act)) = mt {
+                a_block += &format!("maxTries: {n} onFail: {act}; ");
+            }
+            if let Some((s, act)) = per {
+                a_block += &format!("period: {s}s onFail: {act}; ");
+            }
+            if let Some((lo, w, act)) = dp {
+                a_block += &format!("dpData: temp Range: [{lo}, {}] onFail: {act}; ", lo + w);
+            }
+            if let Some((n, act)) = col {
+                b_block += &format!("collect: {n} dpTask: a onFail: {act}; ");
+            }
+            if let Some((s, tries, act)) = mitd {
+                b_block +=
+                    &format!("MITD: {s}s dpTask: a onFail: restartPath maxAttempt: {tries} onFail: {act}; ");
+            }
+            if let Some((s, act)) = md {
+                b_block += &format!("maxDuration: {s}s onFail: {act}; ");
+            }
+            if a_block.is_empty() {
+                a_block = "maxTries: 3 onFail: skipPath; ".to_string();
+            }
+            let mut spec = format!("a {{ {a_block}}}");
+            if !b_block.is_empty() {
+                spec += &format!("\nb {{ {b_block}}}");
+            }
+            spec
+        })
+}
+
+/// Events for the rich app: `a` end events may carry a `temp` sample.
+fn rich_ev_strategy() -> impl Strategy<Value = Vec<(Ev, Option<u32>)>> {
+    proptest::collection::vec(
+        (
+            (any::<bool>(), any::<bool>(), 0u64..20_000).prop_map(|(start, task_a, gap_ms)| Ev {
+                start,
+                task_a,
+                gap_ms,
+            }),
+            proptest::option::of(25u32..45),
+        ),
+        1..40,
+    )
+}
+
+fn rich_event(e: &Ev, dep: Option<u32>, t: u64) -> MonitorEvent {
+    let task = if e.task_a { TaskId(0) } else { TaskId(1) };
+    let at = SimInstant::from_micros(t);
+    match (e.start, dep) {
+        (true, _) => MonitorEvent::start(task, at),
+        (false, Some(v)) if e.task_a => MonitorEvent::end_with_data(task, at, f64::from(v)),
+        (false, _) => MonitorEvent::end(task, at),
+    }
+}
+
+/// Runs one spec/event stream through the engine in the given mode and
+/// returns (per-event verdicts, final FRAM-visible machine state).
+fn engine_run_mode(
+    app: &AppGraph,
+    spec: &str,
+    events: &[(Ev, Option<u32>)],
+    dev: &mut Device,
+    mode: ExecMode,
+) -> (Vec<Vec<MonitorVerdict>>, Vec<(u32, Vec<Value>)>) {
+    let suite = artemis_ir::compile(spec, app).unwrap();
+    let engine = MonitorEngine::install_with_mode(dev, suite, app, mode).unwrap();
+    let done = dev
+        .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
+        .unwrap();
+    let sim = Simulator::new(RunLimit::reboots(100_000));
+
+    let mut results: Vec<Vec<MonitorVerdict>> = Vec::new();
+    let outcome = sim.run(dev, &mut |dev: &mut Device| {
+        engine.monitor_finalize(dev)?;
+        loop {
+            let idx = dev.nv_read(&done)? as usize;
+            if idx >= events.len() {
+                return Ok(());
+            }
+            let (e, dep) = events[idx];
+            let t: u64 = events[..=idx].iter().map(|(e, _)| e.gap_ms * 1_000).sum();
+            let verdicts = engine.call_monitor(dev, idx as u64 + 1, &rich_event(&e, dep, t))?;
+            if results.len() <= idx {
+                results.resize(idx + 1, Vec::new());
+            }
+            results[idx] = verdicts;
+            dev.nv_write(&done, (idx + 1) as u32)?;
+        }
+    });
+    assert!(outcome.is_completed(), "stream never finished");
+    let snapshot = engine.snapshot(dev);
+    (results, snapshot)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
 
@@ -168,5 +308,44 @@ proptest! {
             .build();
         let got = engine_run(&app, &events, &mut dev);
         prop_assert_eq!(got, expected, "budget {} nJ", budget_nj);
+    }
+
+    /// Random specs, continuous power: the compiled bytecode path and
+    /// the interpreter path agree on every verdict (machine, action,
+    /// path target) and on the final persistent machine state.
+    #[test]
+    fn compiled_equals_interpreter_on_random_specs(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+    ) {
+        let app = rich_app();
+        let mut dev_c = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vc, sc) = engine_run_mode(&app, &spec, &events, &mut dev_c, ExecMode::Compiled);
+        let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
+        prop_assert_eq!(vc, vi, "verdict divergence on spec: {}", spec);
+        prop_assert_eq!(sc, si, "state divergence on spec: {}", spec);
+    }
+
+    /// Random specs under random power-failure schedules: the compiled
+    /// path on an intermittent device must match the interpreter on
+    /// continuous power — resumability and semantics at once.
+    #[test]
+    fn compiled_equals_interpreter_under_random_power_failures(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_c = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vc, sc) = engine_run_mode(&app, &spec, &events, &mut dev_c, ExecMode::Compiled);
+        let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
+        prop_assert_eq!(vc, vi, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(sc, si, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
     }
 }

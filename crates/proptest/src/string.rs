@@ -1,0 +1,239 @@
+//! Regex-subset string generation, backing `&str` as a [`Strategy`].
+//!
+//! Supported syntax — the subset the workspace's patterns use:
+//! literal characters, `.` (any printable ASCII character or newline),
+//! character classes `[a-z0-9_\[\]-]` with ranges and escapes, and the
+//! quantifiers `*` (0..=8 repetitions), `+` (1..=8), `?`, `{n}` and
+//! `{n,m}`. Anything fancier (anchors, groups, alternation) is
+//! rejected loudly rather than silently mis-generated.
+//!
+//! [`Strategy`]: crate::strategy::Strategy
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::{NewValue, Rejection};
+
+/// One unit of the pattern: a set of candidate characters.
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// `.`: printable ASCII or `\n`.
+    Any,
+    /// A single literal character.
+    Lit(char),
+    /// `[...]`: inclusive ranges (single chars are degenerate ranges).
+    Class(Vec<(char, char)>),
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut StdRng) -> char {
+        match self {
+            CharSet::Any => {
+                // Mostly printable ASCII, with the occasional newline so
+                // `.*` exercises multi-line inputs too.
+                if rng.random_bool(0.05) {
+                    '\n'
+                } else {
+                    char::from(rng.random_range(0x20u8..0x7F))
+                }
+            }
+            CharSet::Lit(c) => *c,
+            CharSet::Class(ranges) => {
+                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let mut pick = rng.random_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).expect("range of valid chars");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick < total")
+            }
+        }
+    }
+}
+
+/// How many times an atom repeats.
+#[derive(Clone, Copy, Debug)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Result<Vec<(CharSet, Quant)>, String> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '.' => CharSet::Any,
+            '\\' => {
+                let esc = chars.next().ok_or("dangling escape")?;
+                CharSet::Lit(unescape(esc))
+            }
+            '[' => {
+                let mut ranges: Vec<(char, char)> = Vec::new();
+                loop {
+                    let lo = match chars.next().ok_or("unterminated class")? {
+                        ']' => break,
+                        '\\' => unescape(chars.next().ok_or("dangling escape")?),
+                        other => other,
+                    };
+                    // `a-z` is a range unless the `-` closes the class.
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        match chars.peek() {
+                            Some(']') | None => {
+                                ranges.push((lo, lo));
+                                ranges.push(('-', '-'));
+                            }
+                            Some(_) => {
+                                let hi = match chars.next().expect("peeked") {
+                                    '\\' => unescape(chars.next().ok_or("dangling escape")?),
+                                    other => other,
+                                };
+                                if hi < lo {
+                                    return Err(format!("inverted range {lo}-{hi}"));
+                                }
+                                ranges.push((lo, hi));
+                            }
+                        }
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                if ranges.is_empty() {
+                    return Err("empty character class".into());
+                }
+                CharSet::Class(ranges)
+            }
+            '(' | ')' | '|' | '^' | '$' => {
+                return Err(format!("unsupported regex construct `{c}`"));
+            }
+            other => CharSet::Lit(other),
+        };
+
+        let quant = match chars.peek() {
+            Some('*') => {
+                chars.next();
+                Quant { min: 0, max: 8 }
+            }
+            Some('+') => {
+                chars.next();
+                Quant { min: 1, max: 8 }
+            }
+            Some('?') => {
+                chars.next();
+                Quant { min: 0, max: 1 }
+            }
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                loop {
+                    match chars.next().ok_or("unterminated quantifier")? {
+                        '}' => break,
+                        d => body.push(d),
+                    }
+                }
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().map_err(|_| "bad quantifier")?,
+                        hi.trim().parse().map_err(|_| "bad quantifier")?,
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().map_err(|_| "bad quantifier")?;
+                        (n, n)
+                    }
+                };
+                if max < min {
+                    return Err(format!("inverted quantifier {{{body}}}"));
+                }
+                Quant { min, max }
+            }
+            _ => Quant { min: 1, max: 1 },
+        };
+        atoms.push((set, quant));
+    }
+    Ok(atoms)
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut StdRng) -> NewValue<String> {
+    let atoms = parse(pattern)
+        .map_err(|e| Rejection(format!("bad string pattern {pattern:?}: {e}")))?;
+    let mut out = String::new();
+    for (set, quant) in &atoms {
+        let count = rng.random_range(quant.min..=quant.max);
+        for _ in 0..count {
+            out.push(set.sample(rng));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identifier_pattern_matches_shape() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..500 {
+            let s = generate("[a-z][a-zA-Z0-9_]{0,8}", &mut rng).unwrap();
+            assert!((1..=9).contains(&s.len()), "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s:?}");
+            assert!(cs.all(|c| c.is_ascii_alphanumeric() || c == '_'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_escapes_and_trailing_dash() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let allowed: &[char] = &['[', ']', '.', ' ', '\n', '-', 'a', 'b'];
+        for _ in 0..500 {
+            let s = generate("[ab\\[\\]. \n-]*", &mut rng).unwrap();
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dot_star_is_printable_or_newline() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            let s = generate(".*", &mut rng).unwrap();
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_and_bounded_quantifiers() {
+        let mut rng = StdRng::seed_from_u64(24);
+        for _ in 0..100 {
+            assert_eq!(generate("x{3}", &mut rng).unwrap(), "xxx");
+            let s = generate("a{1,4}b?c+", &mut rng).unwrap();
+            let a = s.chars().take_while(|c| *c == 'a').count();
+            assert!((1..=4).contains(&a), "{s:?}");
+            assert!(s.ends_with('c'), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_reject() {
+        let mut rng = StdRng::seed_from_u64(25);
+        assert!(generate("(a|b)", &mut rng).is_err());
+        assert!(generate("[z-a]", &mut rng).is_err());
+        assert!(generate("a{4,1}", &mut rng).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Case execution: configuration, failure reporting, and the
+//! `proptest!` / `prop_assert!` macros.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::strategy::Rejection;
+
+/// Runner configuration. Construct with struct-update syntax:
+/// `ProptestConfig { cases: 48, ..ProptestConfig::default() }`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Rejected cases (filters that never matched) tolerated before
+    /// the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property is violated; the test fails.
+    Fail(String),
+    /// The inputs were unsuitable (filter miss); the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation with the given message.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A skipped case with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl From<Rejection> for TestCaseError {
+    fn from(r: Rejection) -> Self {
+        TestCaseError::Reject(r.0)
+    }
+}
+
+/// Stable per-test seed so runs are reproducible (FNV-1a over the
+/// test's name).
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_0000_01b3);
+    }
+    h
+}
+
+/// Drives one property: generates and runs cases until `config.cases`
+/// pass, panicking on the first failure.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property `{name}`: too many rejected cases ({rejected}); last: {reason}"
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!("property `{name}` failed after {passed} passing case(s): {reason}")
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn` runs its body for many generated
+/// inputs. An optional leading `#![proptest_config(..)]` overrides the
+/// default [`ProptestConfig`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            ($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(&config, stringify!($name), |rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), rng)
+                        .map_err($crate::test_runner::TestCaseError::from)?;
+                )+
+                // The closure boundary gives `?` and `prop_assert!`'s
+                // early `return Err(..)` a Result context, and routes
+                // generated inputs into the failure message.
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                #[allow(unreachable_code)]
+                let case = move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                };
+                case().map_err(|e| match e {
+                    $crate::test_runner::TestCaseError::Fail(msg) => {
+                        $crate::test_runner::TestCaseError::Fail(
+                            format!("{msg}\n  inputs: {inputs}"),
+                        )
+                    }
+                    reject => reject,
+                })
+            });
+        }
+    )*};
+}
+
+/// Fails the surrounding property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the surrounding property case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let mut first: Vec<u64> = Vec::new();
+        crate::test_runner::run(
+            &ProptestConfig { cases: 5, ..ProptestConfig::default() },
+            "det",
+            |rng| {
+                first.push(crate::strategy::Strategy::generate(&(0u64..1_000_000), rng)?);
+                Ok(())
+            },
+        );
+        let mut second: Vec<u64> = Vec::new();
+        crate::test_runner::run(
+            &ProptestConfig { cases: 5, ..ProptestConfig::default() },
+            "det",
+            |rng| {
+                second.push(crate::strategy::Strategy::generate(&(0u64..1_000_000), rng)?);
+                Ok(())
+            },
+        );
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn failing_property_panics_with_message() {
+        crate::test_runner::run(&ProptestConfig::default(), "fails", |_rng| {
+            prop_assert!(1 > 2, "too small");
+            Ok(())
+        });
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        /// The macro wires strategies, `?`, and both assertion forms.
+        #[test]
+        fn macro_end_to_end(
+            v in crate::collection::vec(any::<u32>(), 1..8),
+            flag in any::<bool>(),
+        ) {
+            let sum: u64 = v.iter().map(|x| u64::from(*x)).sum();
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(flag, flag, "tautology on {:?}", v);
+            let parsed: u64 = sum.to_string().parse()
+                .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(parsed, sum);
+        }
+    }
+}

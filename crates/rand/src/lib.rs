@@ -1,0 +1,267 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace must build without network access, so instead of the
+//! crates.io `rand` this in-tree crate provides the (small) API subset
+//! the simulator and test harness actually use: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`], [`Rng::random_range`] over integer
+//! and float ranges, and [`Rng::random_bool`]. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic, fast, and
+//! statistically more than adequate for workload generation and
+//! outage-noise modelling (cryptographic strength is explicitly a
+//! non-goal).
+
+use core::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of 64 random bits.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// xoshiro256++ by Blackman & Vigna: 256-bit state, 64-bit output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expands the seed into the full state, guaranteeing
+        // a non-zero state for every input seed.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Types that can be sampled uniformly from an inclusive range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample in `[lo, hi]`. `lo > hi` is a caller error.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                // Modulo with rejection of the biased tail.
+                let span = span + 1;
+                let zone = u64::MAX - (u64::MAX % span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return lo.wrapping_add((v % span) as $t);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                debug_assert!(lo <= hi, "empty range");
+                // Shift to unsigned space to sidestep overflow at the
+                // extremes, sample, shift back.
+                let ulo = (lo as $u) ^ (1 << (<$u>::BITS - 1));
+                let uhi = (hi as $u) ^ (1 << (<$u>::BITS - 1));
+                let v = <$u>::sample_inclusive(rng, ulo, uhi);
+                (v ^ (1 << (<$u>::BITS - 1))) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+/// Range forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd + HalfOpenEnd> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, self.end.half_open_max())
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Converts a half-open upper bound into the inclusive maximum below it.
+pub trait HalfOpenEnd: Sized {
+    /// The largest value strictly below `self`.
+    fn half_open_max(self) -> Self;
+}
+
+macro_rules! half_open_int {
+    ($($t:ty),*) => {$(
+        impl HalfOpenEnd for $t {
+            fn half_open_max(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+half_open_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl HalfOpenEnd for f64 {
+    fn half_open_max(self) -> Self {
+        // Floats: treat the half-open range as effectively inclusive of
+        // the next-lower representable value.
+        f64::from_bits(self.to_bits() - 1)
+    }
+}
+
+/// The user-facing generator interface (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Generator namespace, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3u64..10);
+            assert!((3..10).contains(&v));
+            let v = rng.random_range(1usize..=4);
+            assert!((1..=4).contains(&v));
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+            let v = rng.random_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn all_range_values_are_reachable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "{seen:?}");
+    }
+
+    #[test]
+    fn extreme_ranges_do_not_overflow() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = rng.random_range(0u64..=u64::MAX);
+        let _ = rng.random_range(i64::MIN..=i64::MAX);
+        let v = rng.random_range(u64::MAX - 1..=u64::MAX);
+        assert!(v >= u64::MAX - 1);
+    }
+
+    #[test]
+    fn random_bool_matches_probability_roughly() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+}

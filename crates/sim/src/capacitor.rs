@@ -8,8 +8,6 @@
 //! we model the classic threshold pair directly, the same abstraction
 //! used by HarvOS, Hibernus and capacitor-sizing work the paper cites.
 
-use serde::{Deserialize, Serialize};
-
 use crate::energy::Energy;
 
 /// A threshold-switched storage capacitor.
@@ -30,7 +28,7 @@ use crate::energy::Energy;
 /// cap.recharge_full();
 /// assert_eq!(cap.stored(), cap.usable_budget());
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Capacitor {
     capacitance_farads: f64,
     v_on: f64,

@@ -322,9 +322,49 @@ impl Device {
         Ok(())
     }
 
+    /// Allocates `size` raw FRAM bytes (initialisation-time; billed as
+    /// a write). The region starts zeroed; use [`Device::nv_write_raw`]
+    /// to lay down an initial image.
+    pub fn nv_alloc_raw(
+        &mut self,
+        size: usize,
+        owner: MemOwner,
+        label: &str,
+    ) -> Result<usize, Interrupt> {
+        let cost = self.costs.fram_write(size);
+        self.power.spend(cost)?;
+        self.fram.alloc_raw(size, owner, label).map_err(|e| {
+            Interrupt::Fault(Fault::OutOfFram {
+                requested: e.requested,
+                available: e.available,
+            })
+        })
+    }
+
+    /// Reads `len` raw bytes at `addr` in one FRAM operation.
+    pub fn nv_read_raw(&mut self, addr: usize, len: usize) -> Result<&[u8], Interrupt> {
+        let cost = self.costs.fram_read(len);
+        self.power.spend(cost)?;
+        Ok(self.fram.read_raw(addr, len))
+    }
+
+    /// Writes raw bytes at `addr` in one FRAM operation (not
+    /// transactional; stage into a journal for atomicity).
+    pub fn nv_write_raw(&mut self, addr: usize, data: &[u8]) -> Result<(), Interrupt> {
+        let cost = self.costs.fram_write(data.len());
+        self.power.spend(cost)?;
+        self.fram.write_raw(addr, data);
+        Ok(())
+    }
+
     /// Reads a cell without cost (test/report inspection only).
     pub fn peek<T: NvData>(&self, cell: &NvCell<T>) -> T {
         self.fram.peek(cell)
+    }
+
+    /// Reads raw bytes without cost (test/report inspection only).
+    pub fn peek_raw(&self, addr: usize, len: usize) -> &[u8] {
+        self.fram.peek_raw(addr, len)
     }
 
     /// Creates a commit journal with `capacity` payload bytes.

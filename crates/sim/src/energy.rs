@@ -11,8 +11,6 @@ use core::fmt;
 use core::iter::Sum;
 use core::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use artemis_core::time::SimDuration;
 
 /// An amount of energy, stored as whole picojoules.
@@ -26,7 +24,7 @@ use artemis_core::time::SimDuration;
 /// assert_eq!(e.as_nano_joules(), 2_500);
 /// ```
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Energy(u64);
 

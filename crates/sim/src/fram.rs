@@ -245,6 +245,12 @@ pub struct Fram {
     bytes_written: u64,
     /// Total bytes read since construction.
     bytes_read: u64,
+    /// Number of write operations (calls), regardless of width. On the
+    /// real part each operation is a bus transaction, so op counts —
+    /// not byte counts — are what batching optimisations reduce.
+    write_ops: u64,
+    /// Number of read operations (calls).
+    read_ops: u64,
 }
 
 impl Fram {
@@ -256,6 +262,8 @@ impl Fram {
             allocs: Vec::new(),
             bytes_written: 0,
             bytes_read: 0,
+            write_ops: 0,
+            read_ops: 0,
         }
     }
 
@@ -318,6 +326,7 @@ impl Fram {
     /// range), which is a programming error.
     pub fn read<T: NvData>(&mut self, cell: &NvCell<T>) -> T {
         self.bytes_read += T::SIZE as u64;
+        self.read_ops += 1;
         T::load(&self.bytes[cell.addr..cell.addr + T::SIZE])
     }
 
@@ -329,12 +338,14 @@ impl Fram {
     /// Writes a typed cell.
     pub fn write<T: NvData>(&mut self, cell: &NvCell<T>, value: T) {
         self.bytes_written += T::SIZE as u64;
+        self.write_ops += 1;
         value.store(&mut self.bytes[cell.addr..cell.addr + T::SIZE]);
     }
 
     /// Reads `len` raw bytes at `addr`.
     pub fn read_raw(&mut self, addr: usize, len: usize) -> &[u8] {
         self.bytes_read += len as u64;
+        self.read_ops += 1;
         &self.bytes[addr..addr + len]
     }
 
@@ -346,6 +357,7 @@ impl Fram {
     /// Writes raw bytes at `addr`.
     pub fn write_raw(&mut self, addr: usize, data: &[u8]) {
         self.bytes_written += data.len() as u64;
+        self.write_ops += 1;
         self.bytes[addr..addr + data.len()].copy_from_slice(data);
     }
 
@@ -357,6 +369,16 @@ impl Fram {
     /// Total bytes read since construction.
     pub fn bytes_read(&self) -> u64 {
         self.bytes_read
+    }
+
+    /// Number of write operations since construction (`peek` excluded).
+    pub fn write_ops(&self) -> u64 {
+        self.write_ops
+    }
+
+    /// Number of read operations since construction (`peek` excluded).
+    pub fn read_ops(&self) -> u64 {
+        self.read_ops
     }
 
     /// All allocation records, in allocation order.
@@ -505,9 +527,26 @@ mod tests {
         let _ = fram.read(&a); // read 4
         assert_eq!(fram.bytes_written(), 8);
         assert_eq!(fram.bytes_read(), 4);
+        assert_eq!(fram.write_ops(), 2);
+        assert_eq!(fram.read_ops(), 1);
         // `peek` must not count.
         let _ = fram.peek(&a);
         assert_eq!(fram.bytes_read(), 4);
+        assert_eq!(fram.read_ops(), 1);
+    }
+
+    #[test]
+    fn op_counters_count_calls_not_bytes() {
+        let mut fram = Fram::new(64);
+        let addr = fram.alloc_raw(32, MemOwner::App, "blk").unwrap();
+        fram.write_raw(addr, &[0u8; 32]); // one op, 32 bytes
+        let _ = fram.read_raw(addr, 32); // one op, 32 bytes
+        assert_eq!(fram.write_ops(), 1);
+        assert_eq!(fram.read_ops(), 1);
+        assert_eq!(fram.bytes_written(), 32);
+        assert_eq!(fram.bytes_read(), 32);
+        let _ = fram.peek_raw(addr, 32);
+        assert_eq!(fram.read_ops(), 1);
     }
 
     #[test]

@@ -14,14 +14,12 @@
 //! evaluation depends on relative magnitudes — peripherals dwarf
 //! compute, compute dwarfs bookkeeping — which these numbers preserve.
 
-use serde::{Deserialize, Serialize};
-
 use artemis_core::time::SimDuration;
 
 use crate::energy::Energy;
 
 /// A `(time, energy)` price for one operation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct Cost {
     /// Wall time the operation takes.
     pub time: SimDuration,
@@ -59,7 +57,7 @@ impl Cost {
 }
 
 /// Per-operation prices for the simulated MCU.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CostModel {
     /// Core clock frequency in Hz (cycles per second).
     pub clock_hz: u64,
