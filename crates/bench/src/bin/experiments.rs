@@ -10,7 +10,7 @@ use artemis_bench::Report;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|dispatch|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
          --json   print a JSON array to stdout\n\
          --emit   also write each report to BENCH_<id>.json"
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--emit" => emit = true,
             "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "dispatch" | "all" => which = Some(arg),
+            | "scaling" | "dispatch" | "all" => which = Some(arg),
             _ => return usage(),
         }
     }
@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "fig16" => vec![experiments::fig16()],
         "table2" => vec![experiments::table2()],
         "ablation" => vec![experiments::ablation_deployment()],
+        "scaling" => vec![experiments::scaling()],
         "dispatch" => vec![experiments::dispatch()],
         _ => experiments::all(),
     };

@@ -10,8 +10,8 @@ use intermittent_sim::harvester::Harvester;
 use intermittent_sim::simulator::RunLimit;
 
 use crate::health::{
-    artemis_builder, benchmark_device, health_app, install_artemis, install_mayfly,
-    nominal_minutes, HEALTH_SPEC,
+    artemis_builder, benchmark_device, benchmark_device_bounded, health_app, install_artemis,
+    install_mayfly, nominal_minutes, HEALTH_SPEC,
 };
 use crate::report::Report;
 
@@ -19,6 +19,11 @@ use crate::report::Report;
 fn dnf_limit() -> RunLimit {
     RunLimit::sim_time(SimDuration::from_hours(6))
 }
+
+/// Trace window for the DNF sweeps: non-terminating 6-hour runs append
+/// records forever, so they keep only the most recent window (the
+/// sweeps read aggregate counters, not the timeline).
+const DNF_TRACE_CAP: usize = 4096;
 
 fn fmt_secs(d: SimDuration) -> String {
     format!("{:.1}", d.as_secs_f64())
@@ -50,7 +55,7 @@ pub fn fig12() -> Report {
     for n in 1..=10u64 {
         let delay = nominal_minutes(n);
 
-        let mut dev = benchmark_device(Harvester::FixedDelay(delay));
+        let mut dev = benchmark_device_bounded(Harvester::FixedDelay(delay), DNF_TRACE_CAP);
         let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
         let artemis = rt.run_once(&mut dev, dnf_limit());
         let artemis_cell = if artemis.is_completed() {
@@ -60,7 +65,7 @@ pub fn fig12() -> Report {
         };
         let artemis_reboots = dev.reboots();
 
-        let mut dev = benchmark_device(Harvester::FixedDelay(delay));
+        let mut dev = benchmark_device_bounded(Harvester::FixedDelay(delay), DNF_TRACE_CAP);
         let mut rt = install_mayfly(&mut dev);
         let mayfly = rt.run_once(&mut dev, dnf_limit());
         let mayfly_cell = if mayfly.is_completed() {
@@ -98,7 +103,8 @@ pub fn fig13() -> Report {
         &["time", "event"],
     );
     let app = health_app();
-    for rec in dev.trace().records() {
+    let trace = dev.trace();
+    for rec in trace.records() {
         let text = match &rec.event {
             TraceEvent::PowerFailure => Some("POWER FAILURE".to_string()),
             TraceEvent::Charged { delay } => Some(format!("charged after {delay}")),
@@ -109,7 +115,10 @@ pub fn fig13() -> Report {
             TraceEvent::TaskEnd { task } => Some(format!("end {}", app.task_name(*task))),
             TraceEvent::Violation {
                 monitor, action, ..
-            } => Some(format!("VIOLATION {monitor} -> {action}")),
+            } => Some(format!(
+                "VIOLATION {} -> {action}",
+                trace.monitor_name(*monitor)
+            )),
             TraceEvent::PathSkipped { path } => Some(format!("SKIP {path}")),
             TraceEvent::PathComplete { path } => Some(format!("complete {path}")),
             TraceEvent::RunComplete => Some("RUN COMPLETE".to_string()),
@@ -120,13 +129,15 @@ pub fn fig13() -> Report {
         }
     }
 
-    let mitd_restarts = dev.trace().count(|e| {
+    let trace = dev.trace();
+    let mitd_restarts = trace.count(|e| {
         matches!(e, TraceEvent::Violation { monitor, action, .. }
-            if monitor.contains("MITD") && action.restarts_path())
+            if trace.monitor_name(*monitor).contains("MITD") && action.restarts_path())
     });
-    let mitd_skips = dev.trace().count(|e| {
+    let mitd_skips = trace.count(|e| {
         matches!(e, TraceEvent::Violation { monitor, action, .. }
-            if monitor.contains("MITD") && matches!(action, artemis_core::Action::SkipPath(_)))
+            if trace.monitor_name(*monitor).contains("MITD")
+                && matches!(action, artemis_core::Action::SkipPath(_)))
     });
     r.note(format!(
         "completed: {}; MITD restart attempts: {}; MITD escalations (skipPath): {}",
@@ -249,7 +260,7 @@ pub fn fig16() -> Report {
     ];
     let mut continuous_artemis = None;
     for (label, harvester) in scenarios {
-        let mut dev = benchmark_device(harvester.clone());
+        let mut dev = benchmark_device_bounded(harvester.clone(), DNF_TRACE_CAP);
         let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
         let before = dev.stats().consumed;
         let outcome = rt.run_once(&mut dev, dnf_limit());
@@ -263,7 +274,7 @@ pub fn fig16() -> Report {
             continuous_artemis = Some(consumed);
         }
 
-        let mut dev = benchmark_device(harvester);
+        let mut dev = benchmark_device_bounded(harvester, DNF_TRACE_CAP);
         let mut rt = install_mayfly(&mut dev);
         let before = dev.stats().consumed;
         let outcome = rt.run_once(&mut dev, dnf_limit());
@@ -469,6 +480,94 @@ pub fn ablation_scalability() -> Report {
     r
 }
 
+/// **Scaling benchmark (beyond the paper's figures)** — per-event
+/// monitor cost as installed properties grow at a fixed matching
+/// fraction (events always target task 0, so exactly one property can
+/// react). The routed path arms only the interested worklist, so its
+/// per-event cost stays flat; the full-scan reference path still walks
+/// every machine's persistent step counter.
+pub fn scaling() -> Report {
+    use artemis_core::event::MonitorEvent;
+    use artemis_monitor::{ExecMode, MonitorEngine, RoutingMode};
+    use intermittent_sim::DeviceBuilder;
+
+    const EVENTS: u64 = 200;
+
+    let mut r = Report::new(
+        "scaling",
+        "per-event monitor cost vs installed properties (1 matching): routed vs full scan",
+        &[
+            "properties",
+            "routed time/event (us)",
+            "routed energy/event (nJ)",
+            "full-scan time/event (us)",
+            "full-scan energy/event (nJ)",
+        ],
+    );
+
+    let mut routed_costs = Vec::new();
+    let mut scanned_costs = Vec::new();
+    for n_props in [1usize, 2, 4, 8, 16, 32] {
+        // n tasks, each with a maxTries property; events target task 0,
+        // so the other n-1 properties are never interested.
+        let mut b = artemis_core::app::AppGraphBuilder::new();
+        let mut tasks = Vec::new();
+        for i in 0..n_props {
+            tasks.push(b.task(&format!("t{i}")));
+        }
+        b.path(&tasks);
+        let app = b.build().expect("graph");
+        let spec: String = (0..n_props)
+            .map(|i| format!("t{i} {{ maxTries: 1000 onFail: skipPath; }}\n"))
+            .collect();
+
+        let mut row = vec![n_props.to_string()];
+        for routing in [RoutingMode::Routed, RoutingMode::FullScan] {
+            let suite = artemis_ir::compile(&spec, &app).expect("spec");
+            let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+            let engine = MonitorEngine::install_with_routing(
+                &mut dev,
+                suite,
+                &app,
+                ExecMode::Compiled,
+                routing,
+            )
+            .expect("installs");
+            engine.reset_monitor(&mut dev).expect("reset");
+
+            let before_t = dev.stats().time(CostCategory::Monitor);
+            let before_e = dev.stats().energy(CostCategory::Monitor);
+            for seq in 1..=EVENTS {
+                let ev = MonitorEvent::start(
+                    tasks[0],
+                    artemis_core::SimInstant::from_micros(seq),
+                );
+                engine.call_monitor(&mut dev, seq, &ev).expect("event");
+            }
+            let dt = dev.stats().time(CostCategory::Monitor) - before_t;
+            let de = dev.stats().energy(CostCategory::Monitor) - before_e;
+            let nj = de.as_joules_f64() * 1e9 / EVENTS as f64;
+            match routing {
+                RoutingMode::Routed => routed_costs.push(nj),
+                RoutingMode::FullScan => scanned_costs.push(nj),
+            }
+            row.push(format!("{:.1}", dt.as_secs_f64() * 1e6 / EVENTS as f64));
+            row.push(format!("{nj:.1}"));
+        }
+        r.row(row);
+    }
+    let last = routed_costs.len() - 1;
+    r.note(format!(
+        "routed 32-prop / 1-prop energy ratio: {:.2}x (acceptance target: <= 2x)",
+        routed_costs[last] / routed_costs[0]
+    ));
+    r.note(format!(
+        "full-scan 32-prop / 1-prop energy ratio: {:.2}x (the O(installed) baseline)",
+        scanned_costs[last] / scanned_costs[0]
+    ));
+    r
+}
+
 /// **Dispatch benchmark (beyond the paper's figures)** — per-event FRAM
 /// traffic of the two execution modes on a monitor-heavy workload:
 /// every event drives every variable of every machine, the worst case
@@ -587,6 +686,7 @@ pub fn all() -> Vec<Report> {
         table2(),
         ablation_deployment(),
         ablation_scalability(),
+        scaling(),
         dispatch(),
     ]
 }
@@ -692,6 +792,27 @@ mod tests {
         assert!(
             thirty_two < one * 16.0,
             "per-event cost must scale sublinearly: 1 prop {one} nJ, 32 props {thirty_two} nJ"
+        );
+    }
+
+    #[test]
+    fn scaling_routed_cost_stays_flat() {
+        let r = scaling();
+        let routed = |i: usize| -> f64 { r.rows[i][2].parse().unwrap() };
+        let scanned = |i: usize| -> f64 { r.rows[i][4].parse().unwrap() };
+        let last = r.rows.len() - 1;
+        let routed_ratio = routed(last) / routed(0);
+        let scanned_ratio = scanned(last) / scanned(0);
+        assert!(
+            routed_ratio <= 2.0,
+            "routed per-event cost must stay flat: 1 prop {} nJ, 32 props {} nJ ({routed_ratio:.2}x)",
+            routed(0),
+            routed(last)
+        );
+        assert!(
+            scanned_ratio > routed_ratio * 2.0,
+            "full scan must show the O(installed) growth routing removes \
+             (routed {routed_ratio:.2}x vs full-scan {scanned_ratio:.2}x)"
         );
     }
 

@@ -59,6 +59,17 @@ pub fn benchmark_device(harvester: Harvester) -> Device {
         .build()
 }
 
+/// [`benchmark_device`] with a bounded (ring-buffer) trace, for the
+/// open-ended DNF sweeps: a 6-hour non-terminating run appends trace
+/// records forever, so the sweeps keep only the most recent window.
+pub fn benchmark_device_bounded(harvester: Harvester, trace_cap: usize) -> Device {
+    DeviceBuilder::msp430fr5994()
+        .capacitor(benchmark_capacitor())
+        .harvester(harvester)
+        .trace_bounded(trace_cap)
+        .build()
+}
+
 /// A *nominal* N-minute charging delay.
 ///
 /// 59 s per nominal minute: the harvester crosses the turn-on threshold

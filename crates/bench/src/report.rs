@@ -30,8 +30,20 @@ impl Report {
     }
 
     /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count does not match the header — also in
+    /// release builds, so malformed rows fail in `--release` benches.
     pub fn row(&mut self, cells: Vec<String>) {
-        debug_assert_eq!(cells.len(), self.columns.len());
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "report `{}`: row has {} cells for {} columns",
+            self.id,
+            cells.len(),
+            self.columns.len()
+        );
         self.rows.push(cells);
     }
 

@@ -5,6 +5,8 @@
 //! Figure 13 of the paper is literally a trace — and what the
 //! integration tests assert against.
 
+use std::collections::VecDeque;
+
 use crate::action::Action;
 use crate::app::{PathId, TaskId};
 use crate::time::{SimDuration, SimInstant};
@@ -40,8 +42,10 @@ pub enum TraceEvent {
     Violation {
         /// The task the triggering event concerned.
         task: TaskId,
-        /// Name of the monitor (derived from the property).
-        monitor: String,
+        /// Index of the monitor in the installed suite, resolved to a
+        /// name via [`Trace::monitor_name`] at render time (no
+        /// allocation on the violation hot path).
+        monitor: u32,
         /// The recommended action.
         action: Action,
     },
@@ -78,7 +82,12 @@ pub struct TraceRecord {
     pub event: TraceEvent,
 }
 
-/// An append-only execution timeline.
+/// An append-only execution timeline, optionally bounded.
+///
+/// The default trace is full-fidelity: it keeps every record. The
+/// bounded variant ([`Trace::bounded`]) is a ring buffer that keeps only
+/// the most recent records, for open-ended runs (e.g. 6-hour DNF
+/// sweeps) whose traces would otherwise grow without bound.
 ///
 /// # Examples
 ///
@@ -97,38 +106,80 @@ pub struct TraceRecord {
 /// ```
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Trace {
-    records: Vec<TraceRecord>,
+    records: VecDeque<TraceRecord>,
     enabled: bool,
+    /// Ring-buffer capacity; `None` keeps everything.
+    cap: Option<usize>,
+    /// Records evicted by the ring buffer.
+    dropped: u64,
+    /// Installed monitor names, indexed by `Violation::monitor`.
+    monitor_names: Vec<String>,
 }
 
 impl Trace {
     /// Creates an empty, enabled trace.
     pub fn new() -> Self {
         Trace {
-            records: Vec::new(),
             enabled: true,
+            ..Trace::default()
         }
     }
 
     /// Creates a disabled trace that drops every event (for benchmarks
     /// where trace memory would distort measurements).
     pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Creates an enabled ring-buffer trace keeping the most recent
+    /// `cap` records; older ones are evicted (and counted in
+    /// [`Trace::dropped`]).
+    pub fn bounded(cap: usize) -> Self {
         Trace {
-            records: Vec::new(),
-            enabled: false,
+            enabled: true,
+            cap: Some(cap.max(1)),
+            ..Trace::default()
         }
     }
 
     /// Appends an event at `at`.
     pub fn push(&mut self, at: SimInstant, event: TraceEvent) {
-        if self.enabled {
-            self.records.push(TraceRecord { at, event });
+        if !self.enabled {
+            return;
         }
+        if let Some(cap) = self.cap {
+            if self.records.len() >= cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.records.push_back(TraceRecord { at, event });
     }
 
-    /// All records in order.
-    pub fn records(&self) -> &[TraceRecord] {
-        &self.records
+    /// All retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Records evicted by the ring buffer (0 for unbounded traces).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Registers the installed monitor suite's names so
+    /// [`Violation`](TraceEvent::Violation) indices resolve at render
+    /// time.
+    pub fn set_monitor_names(&mut self, names: Vec<String>) {
+        self.monitor_names = names;
+    }
+
+    /// The name registered for monitor `idx`, or `"?"` when no suite
+    /// was registered.
+    pub fn monitor_name(&self, idx: u32) -> &str {
+        self.monitor_names
+            .get(idx as usize)
+            .map(String::as_str)
+            .unwrap_or("?")
     }
 
     /// Number of recorded events.
@@ -166,6 +217,9 @@ impl Trace {
         use core::fmt::Write as _;
 
         let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "({} older records evicted)", self.dropped);
+        }
         for r in &self.records {
             let _ = write!(out, "[{}] ", r.at);
             let _ = match &r.event {
@@ -180,7 +234,11 @@ impl Trace {
                     task,
                     monitor,
                     action,
-                } => writeln!(out, "VIOLATION {monitor} at {task} -> {action}"),
+                } => writeln!(
+                    out,
+                    "VIOLATION {} at {task} -> {action}",
+                    self.monitor_name(*monitor)
+                ),
                 TraceEvent::ActionTaken { action } => writeln!(out, "action {action}"),
                 TraceEvent::PathStart { path } => writeln!(out, "enter {path}"),
                 TraceEvent::PathComplete { path } => writeln!(out, "done  {path}"),
@@ -232,5 +290,41 @@ mod tests {
         let s = t.render();
         assert!(s.contains("POWER FAILURE"));
         assert!(s.contains("skipPath(path#2)"));
+    }
+
+    #[test]
+    fn bounded_trace_keeps_only_the_most_recent_records() {
+        let mut t = Trace::bounded(3);
+        for i in 0..10u64 {
+            t.push(SimInstant::from_micros(i), TraceEvent::Boot { reboot: i });
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        let reboots: Vec<u64> = t
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::Boot { reboot } => reboot,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(reboots, [7, 8, 9]);
+        assert!(t.render().contains("7 older records evicted"));
+    }
+
+    #[test]
+    fn violation_indices_resolve_through_the_name_table() {
+        let mut t = Trace::new();
+        t.set_monitor_names(vec!["a_maxTries".to_string(), "b_MITD".to_string()]);
+        t.push(
+            SimInstant::EPOCH,
+            TraceEvent::Violation {
+                task: TaskId(0),
+                monitor: 1,
+                action: Action::SkipTask,
+            },
+        );
+        assert_eq!(t.monitor_name(1), "b_MITD");
+        assert_eq!(t.monitor_name(7), "?");
+        assert!(t.render().contains("VIOLATION b_MITD"));
     }
 }

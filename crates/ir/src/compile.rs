@@ -528,24 +528,89 @@ impl<'a> Compiler<'a> {
     }
 }
 
+/// The install-time routing index: for every `(event kind, task id)`
+/// key, the exact set of machines with at least one transition whose
+/// trigger can match such an event. Triggers are static, so the index
+/// is computed once per installation; the engine uses it to arm only
+/// the *interested* machines per event — dismissed machines are never
+/// read, stepped, or counter-written — taking event dispatch from
+/// O(installed machines) to O(interested machines).
+#[derive(Debug)]
+pub struct RoutingIndex {
+    /// `interested[kind][task id]` → machine indices (suite order) with
+    /// a transition that can match, including wildcard-triggered ones.
+    interested: [Vec<Vec<u16>>; 2],
+    /// Machines with a wildcard transition per kind — the worklist for
+    /// task ids beyond the application graph.
+    wildcard: [Vec<u16>; 2],
+}
+
+impl RoutingIndex {
+    fn build(machines: &[CompiledMachine], task_count: usize) -> Self {
+        let mut interested = [vec![Vec::new(); task_count], vec![Vec::new(); task_count]];
+        let mut wildcard = [Vec::new(), Vec::new()];
+        for (mi, m) in machines.iter().enumerate() {
+            let mi = mi as u16;
+            for (k, kind) in [EventKind::StartTask, EventKind::EndTask].into_iter().enumerate() {
+                for (task, list) in interested[k].iter_mut().enumerate() {
+                    if !m.dismisses(kind, task as u32) {
+                        list.push(mi);
+                    }
+                }
+                // An out-of-graph id falls through to each machine's
+                // wildcard transition list.
+                if !m.dismisses(kind, u32::MAX) {
+                    wildcard[k].push(mi);
+                }
+            }
+        }
+        RoutingIndex {
+            interested,
+            wildcard,
+        }
+    }
+
+    /// The machines interested in `(kind, task)`, in suite order. Task
+    /// ids beyond the application graph resolve to the wildcard set.
+    pub fn interested(&self, kind: EventKind, task: u32) -> &[u16] {
+        let k = kind_index(kind);
+        self.interested[k]
+            .get(task as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&self.wildcard[k])
+    }
+
+    /// The per-kind wildcard machine set.
+    pub fn wildcard(&self, kind: EventKind) -> &[u16] {
+        &self.wildcard[kind_index(kind)]
+    }
+}
+
 /// A whole suite compiled against one application graph, plus the task
 /// name table interned once for everything that still needs names (the
-/// reference interpreter path, verdict reports).
+/// reference interpreter path, verdict reports) and the global
+/// [`RoutingIndex`] over all machines.
 pub struct CompiledSuite {
     machines: Vec<CompiledMachine>,
     task_names: Box<[Box<str>]>,
     max_regs: usize,
+    routing: RoutingIndex,
 }
 
 impl CompiledSuite {
-    /// Compiles every machine of `suite` against `app`.
+    /// Compiles every machine of `suite` against `app` and builds the
+    /// global routing index.
     pub fn compile(suite: &MonitorSuite, app: &AppGraph) -> Result<Self, CompileIssue> {
+        if suite.machines().len() > u16::MAX as usize {
+            return Err(CompileIssue::TooLarge);
+        }
         let machines = suite
             .machines()
             .iter()
             .map(|m| CompiledMachine::compile(m, app))
             .collect::<Result<Vec<_>, _>>()?;
         let max_regs = machines.iter().map(CompiledMachine::max_regs).max().unwrap_or(0);
+        let routing = RoutingIndex::build(&machines, app.task_count());
         Ok(CompiledSuite {
             machines,
             task_names: app
@@ -554,12 +619,18 @@ impl CompiledSuite {
                 .map(|t| t.name.clone().into_boxed_str())
                 .collect(),
             max_regs,
+            routing,
         })
     }
 
     /// Compiled machines, in suite order.
     pub fn machines(&self) -> &[CompiledMachine] {
         &self.machines
+    }
+
+    /// The global routing index over all machines.
+    pub fn routing(&self) -> &RoutingIndex {
+        &self.routing
     }
 
     /// Largest scratch register file any machine needs.
@@ -840,6 +911,80 @@ mod tests {
         });
         let err = CompiledMachine::compile(&m, &app()).unwrap_err();
         assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn routing_index_matches_per_machine_dismissal() {
+        let app = app();
+        // Machine 0 observes starts of `a`; machine 1 observes ends of
+        // `b`; machine 2 is wildcard-triggered.
+        let spec = "a { maxTries: 3 onFail: skipPath; }";
+        let mut suite = crate::compile(spec, &app).unwrap();
+        {
+            let mut m = StateMachine::new("ends_b", "b");
+            m.add_state("S");
+            m.transitions.push(Transition {
+                from: 0,
+                to: 0,
+                trigger: Trigger::End(TaskPat::named("b")),
+                guard: None,
+                body: vec![],
+                emit: None,
+            });
+            suite.push(m);
+            let mut w = StateMachine::new("wild", "a");
+            w.add_state("S");
+            w.transitions.push(Transition {
+                from: 0,
+                to: 0,
+                trigger: Trigger::Any,
+                guard: None,
+                body: vec![],
+                emit: None,
+            });
+            suite.push(w);
+        }
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        let r = cs.routing();
+
+        // The index must agree with each machine's own dismissal test
+        // on every in-graph key.
+        for kind in [EventKind::StartTask, EventKind::EndTask] {
+            for task in 0..2u32 {
+                let listed: Vec<u16> = r.interested(kind, task).to_vec();
+                for (mi, m) in cs.machines().iter().enumerate() {
+                    assert_eq!(
+                        listed.contains(&(mi as u16)),
+                        !m.dismisses(kind, task),
+                        "index/dismissal disagree for machine {mi}, {kind:?}, task {task}"
+                    );
+                }
+            }
+        }
+        // Wildcard set contains exactly the wildcard machine, and
+        // out-of-graph ids resolve to it.
+        let wild_idx = (cs.machines().len() - 1) as u16;
+        assert_eq!(r.wildcard(EventKind::StartTask), &[wild_idx]);
+        assert_eq!(r.interested(EventKind::EndTask, 999), &[wild_idx]);
+        // maxTries observes task `a` only: its machine is routed for
+        // `a`'s events and dismissed for `b`'s starts.
+        assert!(r.interested(EventKind::StartTask, 0).contains(&0));
+        assert!(!r.interested(EventKind::StartTask, 1).contains(&0));
+    }
+
+    #[test]
+    fn routing_index_preserves_suite_order() {
+        let app = app();
+        let spec = "a { maxTries: 3 onFail: skipPath; }\n\
+                    a { maxTries: 5 onFail: restartTask; }\n\
+                    a { period: 1s onFail: restartTask; }";
+        let suite = crate::compile(spec, &app).unwrap();
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        let starts_a = cs.routing().interested(EventKind::StartTask, 0);
+        let mut sorted = starts_a.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(starts_a, &sorted[..], "worklists must be in suite order");
+        assert!(!starts_a.is_empty());
     }
 
     #[test]

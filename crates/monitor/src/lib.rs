@@ -38,6 +38,24 @@
 //! tree-walking path over per-variable cells as the executable
 //! reference semantics; the two are pinned together by differential
 //! tests.
+//!
+//! # Event routing
+//!
+//! Triggers are static, so at install time the compiler emits a global
+//! [`RoutingIndex`](artemis_ir::compile::RoutingIndex): for every
+//! `(event kind, task id)` key, the exact machines with a transition
+//! that can match. Under the default [`RoutingMode::Routed`], arming an
+//! event commits that key's **interested worklist** plus a one-word
+//! completion bitmap in the same journal transaction as the event and
+//! sequence number; only worklisted machines are stepped, the event
+//! cell is decoded once per event instead of once per machine, and
+//! dismissed machines are never read, stepped, or counter-written. A
+//! reboot resumes exactly the armed set (the worklist is part of the
+//! arming commit), and a redelivered sequence number only finishes
+//! pending bitmap entries. [`RoutingMode::FullScan`] keeps the previous
+//! O(installed machines) step loop as the reference dispatch semantics;
+//! differential proptests pin the two paths to identical verdicts and
+//! FRAM-visible state, including under random power-failure schedules.
 
 pub mod remote;
 pub mod state;
@@ -56,7 +74,7 @@ use artemis_ir::validate::{validate_strict, Issue};
 use immortal::Routine;
 use intermittent_sim::device::{CostCategory, Device, Interrupt, MemOwner};
 use intermittent_sim::fram::{NvCell, NvData};
-use intermittent_sim::journal::{Journal, TxWriter};
+use intermittent_sim::journal::{u16_list_bytes, Journal, TxWriter};
 
 use state::{EncodedEvent, NvValue};
 
@@ -91,6 +109,13 @@ pub trait Monitoring {
 
     /// Number of deployed machines.
     fn machine_count(&self) -> usize;
+
+    /// Names of the deployed machines, in suite order — the name table
+    /// trace renderers resolve violation indices against. Deployments
+    /// without named machines return an empty table.
+    fn machine_names(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Modelled CPU cost of scanning one machine's transitions for one
@@ -101,6 +126,29 @@ const STEP_PER_TRANSITION_CYCLES: u64 = 12;
 /// Modelled cost of the compiled path's dispatch-table lookup — a
 /// kind/task index instead of a name-comparing scan.
 const COMPILED_DISPATCH_CYCLES: u64 = 10;
+/// Modelled cost of the routed path's per-event routing-index lookup
+/// and worklist staging, charged once at arming time.
+const ROUTING_LOOKUP_CYCLES: u64 = 12;
+
+/// Most machines a routed engine supports: the completion bitmap is a
+/// single FRAM word, so worklists hold at most 64 entries. Suites
+/// larger than this degrade to [`RoutingMode::FullScan`].
+pub const MAX_ROUTED_MACHINES: usize = 64;
+
+/// How the engine resolves which machines an event must step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RoutingMode {
+    /// Install-time routing index + per-event armed worklists: only the
+    /// machines interested in the `(kind, task)` key are stepped — the
+    /// default, O(interested machines) per event.
+    #[default]
+    Routed,
+    /// The reference dispatch semantics: every installed machine is
+    /// stepped through the persistent [`Routine`], dismissed ones
+    /// paying a counter write. Kept behind this flag for differential
+    /// testing and as the scaling baseline.
+    FullScan,
+}
 
 /// Which execution core the engine runs.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -249,14 +297,46 @@ struct Scratch {
     block_new: Vec<u8>,
     /// Verdict staging for read-back.
     verdicts: Vec<MonitorVerdict>,
+    /// Worklist staging at arming time (routed mode).
+    worklist: Vec<u16>,
+}
+
+/// Persistent state of the routed event path: the armed worklist (a
+/// length-prefixed `u16` list region) and the one-word completion
+/// bitmap, both committed atomically with the event they belong to.
+struct RoutedState {
+    worklist_addr: usize,
+    done_cell: NvCell<u64>,
+}
+
+/// Bitmap with the low `count` bits set: "every worklist entry done".
+fn worklist_mask(count: usize) -> u64 {
+    debug_assert!(count <= MAX_ROUTED_MACHINES);
+    if count >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << count) - 1
+    }
+}
+
+/// How a machine step records its completion: by advancing the
+/// full-scan [`Routine`] counter, or by setting its bit in the routed
+/// path's completion bitmap (the value carried is the bitmap *after*
+/// this step). Either way, effectless steps complete with one plain
+/// idempotent FRAM write and effectful steps fold the marker into
+/// their crash-atomic journal commit.
+enum Completion {
+    Step(u32),
+    Bit(u64),
 }
 
 /// The engine. Create with [`MonitorEngine::install`] (compiled mode)
 /// or [`MonitorEngine::install_with_mode`].
 pub struct MonitorEngine {
     mode: ExecMode,
-    /// Bytecode, dispatch tables, and the task-name table interned once
-    /// at install (both modes resolve event task ids through it).
+    /// Bytecode, dispatch tables, the routing index, and the task-name
+    /// table interned once at install (both modes resolve event task
+    /// ids through it).
     compiled: CompiledSuite,
     machines: Vec<LoadedMachine>,
     routine: Routine,
@@ -265,6 +345,8 @@ pub struct MonitorEngine {
     seq_cell: NvCell<u64>,
     verdict_count: NvCell<u32>,
     verdict_cells: Vec<NvCell<(u32, (u8, u32))>>,
+    /// `Some` iff the engine runs [`RoutingMode::Routed`].
+    routed: Option<RoutedState>,
     scratch: RefCell<Scratch>,
 }
 
@@ -281,12 +363,27 @@ impl MonitorEngine {
         Self::install_with_mode(dev, suite, app, ExecMode::default())
     }
 
-    /// [`MonitorEngine::install`] with an explicit execution mode.
+    /// [`MonitorEngine::install`] with an explicit execution mode
+    /// (routed dispatch, the default routing mode).
     pub fn install_with_mode(
         dev: &mut Device,
         suite: MonitorSuite,
         app: &AppGraph,
         mode: ExecMode,
+    ) -> Result<Self, InstallError> {
+        Self::install_with_routing(dev, suite, app, mode, RoutingMode::default())
+    }
+
+    /// [`MonitorEngine::install`] with explicit execution *and* routing
+    /// modes. Suites larger than [`MAX_ROUTED_MACHINES`] degrade
+    /// [`RoutingMode::Routed`] to [`RoutingMode::FullScan`] (the
+    /// completion bitmap is a single FRAM word).
+    pub fn install_with_routing(
+        dev: &mut Device,
+        suite: MonitorSuite,
+        app: &AppGraph,
+        mode: ExecMode,
+        routing: RoutingMode,
     ) -> Result<Self, InstallError> {
         for m in suite.machines() {
             validate_strict(m).map_err(InstallError::Invalid)?;
@@ -330,12 +427,14 @@ impl MonitorEngine {
             let routine = Routine::new(dev, owner, "monitor.routine").map_err(dev_err)?;
             // The journal must fit the largest transaction: the hard
             // reset, which rewrites every machine's state and variables
-            // in one atomic commit.
+            // in one atomic commit (plus the routed path's worklist and
+            // bitmap entries).
             let reset_bytes: usize = suite
                 .machines()
                 .iter()
                 .map(|m| 10 + 15 * m.vars.len())
                 .sum::<usize>()
+                + u16_list_bytes(suite.len())
                 + 64;
             let journal = dev
                 .make_journal(reset_bytes.max(512), owner)
@@ -347,6 +446,25 @@ impl MonitorEngine {
             let verdict_count = dev
                 .nv_alloc(0u32, owner, "monitor.verdicts.count")
                 .map_err(dev_err)?;
+
+            // Routed dispatch: the armed-worklist region (count word +
+            // one u16 per machine) and the completion bitmap word,
+            // both zeroed, i.e. "no event pending".
+            let routed = if routing == RoutingMode::Routed && suite.len() <= MAX_ROUTED_MACHINES
+            {
+                let worklist_addr = dev
+                    .nv_alloc_raw(u16_list_bytes(suite.len()), owner, "monitor.worklist")
+                    .map_err(dev_err)?;
+                let done_cell = dev
+                    .nv_alloc(0u64, owner, "monitor.worklist.done")
+                    .map_err(dev_err)?;
+                Some(RoutedState {
+                    worklist_addr,
+                    done_cell,
+                })
+            } else {
+                None
+            };
 
             let mut verdict_cells = Vec::with_capacity(suite.len());
             for i in 0..suite.len() {
@@ -456,6 +574,7 @@ impl MonitorEngine {
                 block: Vec::with_capacity(max_block),
                 block_new: Vec::with_capacity(max_block),
                 verdicts: Vec::new(),
+                worklist: Vec::with_capacity(machines.len()),
             });
 
             Ok(MonitorEngine {
@@ -468,6 +587,7 @@ impl MonitorEngine {
                 seq_cell,
                 verdict_count,
                 verdict_cells,
+                routed,
                 scratch,
             })
         })();
@@ -478,6 +598,17 @@ impl MonitorEngine {
     /// The execution mode the engine was installed with.
     pub fn mode(&self) -> ExecMode {
         self.mode
+    }
+
+    /// The routing mode the engine actually runs (a requested
+    /// [`RoutingMode::Routed`] degrades to full scan for suites larger
+    /// than [`MAX_ROUTED_MACHINES`]).
+    pub fn routing_mode(&self) -> RoutingMode {
+        if self.routed.is_some() {
+            RoutingMode::Routed
+        } else {
+            RoutingMode::FullScan
+        }
     }
 
     /// Costless read of every machine's persistent `(state, vars)` —
@@ -509,10 +640,10 @@ impl MonitorEngine {
     }
 
     /// Machine names, in suite order.
-    pub fn machine_names(&self) -> Vec<&str> {
+    pub fn machine_names(&self) -> Vec<String> {
         self.machines
             .iter()
-            .map(|m| m.machine.name.as_str())
+            .map(|m| m.machine.name.clone())
             .collect()
     }
 
@@ -526,6 +657,11 @@ impl MonitorEngine {
             }
             tx.write(&self.verdict_count, 0u32);
             tx.write(&self.seq_cell, 0u64);
+            if let Some(rs) = &self.routed {
+                // An empty worklist means "no event pending".
+                tx.write_u16_list(rs.worklist_addr, &[]);
+                tx.write(&rs.done_cell, 0u64);
+            }
             dev.commit(&self.journal, &tx)
         })
     }
@@ -537,11 +673,28 @@ impl MonitorEngine {
         dev.billed(CostCategory::Monitor, |dev| {
             // Repair a torn journal commit first.
             dev.recover(&self.journal)?;
-            if self.routine.is_complete(dev)? {
-                return Ok(false);
+            match &self.routed {
+                Some(rs) => {
+                    // Pending iff an armed worklist has unfinished bits.
+                    let count = self.read_worklist_count(dev, rs)?;
+                    if count == 0 {
+                        return Ok(false);
+                    }
+                    let done = dev.nv_read(&rs.done_cell)?;
+                    if done & worklist_mask(count) == worklist_mask(count) {
+                        return Ok(false);
+                    }
+                    self.run_worklist(dev, rs)?;
+                    Ok(true)
+                }
+                None => {
+                    if self.routine.is_complete(dev)? {
+                        return Ok(false);
+                    }
+                    self.run_steps(dev)?;
+                    Ok(true)
+                }
             }
-            self.run_steps(dev)?;
-            Ok(true)
         })
     }
 
@@ -562,14 +715,22 @@ impl MonitorEngine {
             let last_seq = dev.nv_read(&self.seq_cell)?;
             if last_seq != seq {
                 // Arm atomically: event, seq, verdict reset, AND the
-                // step counter — a failure after this commit resumes
-                // the new event, a failure before it re-arms cleanly.
+                // dispatch state (armed worklist + completion bitmap,
+                // or the full-scan step counter) — a failure after this
+                // commit resumes exactly the armed set, a failure
+                // before it re-arms cleanly.
                 let encoded = EncodedEvent::from_event(event, dev.energy_level().as_nano_joules());
                 let mut tx = TxWriter::new();
                 tx.write(&self.event_cell, encoded);
                 tx.write(&self.seq_cell, seq);
                 tx.write(&self.verdict_count, 0u32);
-                self.routine.stage_begin(&mut tx, self.machines.len() as u32);
+                match &self.routed {
+                    Some(rs) => {
+                        dev.compute(ROUTING_LOOKUP_CYCLES)?;
+                        self.stage_worklist(rs, &encoded, &mut tx);
+                    }
+                    None => self.routine.stage_begin(&mut tx, self.machines.len() as u32),
+                }
                 dev.commit(&self.journal, &tx)?;
             }
             self.run_steps(dev)?;
@@ -597,12 +758,128 @@ impl MonitorEngine {
     }
 
     fn run_steps(&self, dev: &mut Device) -> Result<(), Interrupt> {
-        let routine = self.routine;
-        routine.run(dev, &mut |dev, i| self.step_machine(dev, i))
+        match &self.routed {
+            Some(rs) => self.run_worklist(dev, rs),
+            None => {
+                let routine = self.routine;
+                routine.run(dev, &mut |dev, i| self.step_machine(dev, i))
+            }
+        }
+    }
+
+    /// Stages the event's interested worklist (routing-index lookup +
+    /// the dynamic `Path:` filter, both deterministic functions of the
+    /// event) and a cleared completion bitmap into the arming `tx`.
+    fn stage_worklist(&self, rs: &RoutedState, encoded: &EncodedEvent, tx: &mut TxWriter) {
+        let kind = if encoded.kind == 0 {
+            EventKind::StartTask
+        } else {
+            EventKind::EndTask
+        };
+        let scratch = &mut *self.scratch.borrow_mut();
+        scratch.worklist.clear();
+        for &mi in self.compiled.routing().interested(kind, encoded.task) {
+            let lm = &self.machines[mi as usize];
+            let path_dismissed = match lm.machine.path {
+                Some(machine_path) => {
+                    encoded.path_number != 0 && u32::from(encoded.path_number) != machine_path
+                }
+                None => false,
+            };
+            if !path_dismissed {
+                scratch.worklist.push(mi);
+            }
+        }
+        tx.write_u16_list(rs.worklist_addr, &scratch.worklist);
+        tx.write(&rs.done_cell, 0u64);
+    }
+
+    /// The armed worklist's entry count (0 = nothing pending).
+    fn read_worklist_count(&self, dev: &mut Device, rs: &RoutedState) -> Result<usize, Interrupt> {
+        let b = dev.nv_read_raw(rs.worklist_addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]) as usize)
+    }
+
+    /// Routed dispatch: step the pending entries of the armed worklist.
+    /// The worklist and the event were fixed by the same journal commit,
+    /// so a resume after any power failure processes exactly the armed
+    /// set; completed entries are skipped via the bitmap, and the event
+    /// cell is decoded once per activation instead of once per machine.
+    fn run_worklist(&self, dev: &mut Device, rs: &RoutedState) -> Result<(), Interrupt> {
+        let count = self.read_worklist_count(dev, rs)?;
+        if count == 0 {
+            return Ok(());
+        }
+        let full = worklist_mask(count);
+        let mut done = dev.nv_read(&rs.done_cell)?;
+        if done & full == full {
+            return Ok(());
+        }
+
+        let mut wl = [0u16; MAX_ROUTED_MACHINES];
+        {
+            let bytes = dev.nv_read_raw(rs.worklist_addr + 2, count * 2)?;
+            for (slot, ch) in wl.iter_mut().zip(bytes.chunks_exact(2)) {
+                *slot = u16::from_le_bytes([ch[0], ch[1]]);
+            }
+        }
+        let encoded = dev.nv_read(&self.event_cell)?;
+
+        for (j, &mi) in wl.iter().enumerate().take(count) {
+            let bit = 1u64 << j;
+            if done & bit != 0 {
+                continue;
+            }
+            let lm = &self.machines[mi as usize];
+            // Path dismissal was resolved at arming time; worklisted
+            // machines always get a real step.
+            let completion = Completion::Bit(done | bit);
+            match self.mode {
+                ExecMode::Compiled => {
+                    self.step_compiled(dev, mi as u32, lm, &encoded, false, completion)?
+                }
+                ExecMode::Interpreter => {
+                    self.step_interpreted(dev, mi as u32, lm, &encoded, false, completion)?
+                }
+            }
+            done |= bit;
+        }
+        Ok(())
+    }
+
+    /// Marks a step with no FRAM effects complete: one plain idempotent
+    /// write (re-execution after a power failure is harmless).
+    fn finish_plain(&self, dev: &mut Device, completion: Completion) -> Result<(), Interrupt> {
+        match completion {
+            Completion::Step(i) => self.routine.complete_step(dev, i),
+            Completion::Bit(done) => {
+                let rs = self.routed.as_ref().expect("bitmap completion without routed state");
+                dev.nv_write(&rs.done_cell, done)
+            }
+        }
+    }
+
+    /// Commits a step's staged FRAM effects together with its
+    /// completion marker in one crash-atomic transaction (exactly-once).
+    fn finish_atomic(
+        &self,
+        dev: &mut Device,
+        completion: Completion,
+        tx: &mut TxWriter,
+    ) -> Result<(), Interrupt> {
+        match completion {
+            Completion::Step(i) => self.routine.atomic_step(dev, &self.journal, i, tx),
+            Completion::Bit(done) => {
+                let rs = self.routed.as_ref().expect("bitmap completion without routed state");
+                tx.write(&rs.done_cell, done);
+                dev.commit(&self.journal, tx)
+            }
+        }
     }
 
     /// Processes the stored event through machine `i` as one
-    /// crash-atomic step.
+    /// crash-atomic step (full-scan reference path: the event cell is
+    /// re-read per machine and dismissal is tested dynamically).
     fn step_machine(&self, dev: &mut Device, i: u32) -> Result<(), Interrupt> {
         let lm = &self.machines[i as usize];
 
@@ -618,8 +895,12 @@ impl MonitorEngine {
         };
 
         match self.mode {
-            ExecMode::Compiled => self.step_compiled(dev, i, lm, &encoded, path_dismissed),
-            ExecMode::Interpreter => self.step_interpreted(dev, i, lm, &encoded, path_dismissed),
+            ExecMode::Compiled => {
+                self.step_compiled(dev, i, lm, &encoded, path_dismissed, Completion::Step(i))
+            }
+            ExecMode::Interpreter => {
+                self.step_interpreted(dev, i, lm, &encoded, path_dismissed, Completion::Step(i))
+            }
         }
     }
 
@@ -633,6 +914,7 @@ impl MonitorEngine {
         lm: &LoadedMachine,
         encoded: &EncodedEvent,
         path_dismissed: bool,
+        completion: Completion,
     ) -> Result<(), Interrupt> {
         let MachineStore::Block { addr, len } = lm.store else {
             unreachable!("compiled mode allocates block storage");
@@ -654,7 +936,7 @@ impl MonitorEngine {
         let dispatched = cm.dispatch_len(kind, encoded.task);
         if path_dismissed || dispatched == 0 {
             dev.compute(COMPILED_DISPATCH_CYCLES)?;
-            return self.routine.complete_step(dev, i);
+            return self.finish_plain(dev, completion);
         }
         dev.compute(COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES * dispatched as u64)?;
 
@@ -688,7 +970,7 @@ impl MonitorEngine {
 
         encode_block(state, &scratch.vars, &mut scratch.block_new);
         if emit.is_none() && scratch.block_new == scratch.block {
-            return self.routine.complete_step(dev, i);
+            return self.finish_plain(dev, completion);
         }
 
         let mut tx = TxWriter::new();
@@ -696,7 +978,7 @@ impl MonitorEngine {
         if let Some(fail) = emit {
             self.stage_verdict(dev, &mut tx, i, fail.action, fail.path.or(lm.machine.path))?;
         }
-        self.routine.atomic_step(dev, &self.journal, i, &mut tx)
+        self.finish_atomic(dev, completion, &mut tx)
     }
 
     /// Interpreter step: the original reference path over per-variable
@@ -708,6 +990,7 @@ impl MonitorEngine {
         lm: &LoadedMachine,
         encoded: &EncodedEvent,
         path_dismissed: bool,
+        completion: Completion,
     ) -> Result<(), Interrupt> {
         let MachineStore::Cells {
             state_cell,
@@ -724,7 +1007,7 @@ impl MonitorEngine {
             || matches!(&lm.observed, Some(tasks) if !tasks.contains(&encoded.task));
         if dismissed {
             dev.compute(STEP_BASE_CYCLES)?;
-            return self.routine.complete_step(dev, i);
+            return self.finish_plain(dev, completion);
         }
 
         // Model the compute cost of the generated step function.
@@ -772,7 +1055,7 @@ impl MonitorEngine {
         // no journal round-trip (matches the generated C, which only
         // touches FRAM on actual assignments).
         if emit.is_none() && mstate.state == before_state && scratch.vars == scratch.before_vars {
-            return self.routine.complete_step(dev, i);
+            return self.finish_plain(dev, completion);
         }
 
         let mut tx = TxWriter::new();
@@ -787,7 +1070,7 @@ impl MonitorEngine {
         if let Some(fail) = emit {
             self.stage_verdict(dev, &mut tx, i, fail.action, fail.path.or(lm.machine.path))?;
         }
-        self.routine.atomic_step(dev, &self.journal, i, &mut tx)
+        self.finish_atomic(dev, completion, &mut tx)
     }
 
     /// Appends one verdict to the persistent verdict log inside `tx`.
@@ -854,6 +1137,10 @@ impl Monitoring for MonitorEngine {
 
     fn last_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt> {
         MonitorEngine::last_verdicts(self, dev)
+    }
+
+    fn machine_names(&self) -> Vec<String> {
+        MonitorEngine::machine_names(self)
     }
 
     fn on_path_restart(&self, dev: &mut Device, path: PathId) -> Result<(), Interrupt> {
@@ -1146,6 +1433,117 @@ mod tests {
         let _ = engine(&mut dev, "accel { maxTries: 5 onFail: skipPath; }");
         let after = dev.fram().used_by(MemOwner::Monitor);
         assert!(after > before, "monitor state must live in monitor FRAM");
+    }
+
+    #[test]
+    fn routed_is_the_default_and_full_scan_is_selectable() {
+        let app = app();
+        let spec = "accel { maxTries: 5 onFail: skipPath; }";
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let suite = artemis_ir::compile(spec, &app).unwrap();
+        let routed = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        assert_eq!(routed.routing_mode(), RoutingMode::Routed);
+
+        let suite = artemis_ir::compile(spec, &app).unwrap();
+        let scan = MonitorEngine::install_with_routing(
+            &mut dev,
+            suite,
+            &app,
+            ExecMode::Compiled,
+            RoutingMode::FullScan,
+        )
+        .unwrap();
+        assert_eq!(scan.routing_mode(), RoutingMode::FullScan);
+    }
+
+    #[test]
+    fn oversized_suite_degrades_to_full_scan() {
+        let app = app();
+        let mut src = String::new();
+        for i in 0..=MAX_ROUTED_MACHINES {
+            src.push_str(&format!(
+                "machine m{i} task accel persistent {{ state S initial; \
+                 on startTask(accel) from S to S {{ }}; }}\n"
+            ));
+        }
+        let suite = artemis_ir::parse::parse_suite(&src).unwrap();
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        assert_eq!(engine.routing_mode(), RoutingMode::FullScan);
+    }
+
+    #[test]
+    fn routed_path_skips_uninterested_machines() {
+        // One machine watches `accel`, fifteen watch `send`. A start
+        // event on `accel` must not read the fifteen bystanders' blocks:
+        // routed FRAM reads stay well below the full scan's.
+        let app = app();
+        let mut src = String::from(
+            "machine hot task accel persistent { state S initial; \
+             on startTask(accel) from S to S { }; }\n",
+        );
+        for i in 0..15 {
+            src.push_str(&format!(
+                "machine cold{i} task send persistent {{ state S initial; \
+                 on startTask(send) from S to S {{ }}; }}\n"
+            ));
+        }
+
+        let ops_for = |routing: RoutingMode| {
+            let mut dev = DeviceBuilder::msp430fr5994().build();
+            let suite = artemis_ir::parse::parse_suite(&src).unwrap();
+            let engine =
+                MonitorEngine::install_with_routing(&mut dev, suite, &app, ExecMode::Compiled, routing)
+                    .unwrap();
+            engine.reset_monitor(&mut dev).unwrap();
+            let accel = app.task_by_name("accel").unwrap();
+            let before = dev.fram().read_ops();
+            engine
+                .call_monitor(&mut dev, 1, &MonitorEvent::start(accel, t(0)))
+                .unwrap();
+            dev.fram().read_ops() - before
+        };
+
+        let routed = ops_for(RoutingMode::Routed);
+        let scanned = ops_for(RoutingMode::FullScan);
+        assert!(
+            routed * 2 < scanned,
+            "routing saved too little: routed={routed} full-scan={scanned}"
+        );
+    }
+
+    #[test]
+    fn event_with_no_interested_machines_completes_cleanly() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        // maxDuration observes start+end of accel only; a send event
+        // routes to an empty worklist.
+        let (engine, app) = engine(&mut dev, "accel { maxDuration: 1s onFail: skipTask; }");
+        let send = app.task_by_name("send").unwrap();
+        assert!(engine
+            .call_monitor(&mut dev, 1, &MonitorEvent::start(send, t(0)))
+            .unwrap()
+            .is_empty());
+        // Nothing pending afterwards, and redelivery is a no-op.
+        assert!(!engine.monitor_finalize(&mut dev).unwrap());
+        assert!(engine
+            .call_monitor(&mut dev, 1, &MonitorEvent::start(send, t(0)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn machine_names_come_back_in_suite_order() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let (engine, _) = engine(
+            &mut dev,
+            "accel { maxTries: 2 onFail: skipPath; }\n\
+             send { collect: 2 dpTask: accel onFail: restartPath; }",
+        );
+        let names = Monitoring::machine_names(&engine);
+        assert_eq!(names.len(), 2);
+        assert!(names[0].starts_with("accel_maxTries"));
+        assert!(names[1].starts_with("send_collect"));
     }
 }
 

@@ -204,6 +204,15 @@ impl Monitoring for RemoteMonitorEngine {
     fn machine_count(&self) -> usize {
         self.state.borrow().machines.len()
     }
+
+    fn machine_names(&self) -> Vec<String> {
+        self.state
+            .borrow()
+            .machines
+            .iter()
+            .map(|(m, _)| m.name.clone())
+            .collect()
+    }
 }
 
 /// A placeholder allowing runtimes with no monitoring at all (ablation

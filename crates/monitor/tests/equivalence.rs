@@ -10,7 +10,7 @@ use artemis_core::property::OnFail;
 use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
 use artemis_ir::expr::Value;
-use artemis_monitor::{ExecMode, MonitorEngine, MonitorVerdict};
+use artemis_monitor::{ExecMode, MonitorEngine, MonitorVerdict, RoutingMode};
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
 use intermittent_sim::energy::Energy;
@@ -249,8 +249,21 @@ fn engine_run_mode(
     dev: &mut Device,
     mode: ExecMode,
 ) -> (Vec<Vec<MonitorVerdict>>, Vec<(u32, Vec<Value>)>) {
+    engine_run_routing(app, spec, events, dev, mode, RoutingMode::default())
+}
+
+/// [`engine_run_mode`] with an explicit routing mode (armed worklists
+/// vs the full-scan reference path).
+fn engine_run_routing(
+    app: &AppGraph,
+    spec: &str,
+    events: &[(Ev, Option<u32>)],
+    dev: &mut Device,
+    mode: ExecMode,
+    routing: RoutingMode,
+) -> (Vec<Vec<MonitorVerdict>>, Vec<(u32, Vec<Value>)>) {
     let suite = artemis_ir::compile(spec, app).unwrap();
-    let engine = MonitorEngine::install_with_mode(dev, suite, app, mode).unwrap();
+    let engine = MonitorEngine::install_with_routing(dev, suite, app, mode, routing).unwrap();
     let done = dev
         .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
         .unwrap();
@@ -348,4 +361,175 @@ proptest! {
         prop_assert_eq!(vc, vi, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
         prop_assert_eq!(sc, si, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
     }
+
+    /// Routed dispatch (armed worklists + completion bitmap) vs the
+    /// full-scan reference path: identical verdicts and FRAM-visible
+    /// machine state on every random spec and event stream.
+    #[test]
+    fn routed_equals_full_scan_on_random_specs(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+    ) {
+        let app = rich_app();
+        let mut dev_r = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_f = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vr, sr) = engine_run_routing(
+            &app, &spec, &events, &mut dev_r, ExecMode::Compiled, RoutingMode::Routed);
+        let (vf, sf) = engine_run_routing(
+            &app, &spec, &events, &mut dev_f, ExecMode::Compiled, RoutingMode::FullScan);
+        prop_assert_eq!(vr, vf, "verdict divergence on spec: {}", spec);
+        prop_assert_eq!(sr, sf, "state divergence on spec: {}", spec);
+    }
+
+    /// Routed dispatch on an intermittent device vs full scan on
+    /// continuous power: the armed worklist must resume exactly across
+    /// random power-failure schedules, verdict for verdict.
+    #[test]
+    fn routed_equals_full_scan_under_random_power_failures(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_r = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_f = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vr, sr) = engine_run_routing(
+            &app, &spec, &events, &mut dev_r, ExecMode::Compiled, RoutingMode::Routed);
+        let (vf, sf) = engine_run_routing(
+            &app, &spec, &events, &mut dev_f, ExecMode::Compiled, RoutingMode::FullScan);
+        prop_assert_eq!(vr, vf, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(sr, sf, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arming-commit crash windows (deterministic).
+//
+// The routed event path has three crash windows the worklist design
+// must survive: a power failure after the arming commit but before the
+// first step, a failure mid-worklist (some completion bits set), and a
+// redelivery of a seq whose worklist already completed. A fine-grained
+// capacitor-budget sweep lands the brown-out in every window of the
+// multi-machine stream below.
+// ---------------------------------------------------------------------------
+
+/// Spec with four machines on `a` and two on `b`: every `a` event arms
+/// a worklist long enough for mid-worklist failures to exist.
+const CRASH_SPEC: &str = "\
+    a { maxTries: 3 onFail: skipPath; \
+        period: 4s onFail: restartTask; \
+        dpData: temp Range: [30, 34] onFail: skipTask; }\n\
+    b { collect: 2 dpTask: a onFail: restartPath; \
+        maxDuration: 5s onFail: skipTask; }";
+
+fn crash_events() -> Vec<(Ev, Option<u32>)> {
+    let mk = |start, task_a, gap_ms, dep| {
+        (
+            Ev {
+                start,
+                task_a,
+                gap_ms,
+            },
+            dep,
+        )
+    };
+    vec![
+        mk(true, true, 0, None),
+        mk(false, true, 500, Some(31)),
+        mk(true, false, 200, None),
+        mk(false, false, 100, None),
+        mk(true, true, 9_000, None),
+        mk(false, true, 400, Some(44)), // out of range -> verdict
+        mk(true, true, 100, None),      // period violation
+        mk(false, true, 300, Some(33)),
+        mk(true, false, 100, None),
+        mk(false, false, 8_000, None), // maxDuration violation
+    ]
+}
+
+/// Budget sweep: every 25 nJ from "barely arms" to "several steps per
+/// activation", so the injected failure lands between arming and the
+/// first step, mid-worklist, and inside step commits across the sweep.
+#[test]
+fn arming_crash_windows_preserve_verdicts_and_state() {
+    let app = rich_app();
+    let events = crash_events();
+    let mut dev_f = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    let (vf, sf) = engine_run_routing(
+        &app,
+        CRASH_SPEC,
+        &events,
+        &mut dev_f,
+        ExecMode::Compiled,
+        RoutingMode::FullScan,
+    );
+
+    let mut total_reboots = 0u64;
+    for budget_nj in (700..3_000).step_by(25) {
+        let mut dev_r = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let (vr, sr) = engine_run_routing(
+            &app,
+            CRASH_SPEC,
+            &events,
+            &mut dev_r,
+            ExecMode::Compiled,
+            RoutingMode::Routed,
+        );
+        assert_eq!(vr, vf, "verdict divergence at budget {budget_nj} nJ");
+        assert_eq!(sr, sf, "state divergence at budget {budget_nj} nJ");
+        total_reboots += dev_r.reboots();
+    }
+    assert!(
+        total_reboots > 100,
+        "sweep too gentle to hit the crash windows ({total_reboots} reboots)"
+    );
+}
+
+/// Redelivering a seq whose armed worklist already ran to completion
+/// must return the recorded verdicts without re-stepping any machine —
+/// on live redelivery and after a reboot.
+#[test]
+fn redelivered_completed_seq_only_replays_verdicts() {
+    let app = rich_app();
+    let suite = artemis_ir::compile(CRASH_SPEC, &app).unwrap();
+    let mut dev = DeviceBuilder::msp430fr5994().build();
+    let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+    engine.reset_monitor(&mut dev).unwrap();
+    assert_eq!(engine.routing_mode(), RoutingMode::Routed);
+
+    let a = TaskId(0);
+    // Rapid-fire starts until a property fires (maxTries: 3 fires by
+    // the fourth attempt at the latest).
+    let ev = |us| MonitorEvent::start(a, SimInstant::from_micros(us));
+    let mut seq = 0u64;
+    let first = loop {
+        seq += 1;
+        assert!(seq <= 8, "no property fired after {seq} starts");
+        let v = engine.call_monitor(&mut dev, seq, &ev(seq * 1_000)).unwrap();
+        if !v.is_empty() {
+            break v;
+        }
+    };
+    let snap = engine.snapshot(&dev);
+
+    // Live redelivery: same verdicts, no FRAM-visible state change.
+    let again = engine.call_monitor(&mut dev, seq, &ev(seq * 1_000)).unwrap();
+    assert_eq!(again, first);
+    assert_eq!(engine.snapshot(&dev), snap);
+
+    // Redelivery after a reboot: finalize sees nothing pending, and the
+    // seq check still short-circuits the worklist.
+    dev.power_cycle();
+    assert!(!engine.monitor_finalize(&mut dev).unwrap());
+    let after_reboot = engine.call_monitor(&mut dev, seq, &ev(seq * 1_000)).unwrap();
+    assert_eq!(after_reboot, first);
+    assert_eq!(engine.snapshot(&dev), snap);
 }

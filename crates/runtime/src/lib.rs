@@ -287,6 +287,9 @@ impl ArtemisRuntimeBuilder {
         dev.sram_mut().register(owner, "main loop state", 2);
 
         engine.reset_monitor(dev).map_err(dev_err)?;
+        // Violation trace records carry monitor indices; register the
+        // suite's names so they resolve at render time.
+        dev.trace_mut().set_monitor_names(engine.machine_names());
 
         Ok(ArtemisRuntime {
             app: self.app,
@@ -386,7 +389,7 @@ impl<M: Monitoring> ArtemisRuntime<M> {
         for v in verdicts {
             dev.trace_push(TraceEvent::Violation {
                 task: self.current_task_cached,
-                monitor: v.machine.clone(),
+                monitor: v.machine_index as u32,
                 action: v.action,
             });
         }

@@ -514,6 +514,11 @@ impl Device {
         &self.trace
     }
 
+    /// Mutable access to the trace (e.g. to register monitor names).
+    pub fn trace_mut(&mut self) -> &mut Trace {
+        &mut self.trace
+    }
+
     /// Appends to the execution trace at the current time.
     pub fn trace_push(&mut self, event: TraceEvent) {
         let now = self.now();
@@ -597,6 +602,14 @@ impl DeviceBuilder {
     /// Disables tracing (for benchmarks).
     pub fn trace_disabled(mut self) -> Self {
         self.trace = Trace::disabled();
+        self
+    }
+
+    /// Bounds the trace to a ring buffer of the most recent `cap`
+    /// records (for open-ended runs whose full trace would grow
+    /// without bound).
+    pub fn trace_bounded(mut self, cap: usize) -> Self {
+        self.trace = Trace::bounded(cap);
         self
     }
 

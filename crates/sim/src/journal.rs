@@ -66,6 +66,21 @@ impl TxWriter {
         self.entries.push((addr, data));
     }
 
+    /// Stages a variable-length `u16` list at `addr` as **one** journal
+    /// entry: a `u16` count followed by the items, little-endian (see
+    /// [`encode_u16_list`]). Unlike [`TxWriter::write_raw`], re-staging
+    /// a list at the same address replaces the previous entry even when
+    /// the lengths differ — the count word makes the shorter image
+    /// self-delimiting, so stale tail bytes can never be misread.
+    ///
+    /// This is the staging primitive for armed worklists: the list
+    /// commits atomically with whatever else is in the transaction, so
+    /// a reboot sees either the complete new list or the old one.
+    pub fn write_u16_list(&mut self, addr: usize, items: &[u16]) {
+        self.entries.retain(|(a, _)| *a != addr);
+        self.entries.push((addr, encode_u16_list(items)));
+    }
+
     /// Reads a cell, observing staged writes first.
     pub fn read<T: NvData>(&self, fram: &mut Fram, cell: &NvCell<T>) -> T {
         for (a, d) in &self.entries {
@@ -98,6 +113,35 @@ impl TxWriter {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+}
+
+/// Encodes a `u16` list as its FRAM image: a `u16` count followed by
+/// the items, all little-endian. The inverse of [`decode_u16_list`].
+pub fn encode_u16_list(items: &[u16]) -> Vec<u8> {
+    debug_assert!(items.len() <= u16::MAX as usize);
+    let mut buf = Vec::with_capacity(2 + items.len() * 2);
+    buf.extend_from_slice(&(items.len() as u16).to_le_bytes());
+    for v in items {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf
+}
+
+/// Bytes a `u16` list of `n` items occupies in FRAM (count word +
+/// items) — use to size the backing region at allocation time.
+pub fn u16_list_bytes(n: usize) -> usize {
+    2 + 2 * n
+}
+
+/// Decodes a `u16` list image produced by [`encode_u16_list`]. The
+/// slice may be longer than the encoded list (a region sized for the
+/// maximum); only `count` items are read.
+pub fn decode_u16_list(bytes: &[u8]) -> Vec<u16> {
+    let count = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+    bytes[2..2 + count * 2]
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect()
 }
 
 /// The journal region handle.
@@ -308,6 +352,51 @@ mod tests {
             Interrupt::Fault(Fault::JournalOverflow { .. })
         ));
         assert_eq!(fram.peek(&a), 0, "target untouched");
+    }
+
+    #[test]
+    fn u16_list_round_trips_through_commit() {
+        let mut fram = Fram::new(4096);
+        let journal = Journal::new(&mut fram, 256, MemOwner::Runtime).unwrap();
+        let addr = fram
+            .alloc_raw(u16_list_bytes(8), MemOwner::Monitor, "wl")
+            .unwrap();
+
+        let mut tx = TxWriter::new();
+        tx.write_u16_list(addr, &[3, 1, 7]);
+        assert_eq!(tx.len(), 1, "one journal entry for the whole list");
+        journal.commit(&mut fram, &tx, &mut no_fail).unwrap();
+        assert_eq!(
+            decode_u16_list(fram.peek_raw(addr, u16_list_bytes(8))),
+            vec![3, 1, 7]
+        );
+
+        // A shorter re-stage replaces the longer image: the count word
+        // self-delimits, stale tail bytes are never read.
+        let mut tx = TxWriter::new();
+        tx.write_u16_list(addr, &[9]);
+        journal.commit(&mut fram, &tx, &mut no_fail).unwrap();
+        assert_eq!(
+            decode_u16_list(fram.peek_raw(addr, u16_list_bytes(8))),
+            vec![9]
+        );
+
+        let mut tx = TxWriter::new();
+        tx.write_u16_list(addr, &[]);
+        journal.commit(&mut fram, &tx, &mut no_fail).unwrap();
+        assert!(decode_u16_list(fram.peek_raw(addr, u16_list_bytes(8))).is_empty());
+    }
+
+    #[test]
+    fn restaging_a_u16_list_in_one_tx_keeps_one_entry() {
+        let mut tx = TxWriter::new();
+        tx.write_u16_list(100, &[1, 2, 3, 4]);
+        tx.write_u16_list(100, &[5]);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx.journal_bytes(), 6 + u16_list_bytes(1));
+        // Lists at other addresses are unaffected.
+        tx.write_u16_list(200, &[6, 7]);
+        assert_eq!(tx.len(), 2);
     }
 
     /// The core atomicity property: inject a power failure after every
