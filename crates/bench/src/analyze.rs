@@ -1,0 +1,222 @@
+//! Static-analysis lint driver: `experiments -- analyze`.
+//!
+//! Runs the full diagnostic pipeline — specification consistency
+//! ([`artemis_spec::consistency`]), IR validation
+//! ([`artemis_ir::validate`]), and the install-time analysis passes
+//! ([`artemis_ir::analysis`]: bytecode verifier, resource bounds,
+//! reachability, cross-monitor conflicts) — over every specification
+//! and hand-written monitor the repository ships, and reports all
+//! findings through the unified [`artemis_spec::Diagnostic`] type.
+//!
+//! CI runs this as a build gate: the shipped samples and examples must
+//! produce **zero errors** (warnings are listed but tolerated). The
+//! binary exits non-zero otherwise.
+
+use artemis_core::app::{AppGraph, AppGraphBuilder};
+use artemis_ir::compile::CompiledSuite;
+use artemis_spec::{sort_diagnostics, Diagnostic};
+
+use crate::health::health_app;
+use crate::Report;
+
+/// The hand-written IR of `examples/custom_monitor.rs`, extracted from
+/// the example source so the lint can never drift from what users see.
+const CUSTOM_MONITOR_SRC: &str = include_str!("../../../examples/custom_monitor.rs");
+
+/// The application graph of `examples/custom_monitor.rs`.
+fn custom_monitor_app() -> AppGraph {
+    let mut b = AppGraphBuilder::new();
+    let sense = b.task("sense");
+    let sense_b = b.task("senseB");
+    let sense_c = b.task("senseC");
+    let send = b.task("send");
+    b.path(&[sense, send]);
+    b.path(&[sense_b, send]);
+    b.path(&[sense_c, send]);
+    b.build().expect("static graph is valid")
+}
+
+/// The app `artemis_spec::samples::MINIMAL` is written against.
+fn minimal_app() -> AppGraph {
+    let mut b = AppGraphBuilder::new();
+    let sense = b.task("sense");
+    b.path(&[sense]);
+    b.build().expect("static graph is valid")
+}
+
+/// Pulls the first `r#"…"#` raw-string literal out of example source.
+fn first_raw_string(src: &str) -> Option<&str> {
+    let start = src.find("r#\"")? + 3;
+    let end = start + src[start..].find("\"#")?;
+    Some(&src[start..end])
+}
+
+/// Lints one spec-language target: parse → consistency → lower →
+/// validate → compile → whole-suite analysis. Every stage's findings
+/// are tagged with `target` in the subject; a stage failure becomes an
+/// error diagnostic instead of aborting the sweep.
+fn lint_spec(target: &str, source: &str, app: &AppGraph, out: &mut Vec<(String, Diagnostic)>) {
+    let push = |out: &mut Vec<(String, Diagnostic)>, d: Diagnostic| {
+        out.push((target.to_string(), d));
+    };
+
+    let ast = match artemis_spec::parse(source) {
+        Ok(ast) => ast,
+        Err(e) => {
+            push(
+                out,
+                Diagnostic::error("parse", target.to_string(), e.to_string()),
+            );
+            return;
+        }
+    };
+    let set = match artemis_spec::resolve(&ast, app) {
+        Ok(set) => set,
+        Err(e) => {
+            push(
+                out,
+                Diagnostic::error("resolve", target.to_string(), e.to_string()),
+            );
+            return;
+        }
+    };
+    for issue in artemis_spec::consistency::check(&set, app) {
+        push(out, issue.into());
+    }
+    let suite = match artemis_ir::lower_set(&set, app) {
+        Ok(suite) => suite,
+        Err(e) => {
+            push(
+                out,
+                Diagnostic::error("lower", target.to_string(), e.to_string()),
+            );
+            return;
+        }
+    };
+    lint_suite(target, &suite, app, out);
+}
+
+/// Lints a lowered (or hand-written) machine suite: per-machine
+/// validation, compilation, then the install-time analysis passes.
+fn lint_suite(
+    target: &str,
+    suite: &artemis_ir::MonitorSuite,
+    app: &AppGraph,
+    out: &mut Vec<(String, Diagnostic)>,
+) {
+    for m in suite.machines() {
+        for issue in artemis_ir::validate::validate(m) {
+            out.push((target.to_string(), issue.into()));
+        }
+    }
+    let compiled = match CompiledSuite::compile(suite, app) {
+        Ok(c) => c,
+        Err(e) => {
+            out.push((
+                target.to_string(),
+                Diagnostic::error("compile", target.to_string(), e.to_string()),
+            ));
+            return;
+        }
+    };
+    for d in artemis_ir::analysis::analyze_suite(suite, &compiled, None) {
+        out.push((target.to_string(), d));
+    }
+}
+
+/// Runs the lint over every shipped specification and example monitor.
+/// Returns the report plus the number of error-severity findings (the
+/// CI gate).
+pub fn analyze_all() -> (Report, usize) {
+    let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+
+    lint_spec(
+        "samples::FIGURE5",
+        artemis_spec::samples::FIGURE5,
+        &health_app(),
+        &mut findings,
+    );
+    lint_spec(
+        "samples::MINIMAL",
+        artemis_spec::samples::MINIMAL,
+        &minimal_app(),
+        &mut findings,
+    );
+
+    // The hand-written IR example, straight from its source file.
+    let target = "examples/custom_monitor.rs";
+    match first_raw_string(CUSTOM_MONITOR_SRC) {
+        Some(ir) => match artemis_ir::parse::parse_suite(ir) {
+            Ok(suite) => lint_suite(target, &suite, &custom_monitor_app(), &mut findings),
+            Err(e) => findings.push((
+                target.to_string(),
+                Diagnostic::error("parse", target.to_string(), e.to_string()),
+            )),
+        },
+        None => findings.push((
+            target.to_string(),
+            Diagnostic::error(
+                "parse",
+                target.to_string(),
+                "no raw-string IR literal found in example source".to_string(),
+            ),
+        )),
+    }
+
+    let mut diags: Vec<Diagnostic> = findings.iter().map(|(_, d)| d.clone()).collect();
+    sort_diagnostics(&mut diags);
+    let errors = diags.iter().filter(|d| d.is_error()).count();
+    let warnings = diags.len() - errors;
+
+    let mut r = Report::new(
+        "analyze",
+        "static analysis of shipped specifications and example monitors",
+        &["target", "pass", "severity", "subject", "finding"],
+    );
+    // Errors first, stable within severity — same order install uses.
+    let mut ordered = findings;
+    ordered.sort_by_key(|(_, d)| d.severity);
+    for (target, d) in &ordered {
+        r.row(vec![
+            target.clone(),
+            d.pass.to_string(),
+            d.severity.label().to_string(),
+            d.subject.clone(),
+            d.message.clone(),
+        ]);
+    }
+    r.note(format!(
+        "{errors} error(s), {warnings} warning(s) across 3 targets"
+    ));
+    r.note("CI gate: shipped specs and examples must produce zero errors");
+    (r, errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The CI contract: everything the repo ships lints error-free.
+    #[test]
+    fn shipped_targets_have_zero_errors() {
+        let (r, errors) = analyze_all();
+        assert_eq!(errors, 0, "{}", r.render());
+    }
+
+    #[test]
+    fn raw_string_extraction_finds_the_example_ir() {
+        let ir = first_raw_string(CUSTOM_MONITOR_SRC).unwrap();
+        assert!(ir.contains("machine send_rate_cap"));
+        let suite = artemis_ir::parse::parse_suite(ir).unwrap();
+        assert_eq!(suite.len(), 1);
+    }
+
+    /// A deliberately broken target produces error rows (the gate can
+    /// actually fail).
+    #[test]
+    fn lint_reports_broken_specs() {
+        let mut out = Vec::new();
+        lint_spec("broken", "ghost { maxTries: 1 onFail: skipPath; }", &minimal_app(), &mut out);
+        assert!(out.iter().any(|(_, d)| d.is_error()), "{out:?}");
+    }
+}

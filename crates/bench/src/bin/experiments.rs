@@ -4,14 +4,16 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use artemis_bench::experiments;
+use artemis_bench::{analyze, experiments};
 use artemis_bench::Report;
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|analyze|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
+         analyze  lint shipped specs/examples with the static analyser\n\
+         \x20        (exits non-zero on any error-severity finding)\n\
          --json   print a JSON array to stdout\n\
          --emit   also write each report to BENCH_<id>.json"
     );
@@ -27,7 +29,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--emit" => emit = true,
             "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "scaling" | "dispatch" | "all" => which = Some(arg),
+            | "scaling" | "dispatch" | "analyze" | "all" => which = Some(arg),
             _ => return usage(),
         }
     }
@@ -35,7 +37,13 @@ fn main() -> ExitCode {
         return usage();
     };
 
+    let mut analysis_errors = 0;
     let reports: Vec<Report> = match which.as_str() {
+        "analyze" => {
+            let (report, errors) = analyze::analyze_all();
+            analysis_errors = errors;
+            vec![report]
+        }
         "fig12" => vec![experiments::fig12()],
         "fig13" => vec![experiments::fig13()],
         "fig14" => vec![experiments::fig14()],
@@ -64,6 +72,10 @@ fn main() -> ExitCode {
             }
             eprintln!("wrote {path}");
         }
+    }
+    if analysis_errors > 0 {
+        eprintln!("analyze: {analysis_errors} error-severity finding(s)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -568,22 +568,23 @@ pub fn scaling() -> Report {
     r
 }
 
-/// **Dispatch benchmark (beyond the paper's figures)** — per-event FRAM
-/// traffic of the two execution modes on a monitor-heavy workload:
-/// every event drives every variable of every machine, the worst case
-/// for the interpreter's one-cell-per-variable layout. The compiled
-/// mode loads each machine as one block and commits it as one journal
-/// entry, so its op count is flat in the variable count.
-pub fn dispatch() -> Report {
-    use artemis_core::event::MonitorEvent;
+/// Shape of the dispatch stress suite ([`dispatch_suite`]).
+pub(crate) const DISPATCH_MACHINES: usize = 8;
+pub(crate) const DISPATCH_VARS: usize = 12;
+
+/// The monitor-heavy suite the dispatch benchmark runs: every `start(t0)`
+/// event drives every variable of every machine, the worst case for the
+/// interpreter's one-cell-per-variable layout. Hand-built because spec
+/// properties top out at a couple of variables. Shared with the
+/// static-bound dominance test so the analysed and measured suites can
+/// never drift apart.
+pub(crate) fn dispatch_suite() -> (
+    artemis_ir::fsm::MonitorSuite,
+    artemis_core::app::AppGraph,
+    artemis_core::app::TaskId,
+) {
     use artemis_ir::expr::{BinOp, Expr, Value, VarType};
     use artemis_ir::fsm::{MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
-    use artemis_monitor::{ExecMode, MonitorEngine};
-    use intermittent_sim::DeviceBuilder;
-
-    const MACHINES: usize = 8;
-    const VARS: usize = 12;
-    const EVENTS: u64 = 200;
 
     let mut b = artemis_core::app::AppGraphBuilder::new();
     let t0 = b.task("t0");
@@ -591,12 +592,10 @@ pub fn dispatch() -> Report {
     b.path(&[t0, t1]);
     let app = b.build().expect("graph");
 
-    // Hand-built machines: spec properties top out at a couple of
-    // variables, so the stress suite is constructed directly.
     let mut suite = MonitorSuite::new();
-    for m in 0..MACHINES {
+    for m in 0..DISPATCH_MACHINES {
         let mut sm = StateMachine::new(&format!("m{m}"), "t0");
-        for v in 0..VARS {
+        for v in 0..DISPATCH_VARS {
             sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
         }
         sm.add_state("S");
@@ -605,7 +604,7 @@ pub fn dispatch() -> Report {
             to: 0,
             trigger: Trigger::Start(TaskPat::named("t0")),
             guard: None,
-            body: (0..VARS)
+            body: (0..DISPATCH_VARS)
                 .map(|v| {
                     Stmt::Assign(
                         format!("v{v}"),
@@ -621,6 +620,23 @@ pub fn dispatch() -> Report {
         });
         suite.push(sm);
     }
+    (suite, app, t0)
+}
+
+/// **Dispatch benchmark (beyond the paper's figures)** — per-event FRAM
+/// traffic of the two execution modes on a monitor-heavy workload:
+/// every event drives every variable of every machine, the worst case
+/// for the interpreter's one-cell-per-variable layout. The compiled
+/// mode loads each machine as one block and commits it as one journal
+/// entry, so its op count is flat in the variable count.
+pub fn dispatch() -> Report {
+    use artemis_core::event::MonitorEvent;
+    use artemis_monitor::{ExecMode, MonitorEngine};
+    use intermittent_sim::DeviceBuilder;
+
+    const EVENTS: u64 = 200;
+
+    let (suite, app, t0) = dispatch_suite();
 
     let mut r = Report::new(
         "dispatch",
@@ -666,11 +682,23 @@ pub fn dispatch() -> Report {
         ]);
     }
     r.note(format!(
-        "{MACHINES} machines x {VARS} vars; every event updates every variable"
+        "{DISPATCH_MACHINES} machines x {DISPATCH_VARS} vars; every event updates every variable"
     ));
     r.note(format!(
         "FRAM op reduction: {:.2}x (acceptance target: >= 3x)",
         ops_per_event[0] / ops_per_event[1]
+    ));
+    let compiled =
+        artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("suite compiles");
+    let bounds = artemis_ir::suite_bounds(&compiled);
+    let key = bounds
+        .worst_event()
+        .expect("the stress suite has at least one event key");
+    r.note(format!(
+        "static per-event bound (analysis::bounds, worst key): {} FRAM ops \
+         >= measured compiled {:.1}",
+        key.ops(),
+        ops_per_event[1]
     ));
     r
 }
@@ -825,6 +853,27 @@ mod tests {
         assert!(
             ratio >= 3.0,
             "compiled path must cut FRAM ops >= 3x: interpreter {interp} vs compiled {compiled} ({ratio:.2}x)"
+        );
+    }
+
+    /// The static resource-bound pass must dominate what the engine
+    /// actually does on the dispatch workload — the soundness direction
+    /// of the bound (the monitor crate pins exact equality for this
+    /// shape; here it must at least never under-estimate).
+    #[test]
+    fn dispatch_static_bound_dominates_measured() {
+        let r = dispatch();
+        let measured: f64 = r.rows[1][4].parse().unwrap();
+
+        let (suite, app, _t0) = dispatch_suite();
+        let compiled =
+            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+        let bounds = artemis_ir::suite_bounds(&compiled);
+        let key = bounds.worst_event().expect("has event keys");
+        assert!(
+            key.ops() as f64 >= measured,
+            "static bound {} must dominate measured compiled ops/event {measured}",
+            key.ops()
         );
     }
 

@@ -10,6 +10,7 @@
 //! cargo run -p artemis-bench --bin experiments --release -- fig12 --json
 //! ```
 
+pub mod analyze;
 pub mod experiments;
 pub mod health;
 pub mod report;

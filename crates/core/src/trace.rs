@@ -71,6 +71,12 @@ pub enum TraceEvent {
     },
     /// The whole application (all paths) completed one run.
     RunComplete,
+    /// Install-time static analysis flagged a non-fatal finding (the
+    /// rendered diagnostic). Errors reject the install instead.
+    InstallWarning {
+        /// The rendered diagnostic text.
+        message: String,
+    },
 }
 
 /// A timestamped [`TraceEvent`].
@@ -244,6 +250,9 @@ impl Trace {
                 TraceEvent::PathComplete { path } => writeln!(out, "done  {path}"),
                 TraceEvent::PathSkipped { path } => writeln!(out, "skip  {path}"),
                 TraceEvent::RunComplete => writeln!(out, "RUN COMPLETE"),
+                TraceEvent::InstallWarning { message } => {
+                    writeln!(out, "install warning: {message}")
+                }
             };
         }
         out

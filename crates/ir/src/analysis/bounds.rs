@@ -1,0 +1,317 @@
+//! Pass 2: static worst-case FRAM resource bounds.
+//!
+//! Walks the routing index and dispatch tables to bound, per event key
+//! `(kind, task)`, what one delivered event can cost the engine's
+//! routed compiled path (the default execution mode): FRAM read/write
+//! operations and the largest single journal commit in bytes. The
+//! bounds are compared against the journal capacity at install time —
+//! a suite whose worst-case commit cannot fit is rejected *before* it
+//! allocates, instead of faulting with `JournalOverflow` mid-run — and
+//! against measured dispatch-benchmark numbers in `artemis-bench`
+//! (static must dominate measured).
+//!
+//! # Cost model
+//!
+//! The constants below mirror `artemis-monitor`'s engine and
+//! `intermittent-sim`'s journal byte-for-byte; they are pinned by tests
+//! in those crates (`bounds_model_matches_engine` in the monitor crate,
+//! the dominance assertion in the dispatch benchmark). The sim bills
+//! one FRAM op per `read_raw`/`write_raw` call; a journal commit of
+//! `E` entries costs `2E+1` reads and `3E+3` writes (stage each entry,
+//! write the count, set the flag, re-read and apply each entry, clear
+//! the flag).
+//!
+//! Per delivered event (routed, compiled, new sequence number):
+//!
+//! - **arming**: recovery-flag read + sequence read, then one 5-entry
+//!   commit (event, seq, verdict count, worklist, done bitmap) —
+//!   13 reads, 18 writes, `83 + 2·n` commit bytes for `n` armed
+//!   machines;
+//! - **worklist setup**: count + bitmap + items + event reads — 4 reads
+//!   (2 when the worklist is empty, as the items and event are never
+//!   read);
+//! - **per armed machine**, worst case (effectful step): block read +
+//!   2-entry commit (block, done bit) — 6 reads, 9 writes,
+//!   `24 + 9·v` commit bytes for `v` variable slots; if any dispatched
+//!   transition emits: + verdict-count read + 2 more entries —
+//!   11 reads, 15 writes, `49 + 9·v` bytes;
+//! - **verdict readback**: count read + one read per possible emitter.
+//!
+//! The static bound dominates the dynamic cost because arming-time
+//! `Path:` filtering only ever *shrinks* the worklist below the routing
+//! index's interest list, and effectless steps complete with a single
+//! plain write instead of a commit.
+
+use artemis_core::event::EventKind;
+use artemis_spec::Diagnostic;
+
+use crate::compile::CompiledSuite;
+
+/// Journal entry header bytes (`addr: u32` + `len: u16`).
+const ENTRY_HEADER: usize = 6;
+/// Encoded size of one monitor variable (`NvValue`: 1-byte tag + u64).
+const NV_VALUE_BYTES: usize = 9;
+/// Encoded size of the pending-event cell (`EncodedEvent`).
+const ENCODED_EVENT_BYTES: usize = 31;
+/// State word prefix of a machine's FRAM block.
+const STATE_WORD_BYTES: usize = 4;
+/// Sequence cell / done bitmap (`u64`).
+const U64_BYTES: usize = 8;
+/// Verdict count (`u32`).
+const U32_BYTES: usize = 4;
+/// One verdict cell: `(u32, (u8, u32))`.
+const VERDICT_BYTES: usize = 9;
+
+/// FRAM ops of a journal commit with `entries` entries.
+const fn commit_reads(entries: usize) -> usize {
+    2 * entries + 1
+}
+const fn commit_writes(entries: usize) -> usize {
+    3 * entries + 3
+}
+
+/// Journal payload bytes of one entry carrying `data` bytes.
+const fn entry_bytes(data: usize) -> usize {
+    ENTRY_HEADER + data
+}
+
+/// FRAM bytes of a machine block with `vars` variable slots.
+const fn block_bytes(vars: usize) -> usize {
+    STATE_WORD_BYTES + NV_VALUE_BYTES * vars
+}
+
+/// Journal bytes of a `u16` list entry with `n` items.
+const fn u16_list_entry_bytes(n: usize) -> usize {
+    entry_bytes(2 + 2 * n)
+}
+
+/// Worst-case cost of delivering one event under a given key.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct EventCost {
+    /// Event kind of the key.
+    pub kind: EventKind,
+    /// Dense task id, or `None` for the out-of-graph wildcard key.
+    pub task: Option<u32>,
+    /// Machines the routing index arms for this key.
+    pub machines: usize,
+    /// Of those, machines with at least one dispatched emitting
+    /// transition (they pay the verdict-logging surcharge).
+    pub emitters: usize,
+    /// Worst-case FRAM read operations.
+    pub reads: usize,
+    /// Worst-case FRAM write operations.
+    pub writes: usize,
+    /// Largest single journal commit, in payload bytes.
+    pub commit_bytes: usize,
+}
+
+impl EventCost {
+    /// Total FRAM operations (reads + writes).
+    pub fn ops(&self) -> usize {
+        self.reads + self.writes
+    }
+}
+
+/// Static per-event and install-time resource bounds for a suite.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SuiteBounds {
+    /// Every `(kind, task)` key of the application graph plus the two
+    /// wildcard keys.
+    pub per_key: Vec<EventCost>,
+    /// Largest single journal commit any event can stage, in bytes.
+    pub worst_commit_bytes: usize,
+    /// Bytes of the whole-suite reset commit (`resetMonitor` re-images
+    /// every machine block in one transaction).
+    pub reset_commit_bytes: usize,
+}
+
+impl SuiteBounds {
+    /// The most expensive event key by total FRAM ops, if any machines
+    /// are installed.
+    pub fn worst_event(&self) -> Option<&EventCost> {
+        self.per_key.iter().max_by_key(|c| c.ops())
+    }
+}
+
+/// Computes the static resource bounds of a compiled suite by walking
+/// its routing index and dispatch tables.
+pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
+    let machines = compiled.machines();
+    let task_count = compiled.task_count();
+
+    let mut per_key = Vec::with_capacity(2 * (task_count + 1));
+    for kind in [EventKind::StartTask, EventKind::EndTask] {
+        for key_task in 0..=task_count {
+            // `task_count` stands in for any out-of-graph id: the
+            // routing index resolves it to the wildcard set.
+            let (task, probe) = if key_task == task_count {
+                (None, u32::MAX)
+            } else {
+                (Some(key_task as u32), key_task as u32)
+            };
+            let armed = compiled.routing().interested(kind, probe);
+
+            let mut reads = 13; // recovery flag + seq + 5-entry arming commit
+            let mut writes = 18;
+            let mut commit = entry_bytes(ENCODED_EVENT_BYTES)
+                + entry_bytes(U64_BYTES)
+                + entry_bytes(U32_BYTES)
+                + u16_list_entry_bytes(armed.len())
+                + entry_bytes(U64_BYTES);
+            reads += if armed.is_empty() { 2 } else { 4 };
+
+            let mut emitters = 0;
+            for &mi in armed {
+                let m = &machines[mi as usize];
+                let emits = m
+                    .transition_list(kind, probe)
+                    .iter()
+                    .any(|&ti| m.transitions[ti as usize].emit.is_some());
+                let step_entries = if emits { 4 } else { 2 };
+                reads += 1 + commit_reads(step_entries) + usize::from(emits);
+                writes += commit_writes(step_entries);
+                let mut step_bytes =
+                    entry_bytes(block_bytes(m.var_count)) + entry_bytes(U64_BYTES);
+                if emits {
+                    step_bytes += entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
+                    emitters += 1;
+                }
+                commit = commit.max(step_bytes);
+            }
+
+            // Verdict readback: count + one cell per possible emitter.
+            reads += 1 + emitters;
+
+            per_key.push(EventCost {
+                kind,
+                task,
+                machines: armed.len(),
+                emitters,
+                reads,
+                writes,
+                commit_bytes: commit,
+            });
+        }
+    }
+
+    let reset_commit_bytes = machines
+        .iter()
+        .map(|m| entry_bytes(block_bytes(m.var_count)))
+        .sum::<usize>()
+        + entry_bytes(U32_BYTES) // verdict count
+        + entry_bytes(U64_BYTES) // seq
+        + u16_list_entry_bytes(0) // empty worklist
+        + entry_bytes(U64_BYTES); // done bitmap
+
+    let worst_commit_bytes = per_key
+        .iter()
+        .map(|c| c.commit_bytes)
+        .max()
+        .unwrap_or(0)
+        .max(reset_commit_bytes);
+
+    SuiteBounds {
+        per_key,
+        worst_commit_bytes,
+        reset_commit_bytes,
+    }
+}
+
+/// Cross-checks the suite's static bounds against a journal capacity.
+/// With `journal_capacity: None` the check degenerates to computing the
+/// bounds (no findings).
+pub fn check_bounds(compiled: &CompiledSuite, journal_capacity: Option<usize>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let Some(capacity) = journal_capacity else {
+        return diags;
+    };
+    let b = suite_bounds(compiled);
+    if b.reset_commit_bytes > capacity {
+        diags.push(Diagnostic::error(
+            "bounds",
+            "suite",
+            format!(
+                "whole-suite reset commits {} journal bytes, but the journal holds {capacity}",
+                b.reset_commit_bytes
+            ),
+        ));
+    }
+    for c in &b.per_key {
+        if c.commit_bytes > capacity {
+            let task = match c.task {
+                Some(t) => compiled.task_name(t).to_string(),
+                None => "<out-of-graph>".to_string(),
+            };
+            diags.push(Diagnostic::error(
+                "bounds",
+                format!("event {:?}({task})", c.kind),
+                format!(
+                    "worst-case commit of {} journal bytes exceeds the capacity of {capacity}",
+                    c.commit_bytes
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use artemis_core::app::{AppGraph, AppGraphBuilder};
+
+    fn app() -> AppGraph {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("a");
+        let s = b.task("b");
+        b.path(&[a, s]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn bounds_scale_with_interest_and_emits() {
+        let app = app();
+        let suite = crate::compile(
+            "a { maxTries: 2 onFail: skipPath; }\n\
+             b { maxTries: 2 onFail: skipTask; }",
+            &app,
+        )
+        .unwrap();
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        let b = suite_bounds(&cs);
+
+        // 2 tasks + wildcard, both kinds.
+        assert_eq!(b.per_key.len(), 6);
+        let key = |kind, task| {
+            b.per_key
+                .iter()
+                .find(|c| c.kind == kind && c.task == task)
+                .unwrap()
+        };
+        // maxTries machines observe starts of their task and can emit.
+        let start_a = key(EventKind::StartTask, Some(0));
+        assert_eq!(start_a.machines, 1);
+        assert_eq!(start_a.emitters, 1);
+        // An armed emitting machine costs more than an un-armed key.
+        let wild = key(EventKind::StartTask, None);
+        assert_eq!(wild.machines, 0);
+        assert!(start_a.ops() > wild.ops());
+        assert!(start_a.reads >= 13 + 4 + 11 + 1 + 1);
+        assert!(b.worst_commit_bytes >= b.reset_commit_bytes);
+        assert!(b.worst_event().unwrap().ops() >= start_a.ops());
+    }
+
+    #[test]
+    fn capacity_gate_rejects_tiny_journals() {
+        let app = app();
+        let suite = crate::compile("a { maxTries: 2 onFail: skipPath; }", &app).unwrap();
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        assert!(check_bounds(&cs, None).is_empty());
+        assert!(check_bounds(&cs, Some(1 << 20)).is_empty());
+        let diags = check_bounds(&cs, Some(16));
+        assert!(
+            diags.iter().any(|d| d.is_error() && d.pass == "bounds"),
+            "{diags:?}"
+        );
+    }
+}

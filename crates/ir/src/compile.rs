@@ -98,16 +98,23 @@ impl std::error::Error for CompileIssue {}
 
 /// A transition after compilation: resolved state indices, bytecode
 /// ranges for guard and body, and the original failure signal.
-#[derive(Clone, Debug)]
-struct CompiledTransition {
-    from: u32,
-    to: u32,
+///
+/// Public so the static analyser ([`crate::analysis`]) and its mutation
+/// fuzzers can inspect and perturb compiled programs; the engine itself
+/// only ever executes transitions through [`CompiledMachine::step`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct CompiledTransition {
+    /// Source state index.
+    pub from: u32,
+    /// Destination state index.
+    pub to: u32,
     /// Guard instructions; result lands in register 0. `None` means
     /// unconditionally enabled.
-    guard: Option<Range<u32>>,
+    pub guard: Option<Range<u32>>,
     /// Body instructions.
-    body: Range<u32>,
-    emit: Option<EmitFail>,
+    pub body: Range<u32>,
+    /// Failure signal raised when the transition is taken.
+    pub emit: Option<EmitFail>,
 }
 
 /// One event as the compiled evaluator sees it: kind + dense task id +
@@ -123,7 +130,7 @@ pub struct CompiledEvent {
     pub ctx: EventCtx,
 }
 
-fn kind_index(kind: EventKind) -> usize {
+pub(crate) fn kind_index(kind: EventKind) -> usize {
     match kind {
         EventKind::StartTask => 0,
         EventKind::EndTask => 1,
@@ -131,24 +138,54 @@ fn kind_index(kind: EventKind) -> usize {
 }
 
 /// One monitor compiled to bytecode plus dispatch tables.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CompiledMachine {
     /// Flat instruction stream shared by all guards and bodies.
-    code: Vec<Op>,
+    pub(crate) code: Vec<Op>,
     /// Literal pool.
-    lits: Vec<Value>,
-    transitions: Vec<CompiledTransition>,
+    pub(crate) lits: Vec<Value>,
+    pub(crate) transitions: Vec<CompiledTransition>,
     /// `dispatch[kind][task id]` → indices of transitions whose trigger
     /// can match that event, in priority order.
-    dispatch: [Vec<Vec<u16>>; 2],
+    pub(crate) dispatch: [Vec<Vec<u16>>; 2],
     /// Fallback lists for task ids beyond the graph (wildcard-matching
     /// transitions only); events from installed applications never need
     /// them.
-    wildcard: [Vec<u16>; 2],
+    pub(crate) wildcard: [Vec<u16>; 2],
     /// Scratch registers [`CompiledMachine::step`] needs.
-    max_regs: usize,
-    initial_state: u32,
-    var_count: usize,
+    pub(crate) max_regs: usize,
+    pub(crate) initial_state: u32,
+    pub(crate) var_count: usize,
+}
+
+/// The exploded parts of a [`CompiledMachine`].
+///
+/// This is the escape hatch the verifier's mutation fuzzers use to
+/// construct programs the compiler would never emit.
+/// [`CompiledMachine::from_raw`] performs **no checking**: executing an
+/// unverified raw machine can index out of bounds or loop forever. Gate
+/// anything assembled this way through
+/// [`crate::analysis::verify_machine`] first — that implication
+/// ("verifier accepts ⇒ execution is safe") is exactly what the fuzzers
+/// pin down.
+#[derive(Clone, Debug)]
+pub struct RawMachine {
+    /// Flat instruction stream.
+    pub code: Vec<Op>,
+    /// Literal pool.
+    pub lits: Vec<Value>,
+    /// Compiled transitions referencing `code` ranges.
+    pub transitions: Vec<CompiledTransition>,
+    /// Per-kind, per-task transition dispatch lists.
+    pub dispatch: [Vec<Vec<u16>>; 2],
+    /// Per-kind wildcard transition lists.
+    pub wildcard: [Vec<u16>; 2],
+    /// Scratch register file size `step` will be given.
+    pub max_regs: usize,
+    /// Initial state index.
+    pub initial_state: u32,
+    /// Number of variable slots.
+    pub var_count: usize,
 }
 
 impl CompiledMachine {
@@ -196,7 +233,36 @@ impl CompiledMachine {
         self.transition_list(kind, task).len()
     }
 
-    fn transition_list(&self, kind: EventKind, task: u32) -> &[u16] {
+    /// Explodes the machine into its raw parts (cloned).
+    pub fn to_raw(&self) -> RawMachine {
+        RawMachine {
+            code: self.code.clone(),
+            lits: self.lits.clone(),
+            transitions: self.transitions.clone(),
+            dispatch: self.dispatch.clone(),
+            wildcard: self.wildcard.clone(),
+            max_regs: self.max_regs,
+            initial_state: self.initial_state,
+            var_count: self.var_count,
+        }
+    }
+
+    /// Reassembles a machine from raw parts **without any checking** —
+    /// see [`RawMachine`] for the safety contract.
+    pub fn from_raw(raw: RawMachine) -> Self {
+        CompiledMachine {
+            code: raw.code,
+            lits: raw.lits,
+            transitions: raw.transitions,
+            dispatch: raw.dispatch,
+            wildcard: raw.wildcard,
+            max_regs: raw.max_regs,
+            initial_state: raw.initial_state,
+            var_count: raw.var_count,
+        }
+    }
+
+    pub(crate) fn transition_list(&self, kind: EventKind, task: u32) -> &[u16] {
         let k = kind_index(kind);
         self.dispatch[k]
             .get(task as usize)
@@ -546,7 +612,7 @@ pub struct RoutingIndex {
 }
 
 impl RoutingIndex {
-    fn build(machines: &[CompiledMachine], task_count: usize) -> Self {
+    pub(crate) fn build(machines: &[CompiledMachine], task_count: usize) -> Self {
         let mut interested = [vec![Vec::new(); task_count], vec![Vec::new(); task_count]];
         let mut wildcard = [Vec::new(), Vec::new()];
         for (mi, m) in machines.iter().enumerate() {
@@ -636,6 +702,33 @@ impl CompiledSuite {
     /// Largest scratch register file any machine needs.
     pub fn max_regs(&self) -> usize {
         self.max_regs
+    }
+
+    /// Number of tasks in the application graph the suite was compiled
+    /// against.
+    pub fn task_count(&self) -> usize {
+        self.task_names.len()
+    }
+
+    /// Replaces machine `idx` with one reassembled from raw parts,
+    /// rebuilding the routing index and the suite-wide register-file
+    /// size. Like [`CompiledMachine::from_raw`], this performs **no
+    /// checking** — it exists so the mutation fuzzers and rejection
+    /// tests can present arbitrary programs to the install-time
+    /// analyser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_machine(&mut self, idx: usize, raw: RawMachine) {
+        self.machines[idx] = CompiledMachine::from_raw(raw);
+        self.max_regs = self
+            .machines
+            .iter()
+            .map(CompiledMachine::max_regs)
+            .max()
+            .unwrap_or(0);
+        self.routing = RoutingIndex::build(&self.machines, self.task_names.len());
     }
 
     /// Resolves a dense task id back to its source name ("" when out of

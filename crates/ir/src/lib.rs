@@ -16,9 +16,13 @@
 //!   ([`parse`]) so monitors can be authored directly when the property
 //!   language lacks expressiveness;
 //! - static validation ([`validate`]) for hand-written IR;
+//! - install-time static analysis ([`analysis`]): a bytecode verifier,
+//!   worst-case FRAM resource bounds, reachability, and cross-monitor
+//!   conflict detection over compiled suites;
 //! - model-to-text code generation ([`codegen`]) emitting C (in the
 //!   paper's ImmortalThreads style, Figure 10) and Rust monitor source.
 
+pub mod analysis;
 pub mod codegen;
 pub mod compile;
 pub mod dot;
@@ -33,7 +37,8 @@ pub mod validate;
 use artemis_core::app::AppGraph;
 use artemis_spec::SpecAst;
 
-pub use compile::{CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue};
+pub use analysis::{analyze_suite, suite_bounds, SuiteBounds};
+pub use compile::{CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue, RawMachine};
 pub use exec::{IrEvent, MachineState};
 pub use fsm::{MonitorSuite, StateMachine};
 pub use lower::lower_set;

@@ -4,10 +4,11 @@
 //! escape hatch of §3.3) is checked before it reaches the monitor
 //! engine: state/variable references must resolve, guards must be
 //! boolean, `depData` may only be read under `endTask` triggers, and
-//! unreachable transitions (shadowed by an earlier unguarded one) are
-//! flagged.
+//! unreachable transitions (shadowed by an earlier unguarded or
+//! identically-guarded one) and write-only variables are flagged.
 
 use core::fmt;
+use std::collections::HashSet;
 
 use crate::expr::{Expr, VarType};
 use crate::fsm::{StateMachine, Stmt, Trigger};
@@ -39,6 +40,22 @@ impl fmt::Display for Issue {
             Severity::Warning => "warning",
         };
         write!(f, "{tag} in machine `{}`: {}", self.machine, self.message)
+    }
+}
+
+impl From<Issue> for artemis_spec::Diagnostic {
+    fn from(issue: Issue) -> artemis_spec::Diagnostic {
+        let severity = match issue.severity {
+            Severity::Error => artemis_spec::Severity::Error,
+            Severity::Warning => artemis_spec::Severity::Warning,
+        };
+        artemis_spec::Diagnostic {
+            severity,
+            pass: "validate",
+            subject: format!("machine `{}`", issue.machine),
+            message: issue.message,
+            span: None,
+        }
     }
 }
 
@@ -121,15 +138,49 @@ pub fn validate(m: &StateMachine) -> Vec<Issue> {
             check_stmt(s, m, &loc, allows_dep_data, &mut issues);
         }
 
-        // Shadowing: an earlier unguarded transition with the same
-        // source and an overlapping trigger makes this one dead.
+        // Shadowing: an earlier transition with the same source and an
+        // overlapping trigger makes this one dead when it is unguarded
+        // (always wins) or carries the identical guard (wins whenever
+        // this one would fire).
         for (pi, p) in m.transitions[..ti].iter().enumerate() {
-            if p.from == t.from && p.guard.is_none() && triggers_overlap(&p.trigger, &t.trigger) {
+            if p.from != t.from || !triggers_overlap(&p.trigger, &t.trigger) {
+                continue;
+            }
+            if p.guard.is_none() {
                 warn(
                     &mut issues,
                     format!("{loc}: unreachable, shadowed by unguarded transition #{pi}"),
                 );
+            } else if p.guard == t.guard {
+                warn(
+                    &mut issues,
+                    format!(
+                        "{loc}: unreachable, shadowed by transition #{pi} with an identical guard"
+                    ),
+                );
             }
+        }
+    }
+
+    // Write-only variables: assigned somewhere but read nowhere (no
+    // guard, body expression or if-condition mentions them) — the
+    // assignments burn FRAM commits for a value nothing observes.
+    let mut reads = HashSet::new();
+    let mut writes = HashSet::new();
+    for t in &m.transitions {
+        if let Some(g) = &t.guard {
+            expr_reads(g, &mut reads);
+        }
+        for s in &t.body {
+            stmt_reads_writes(s, &mut reads, &mut writes);
+        }
+    }
+    for v in &m.vars {
+        if writes.contains(v.name.as_str()) && !reads.contains(v.name.as_str()) {
+            warn(
+                &mut issues,
+                format!("variable `{}` is assigned but never read", v.name),
+            );
         }
     }
 
@@ -215,6 +266,41 @@ fn check_stmt(s: &Stmt, m: &StateMachine, loc: &str, dep_ok: bool, issues: &mut 
             }
             for s in then_b.iter().chain(else_b) {
                 check_stmt(s, m, loc, dep_ok, issues);
+            }
+        }
+    }
+}
+
+/// Collects variable names an expression reads.
+fn expr_reads<'m>(e: &'m Expr, out: &mut HashSet<&'m str>) {
+    match e {
+        Expr::Var(name) => {
+            out.insert(name.as_str());
+        }
+        Expr::Bin(_, l, r) => {
+            expr_reads(l, out);
+            expr_reads(r, out);
+        }
+        Expr::Not(inner) => expr_reads(inner, out),
+        _ => {}
+    }
+}
+
+/// Collects variable names a statement reads and writes.
+fn stmt_reads_writes<'m>(
+    s: &'m Stmt,
+    reads: &mut HashSet<&'m str>,
+    writes: &mut HashSet<&'m str>,
+) {
+    match s {
+        Stmt::Assign(name, e) => {
+            writes.insert(name.as_str());
+            expr_reads(e, reads);
+        }
+        Stmt::If(cond, then_b, else_b) => {
+            expr_reads(cond, reads);
+            for s in then_b.iter().chain(else_b) {
+                stmt_reads_writes(s, reads, writes);
             }
         }
     }
@@ -405,6 +491,76 @@ mod tests {
             .any(|i| i.severity == Severity::Warning && i.message.contains("unreachable")));
         // Warnings do not fail strict validation.
         assert!(validate_strict(&m).is_ok());
+    }
+
+    #[test]
+    fn equal_guard_shadowing_is_a_warning() {
+        let m = machine(
+            "machine x task a persistent { var i: int = 0; state S initial; \
+             on startTask(a) from S to S if i > 2 { i := 0; }; \
+             on startTask(a) from S to S if i > 2 { i := 1; } fail skipTask; }",
+        );
+        let issues = validate(&m);
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.severity == Severity::Warning
+                    && i.message.contains("identical guard")),
+            "{issues:?}"
+        );
+        // Distinct guards do not shadow.
+        let m = machine(
+            "machine x task a persistent { var i: int = 0; state S initial; \
+             on startTask(a) from S to S if i > 2 { i := 0; }; \
+             on startTask(a) from S to S if i > 3 { i := 1; }; }",
+        );
+        assert!(
+            !validate(&m).iter().any(|i| i.message.contains("identical")),
+            "different guards must not be flagged"
+        );
+    }
+
+    #[test]
+    fn write_only_variable_is_a_warning() {
+        let m = machine(
+            "machine x task a persistent { var dead: int = 0; var live: int = 0; \
+             state S initial; \
+             on startTask(a) from S to S if live < 5 { dead := 7; live := live + 1; }; }",
+        );
+        let issues = validate(&m);
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.severity == Severity::Warning
+                    && i.message.contains("`dead` is assigned but never read")),
+            "{issues:?}"
+        );
+        assert!(
+            !issues.iter().any(|i| i.message.contains("`live`")),
+            "read variables must not be flagged: {issues:?}"
+        );
+
+        // A self-referencing increment reads the variable: not flagged.
+        let m = machine(
+            "machine x task a persistent { var n: int = 0; state S initial; \
+             on startTask(a) from S to S { n := n + 1; }; }",
+        );
+        assert!(
+            !validate(&m).iter().any(|i| i.message.contains("never read")),
+        );
+    }
+
+    #[test]
+    fn issue_converts_to_diagnostic() {
+        let issue = Issue {
+            severity: Severity::Error,
+            machine: "m".into(),
+            message: "boom".into(),
+        };
+        let d: artemis_spec::Diagnostic = issue.into();
+        assert_eq!(d.severity, artemis_spec::Severity::Error);
+        assert_eq!(d.pass, "validate");
+        assert!(d.subject.contains('m'));
     }
 
     #[test]

@@ -165,6 +165,21 @@ pub enum ExecMode {
     Interpreter,
 }
 
+/// Everything [`MonitorEngine::install_with`] can be told.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct InstallOptions {
+    /// Execution core (compiled bytecode by default).
+    pub mode: ExecMode,
+    /// Event dispatch strategy (routed worklists by default).
+    pub routing: RoutingMode,
+    /// Journal capacity override in payload bytes. `None` sizes the
+    /// journal to the whole-suite reset commit. The static resource-
+    /// bound pass checks the suite's worst-case commit against whatever
+    /// capacity ends up in force, so an undersized override rejects the
+    /// install instead of faulting with `JournalOverflow` mid-run.
+    pub journal_capacity: Option<usize>,
+}
+
 /// Why the engine could not be installed.
 #[derive(Debug)]
 pub enum InstallError {
@@ -184,6 +199,10 @@ pub enum InstallError {
     },
     /// The suite failed ahead-of-time compilation to bytecode.
     Compile(CompileIssue),
+    /// Install-time static analysis found an error: the bytecode
+    /// verifier, the resource-bound pass, or the cross-monitor conflict
+    /// pass rejected the suite. No FRAM was touched.
+    Analysis(artemis_spec::Diagnostic),
     /// Device-level failure (FRAM exhaustion) during installation.
     Device(Interrupt),
 }
@@ -200,6 +219,7 @@ impl core::fmt::Display for InstallError {
                 "machine `{machine}` emits a path-directed action but has no governing path"
             ),
             InstallError::Compile(i) => write!(f, "monitor compilation failed: {i}"),
+            InstallError::Analysis(d) => write!(f, "static analysis rejected the suite: {d}"),
             InstallError::Device(i) => write!(f, "{i}"),
         }
     }
@@ -385,6 +405,27 @@ impl MonitorEngine {
         mode: ExecMode,
         routing: RoutingMode,
     ) -> Result<Self, InstallError> {
+        Self::install_with(
+            dev,
+            suite,
+            app,
+            InstallOptions {
+                mode,
+                routing,
+                journal_capacity: None,
+            },
+        )
+    }
+
+    /// [`MonitorEngine::install`] with full [`InstallOptions`]: source
+    /// validation, ahead-of-time compilation, the static analysis gate,
+    /// then FRAM allocation.
+    pub fn install_with(
+        dev: &mut Device,
+        suite: MonitorSuite,
+        app: &AppGraph,
+        opts: InstallOptions,
+    ) -> Result<Self, InstallError> {
         for m in suite.machines() {
             validate_strict(m).map_err(InstallError::Invalid)?;
             for task in m.observed_tasks() {
@@ -417,6 +458,56 @@ impl MonitorEngine {
         // Suites that pass the checks above always compile; the error
         // arm guards hand-written machines.
         let compiled = CompiledSuite::compile(&suite, app).map_err(InstallError::Compile)?;
+        Self::install_precompiled(dev, suite, compiled, app, opts)
+    }
+
+    /// Installs an already-compiled suite, skipping the source-level
+    /// checks of [`MonitorEngine::install_with`] — the entry point for
+    /// hand-assembled or mutated bytecode built through
+    /// [`artemis_ir::RawMachine`]. The static analysis gate is *not*
+    /// skippable: "verifier accepts ⇒ engine safe" holds precisely
+    /// because every program the engine executes has passed it. `suite`
+    /// must be the source the machines were compiled from (it supplies
+    /// names, types and FRAM layout); a machine-count mismatch is
+    /// itself an analysis error.
+    pub fn install_precompiled(
+        dev: &mut Device,
+        suite: MonitorSuite,
+        compiled: CompiledSuite,
+        app: &AppGraph,
+        opts: InstallOptions,
+    ) -> Result<Self, InstallError> {
+        let InstallOptions {
+            mode,
+            routing,
+            journal_capacity,
+        } = opts;
+
+        // The journal must fit the largest transaction: the hard
+        // reset, which rewrites every machine's state and variables
+        // in one atomic commit (plus the routed path's worklist and
+        // bitmap entries).
+        let reset_bytes: usize = suite
+            .machines()
+            .iter()
+            .map(|m| 10 + 15 * m.vars.len())
+            .sum::<usize>()
+            + u16_list_bytes(suite.len())
+            + 64;
+        let capacity = journal_capacity.unwrap_or_else(|| reset_bytes.max(512));
+
+        // Static analysis gate — before anything touches FRAM. The
+        // first (most severe) error rejects the install; warnings
+        // surface on the trace.
+        let mut diags = artemis_ir::analysis::analyze_suite(&suite, &compiled, Some(capacity));
+        if !diags.is_empty() && diags[0].is_error() {
+            return Err(InstallError::Analysis(diags.swap_remove(0)));
+        }
+        for d in diags {
+            dev.trace_push(artemis_core::trace::TraceEvent::InstallWarning {
+                message: d.to_string(),
+            });
+        }
 
         let dev_err = InstallError::Device;
         let owner = MemOwner::Monitor;
@@ -425,20 +516,7 @@ impl MonitorEngine {
 
         let result = (|| {
             let routine = Routine::new(dev, owner, "monitor.routine").map_err(dev_err)?;
-            // The journal must fit the largest transaction: the hard
-            // reset, which rewrites every machine's state and variables
-            // in one atomic commit (plus the routed path's worklist and
-            // bitmap entries).
-            let reset_bytes: usize = suite
-                .machines()
-                .iter()
-                .map(|m| 10 + 15 * m.vars.len())
-                .sum::<usize>()
-                + u16_list_bytes(suite.len())
-                + 64;
-            let journal = dev
-                .make_journal(reset_bytes.max(512), owner)
-                .map_err(dev_err)?;
+            let journal = dev.make_journal(capacity, owner).map_err(dev_err)?;
             let event_cell = dev
                 .nv_alloc(EncodedEvent::default(), owner, "monitor.event")
                 .map_err(dev_err)?;
@@ -1408,6 +1486,177 @@ mod tests {
             MonitorEngine::install(&mut dev, suite, &app),
             Err(InstallError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn install_rejects_out_of_bounds_bytecode_untouched_fram() {
+        use artemis_ir::compile::Op;
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let app = app();
+        let suite = artemis_ir::compile("accel { maxTries: 5 onFail: skipPath; }", &app).unwrap();
+        let mut compiled = CompiledSuite::compile(&suite, &app).unwrap();
+
+        // Corrupt one variable access to point far past the slot table.
+        let mut raw = compiled.machines()[0].to_raw();
+        let mutated = raw.code.iter_mut().find_map(|op| match op {
+            Op::LoadVar { slot, .. } | Op::StoreVar { slot, .. } => {
+                *slot = 999;
+                Some(())
+            }
+            _ => None,
+        });
+        assert!(mutated.is_some(), "maxTries bytecode must touch a variable");
+        compiled.set_machine(0, raw);
+
+        let before = dev.fram().used_by(MemOwner::Monitor);
+        let err = MonitorEngine::install_precompiled(
+            &mut dev,
+            suite,
+            compiled,
+            &app,
+            InstallOptions::default(),
+        )
+        .err()
+        .expect("install must be rejected");
+        match err {
+            InstallError::Analysis(d) => {
+                assert!(d.is_error());
+                assert_eq!(d.pass, "verifier");
+            }
+            other => panic!("expected an analysis rejection, got {other}"),
+        }
+        assert_eq!(
+            dev.fram().used_by(MemOwner::Monitor),
+            before,
+            "a rejected install must not touch FRAM"
+        );
+    }
+
+    #[test]
+    fn install_rejects_over_budget_journal_capacity() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let app = app();
+        let suite = artemis_ir::compile("accel { maxTries: 5 onFail: skipPath; }", &app).unwrap();
+        let before = dev.fram().used_by(MemOwner::Monitor);
+        let err = MonitorEngine::install_with(
+            &mut dev,
+            suite,
+            &app,
+            InstallOptions {
+                journal_capacity: Some(16),
+                ..InstallOptions::default()
+            },
+        )
+        .err()
+        .expect("install must be rejected");
+        match err {
+            InstallError::Analysis(d) => {
+                assert!(d.is_error());
+                assert_eq!(d.pass, "bounds");
+            }
+            other => panic!("expected a bounds rejection, got {other}"),
+        }
+        assert_eq!(dev.fram().used_by(MemOwner::Monitor), before);
+    }
+
+    #[test]
+    fn install_rejects_conflicting_unguarded_actions() {
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let app = app();
+        // Both machines provably fire on the first start(accel) and
+        // hand the runtime opposite task-scoped actions.
+        let suite = artemis_ir::parse::parse_suite(
+            "machine x task accel persistent { state S initial; \
+             on startTask(accel) from S to S { } fail skipTask; }\n\
+             machine y task accel persistent { state S initial; \
+             on startTask(accel) from S to S { } fail restartTask; }",
+        )
+        .unwrap();
+        let before = dev.fram().used_by(MemOwner::Monitor);
+        let err = MonitorEngine::install(&mut dev, suite, &app)
+            .err()
+            .expect("install must be rejected");
+        match err {
+            InstallError::Analysis(d) => {
+                assert!(d.is_error());
+                assert_eq!(d.pass, "conflicts");
+                assert!(d.message.contains("arbitration"), "{}", d.message);
+            }
+            other => panic!("expected a conflict rejection, got {other}"),
+        }
+        assert_eq!(dev.fram().used_by(MemOwner::Monitor), before);
+    }
+
+    /// Pins the static FRAM cost model of `artemis_ir::analysis::bounds`
+    /// to the engine it describes: for the dispatch-benchmark-shaped
+    /// suite, the per-event bound must equal what the engine actually
+    /// bills (and therefore dominate any measured run, since arming-time
+    /// path filtering only ever shrinks the worklist).
+    #[test]
+    fn bounds_model_matches_engine() {
+        use artemis_ir::expr::{BinOp, Expr, Value, VarType};
+        use artemis_ir::fsm::{StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+        const MACHINES: usize = 8;
+        const VARS: usize = 12;
+        const EVENTS: u64 = 20;
+
+        let mut b = AppGraphBuilder::new();
+        let t0 = b.task("t0");
+        let t1 = b.task("t1");
+        b.path(&[t0, t1]);
+        let app = b.build().unwrap();
+
+        let mut suite = MonitorSuite::new();
+        for m in 0..MACHINES {
+            let mut sm = StateMachine::new(&format!("m{m}"), "t0");
+            for v in 0..VARS {
+                sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+            }
+            sm.add_state("S");
+            sm.transitions.push(Transition {
+                from: 0,
+                to: 0,
+                trigger: Trigger::Start(TaskPat::named("t0")),
+                guard: None,
+                body: (0..VARS)
+                    .map(|v| {
+                        Stmt::Assign(
+                            format!("v{v}"),
+                            Expr::bin(BinOp::Add, Expr::var(&format!("v{v}")), Expr::int(1)),
+                        )
+                    })
+                    .collect(),
+                emit: None,
+            });
+            suite.push(sm);
+        }
+
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let bounds = artemis_ir::suite_bounds(&compiled);
+        let key = bounds
+            .per_key
+            .iter()
+            .find(|c| c.kind == EventKind::StartTask && c.task == Some(0))
+            .unwrap();
+        assert_eq!(key.machines, MACHINES);
+        assert_eq!(key.emitters, 0);
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+
+        let reads0 = dev.fram().read_ops();
+        let writes0 = dev.fram().write_ops();
+        for seq in 1..=EVENTS {
+            engine
+                .call_monitor(&mut dev, seq, &MonitorEvent::start(t0, t(seq)))
+                .unwrap();
+        }
+        let reads = (dev.fram().read_ops() - reads0) as usize;
+        let writes = (dev.fram().write_ops() - writes0) as usize;
+        assert_eq!(reads, key.reads * EVENTS as usize, "read model drifted");
+        assert_eq!(writes, key.writes * EVENTS as usize, "write model drifted");
     }
 
     #[test]

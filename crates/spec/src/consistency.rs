@@ -26,6 +26,8 @@
 use artemis_core::app::AppGraph;
 use artemis_core::property::{OnFail, PropertyKind, PropertySet};
 
+use crate::diag::{Diagnostic, Severity};
+
 /// Severity of a consistency finding.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ConsistencySeverity {
@@ -53,6 +55,22 @@ impl core::fmt::Display for ConsistencyIssue {
             ConsistencySeverity::Suspicious => "suspicious",
         };
         write!(f, "{tag} on task `{}`: {}", self.task, self.message)
+    }
+}
+
+impl From<ConsistencyIssue> for Diagnostic {
+    fn from(issue: ConsistencyIssue) -> Diagnostic {
+        let severity = match issue.severity {
+            ConsistencySeverity::Contradiction => Severity::Error,
+            ConsistencySeverity::Suspicious => Severity::Warning,
+        };
+        Diagnostic {
+            severity,
+            pass: "consistency",
+            subject: format!("task `{}`", issue.task),
+            message: issue.message,
+            span: None,
+        }
     }
 }
 
@@ -202,6 +220,12 @@ pub fn check(set: &PropertySet, app: &AppGraph) -> Vec<ConsistencyIssue> {
             _ => {}
         }
     }
+    // Errors-first contract (mirrors `ir::validate`): contradictions
+    // sort before suspicions, discovery order preserved within each.
+    issues.sort_by_key(|i| match i.severity {
+        ConsistencySeverity::Contradiction => 0u8,
+        ConsistencySeverity::Suspicious => 1,
+    });
     issues
 }
 
@@ -329,6 +353,38 @@ mod tests {
             "sense { period: 10s onFail: restartTask; maxDuration: 1s onFail: skipTask; }",
         );
         assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn contradictions_sort_before_suspicions() {
+        // Discovery order is maxDuration (Suspicious) first, then
+        // maxTries (Contradiction); the returned Vec must be
+        // errors-first regardless.
+        let issues = issues_for(
+            "sense { maxDuration: 10ms onFail: restartTask; \
+             maxTries: 3 onFail: restartTask; }",
+        );
+        assert_eq!(issues.len(), 2, "{issues:?}");
+        assert_eq!(issues[0].severity, ConsistencySeverity::Contradiction);
+        assert!(issues[0].message.contains("guaranteed loop"));
+        assert_eq!(issues[1].severity, ConsistencySeverity::Suspicious);
+    }
+
+    #[test]
+    fn issue_converts_to_diagnostic() {
+        use crate::diag::Severity;
+        let issues = issues_for("sense { maxTries: 3 onFail: restartTask; }");
+        let d: Diagnostic = issues[0].clone().into();
+        assert_eq!(d.severity, Severity::Error);
+        assert_eq!(d.pass, "consistency");
+        assert!(d.subject.contains("sense"));
+        let d: Diagnostic = ConsistencyIssue {
+            severity: ConsistencySeverity::Suspicious,
+            task: "send".into(),
+            message: "m".into(),
+        }
+        .into();
+        assert_eq!(d.severity, Severity::Warning);
     }
 
     #[test]

@@ -99,6 +99,124 @@ impl fmt::Display for Diag {
 
 impl std::error::Error for Diag {}
 
+/// Severity of a [`Diagnostic`]. Errors reject an install / fail a
+/// lint run; warnings are surfaced but not fatal. The declaration
+/// order gives the errors-first sort via `Ord`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Severity {
+    /// The artifact must be rejected.
+    Error,
+    /// Suspicious but not disqualifying.
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered output (`"error"`/`"warning"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A unified static-analysis finding.
+///
+/// Every checking layer reports findings in its own shape —
+/// `ir::validate::Issue`, `spec::consistency::ConsistencyIssue`, the
+/// `ir::analysis` passes. Converting them all into `Diagnostic` gives
+/// install-time gating and the `analyze` lint driver a single severity
+/// scale, subject naming scheme and rendering path.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// Which checker produced the finding (e.g. `"verifier"`,
+    /// `"bounds"`, `"reachability"`, `"conflicts"`, `"validate"`,
+    /// `"consistency"`).
+    pub pass: &'static str,
+    /// What the finding is about — a machine, task or state name.
+    pub subject: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Source location, when the finding maps back to spec text.
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    /// Creates an error-severity diagnostic.
+    pub fn error(pass: &'static str, subject: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity: Severity::Error,
+            pass,
+            subject: subject.into(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Creates a warning-severity diagnostic.
+    pub fn warning(
+        pass: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            severity: Severity::Warning,
+            pass,
+            subject: subject.into(),
+            message: message.into(),
+            span: None,
+        }
+    }
+
+    /// Attaches a source span.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Returns `true` for error severity.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+
+    /// Renders with a caret line when the diagnostic carries a span,
+    /// falling back to the one-line `Display` form.
+    pub fn render(&self, source: &str) -> String {
+        match self.span {
+            Some(span) => Diag::new(span, format!("[{}] {}: {}", self.pass, self.subject, self.message))
+                .render(source),
+            None => format!("{self}\n"),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {}: {}",
+            self.severity, self.pass, self.subject, self.message
+        )
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// Stable errors-first sort: errors before warnings, discovery order
+/// preserved within each severity. Every producer of `Vec<Diagnostic>`
+/// in the workspace returns this order.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by_key(|d| d.severity);
+}
+
 /// Finds the zero-based line number, column and line text containing
 /// byte offset `pos`.
 fn locate(source: &str, pos: usize) -> (usize, usize, String) {
@@ -156,5 +274,35 @@ mod tests {
     fn display_is_compact() {
         let d = Diag::new(Span::new(1, 4), "oops");
         assert_eq!(d.to_string(), "error at bytes 1..4: oops");
+    }
+
+    #[test]
+    fn diagnostic_display_and_span_render() {
+        let d = Diagnostic::error("verifier", "m0", "jump out of bounds");
+        assert_eq!(d.to_string(), "error [verifier] m0: jump out of bounds");
+        assert!(d.is_error());
+        assert!(!Diagnostic::warning("bounds", "m0", "tight").is_error());
+
+        let src = "first\nsecond";
+        let spanned = d.with_span(Span::new(6, 12));
+        let rendered = spanned.render(src);
+        assert!(rendered.contains("line 2"));
+        assert!(rendered.contains("[verifier] m0"));
+        // Span-less rendering falls back to the Display form.
+        let plain = Diagnostic::warning("conflicts", "a/b", "overlap").render(src);
+        assert!(plain.starts_with("warning [conflicts] a/b"));
+    }
+
+    #[test]
+    fn sort_is_errors_first_and_stable() {
+        let mut ds = vec![
+            Diagnostic::warning("p", "w1", "first warning"),
+            Diagnostic::error("p", "e1", "first error"),
+            Diagnostic::warning("p", "w2", "second warning"),
+            Diagnostic::error("p", "e2", "second error"),
+        ];
+        sort_diagnostics(&mut ds);
+        let subjects: Vec<&str> = ds.iter().map(|d| d.subject.as_str()).collect();
+        assert_eq!(subjects, ["e1", "e2", "w1", "w2"]);
     }
 }

@@ -39,7 +39,7 @@ use artemis_core::app::AppGraph;
 use artemis_core::property::PropertySet;
 
 pub use ast::SpecAst;
-pub use diag::{Diag, Span, Spanned};
+pub use diag::{sort_diagnostics, Diag, Diagnostic, Severity, Span, Spanned};
 pub use parser::parse;
 pub use printer::print;
 pub use sema::resolve;
