@@ -16,31 +16,45 @@
 //! `intermittent-sim`'s journal byte-for-byte; they are pinned by tests
 //! in those crates (`bounds_model_matches_engine` in the monitor crate,
 //! the dominance assertion in the dispatch benchmark). The sim bills
-//! one FRAM op per `read_raw`/`write_raw` call; a journal commit of
-//! `E` entries costs `2E+1` reads and `3E+3` writes (stage each entry,
-//! write the count, set the flag, re-read and apply each entry, clear
-//! the flag).
+//! one FRAM op per `read_raw`/`write_raw` call. Two commit formats
+//! exist:
 //!
-//! Per delivered event (routed, compiled, new sequence number):
+//! - an **entry-list** commit of `E` entries costs `2E+1` reads and
+//!   `3E+3` writes (stage each entry, write the count, set the flag,
+//!   re-read and apply each entry, clear the flag);
+//! - a **sparse** commit of `k` sub-writes costs `0` reads and `k+3`
+//!   writes (stage the whole record in one write, set the flag, apply
+//!   each sub-write from RAM, clear the flag).
 //!
-//! - **arming**: recovery-flag read + sequence read, then one 5-entry
-//!   commit (event, seq, verdict count, worklist, done bitmap) —
-//!   13 reads, 18 writes, `83 + 2·n` commit bytes for `n` armed
-//!   machines;
+//! Per delivered event (routed, compiled, delta commits enabled — the
+//! default execution mode), using each key's static [`AccessSet`]:
+//!
+//! - **arming**: recovery-flag read + sequence read, then one 5-sub-
+//!   write sparse commit (event, seq, verdict count, worklist, done
+//!   bitmap) — 2 reads, 8 writes, `87 + 2·n` record bytes for `n`
+//!   armed machines;
 //! - **worklist setup**: count + bitmap + items + event reads — 4 reads
 //!   (2 when the worklist is empty, as the items and event are never
 //!   read);
-//! - **per armed machine**, worst case (effectful step): block read +
-//!   2-entry commit (block, done bit) — 6 reads, 9 writes,
-//!   `24 + 9·v` commit bytes for `v` variable slots; if any dispatched
-//!   transition emits: + verdict-count read + 2 more entries —
-//!   11 reads, 15 writes, `49 + 9·v` bytes;
+//! - **per armed machine**, worst case (effectful step):
+//!   - *delta* (the key's access set stays under the ¾-block degrade
+//!     threshold): covering-span read + sparse commit of state + every
+//!     write-set slot + done bit — 1 read, `|W| + 5` writes;
+//!   - *degraded* (`whole_block`): block read + 2-entry commit (block,
+//!     done bit) — 6 reads, 9 writes;
+//!   - if any dispatched transition emits: + verdict-count read + the
+//!     verdict cell and count sub-writes/entries;
 //! - **verdict readback**: count read + one read per possible emitter.
+//!
+//! Commit-byte bounds take the **max of both formats** per key, so a
+//! capacity derived here stays safe when delta commits are disabled
+//! (`DeltaMode::Disabled`) or the engine degrades to full scan.
 //!
 //! The static bound dominates the dynamic cost because arming-time
 //! `Path:` filtering only ever *shrinks* the worklist below the routing
-//! index's interest list, and effectless steps complete with a single
-//! plain write instead of a commit.
+//! index's interest list, effectless steps complete with a single
+//! plain write instead of a commit, and a step's dynamic write set is
+//! a subset of the static one.
 
 use artemis_core::event::EventKind;
 use artemis_spec::Diagnostic;
@@ -62,7 +76,7 @@ const U32_BYTES: usize = 4;
 /// One verdict cell: `(u32, (u8, u32))`.
 const VERDICT_BYTES: usize = 9;
 
-/// FRAM ops of a journal commit with `entries` entries.
+/// FRAM ops of an entry-list journal commit with `entries` entries.
 const fn commit_reads(entries: usize) -> usize {
     2 * entries + 1
 }
@@ -70,9 +84,23 @@ const fn commit_writes(entries: usize) -> usize {
     3 * entries + 3
 }
 
-/// Journal payload bytes of one entry carrying `data` bytes.
+/// FRAM writes of a sparse journal commit with `k` sub-writes (stage,
+/// flag, `k` applies, clear); sparse commits perform no reads.
+const fn sparse_commit_writes(k: usize) -> usize {
+    k + 3
+}
+
+/// Journal payload bytes of one entry carrying `data` bytes. Sub-write
+/// slots of a sparse record have the same header, plus the record's
+/// leading `count: u16` accounted separately ([`sparse_record_bytes`]).
 const fn entry_bytes(data: usize) -> usize {
     ENTRY_HEADER + data
+}
+
+/// Journal payload bytes of a sparse record whose sub-write entries
+/// total `entries_bytes` (headers included).
+const fn sparse_record_bytes(entries_bytes: usize) -> usize {
+    2 + entries_bytes
 }
 
 /// FRAM bytes of a machine block with `vars` variable slots.
@@ -97,6 +125,11 @@ pub struct EventCost {
     /// Of those, machines with at least one dispatched emitting
     /// transition (they pay the verdict-logging surcharge).
     pub emitters: usize,
+    /// Armed machines committing via sparse delta records under this
+    /// key (their access set stays below the ¾-block threshold).
+    pub delta_machines: usize,
+    /// Armed machines auto-degraded to whole-block commits.
+    pub degraded_machines: usize,
     /// Worst-case FRAM read operations.
     pub reads: usize,
     /// Worst-case FRAM write operations.
@@ -151,32 +184,65 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
             };
             let armed = compiled.routing().interested(kind, probe);
 
-            let mut reads = 13; // recovery flag + seq + 5-entry arming commit
-            let mut writes = 18;
-            let mut commit = entry_bytes(ENCODED_EVENT_BYTES)
+            // Arming: recovery flag + seq reads, then one 5-sub-write
+            // sparse commit. The byte bound covers both formats (the
+            // sparse record is the entry-list image + its count word).
+            let mut reads = 2;
+            let mut writes = sparse_commit_writes(5);
+            let arming_entry_bytes = entry_bytes(ENCODED_EVENT_BYTES)
                 + entry_bytes(U64_BYTES)
                 + entry_bytes(U32_BYTES)
                 + u16_list_entry_bytes(armed.len())
                 + entry_bytes(U64_BYTES);
+            let mut commit = sparse_record_bytes(arming_entry_bytes);
             reads += if armed.is_empty() { 2 } else { 4 };
 
             let mut emitters = 0;
+            let mut delta_machines = 0;
+            let mut degraded_machines = 0;
             for &mi in armed {
                 let m = &machines[mi as usize];
                 let emits = m
                     .transition_list(kind, probe)
                     .iter()
                     .any(|&ti| m.transitions[ti as usize].emit.is_some());
-                let step_entries = if emits { 4 } else { 2 };
-                reads += 1 + commit_reads(step_entries) + usize::from(emits);
-                writes += commit_writes(step_entries);
-                let mut step_bytes =
+                let access = m.access(kind, probe);
+
+                // Whole-block entry-list bytes: always part of the byte
+                // bound so a delta-disabled engine still fits.
+                let mut block_step_bytes =
                     entry_bytes(block_bytes(m.var_count)) + entry_bytes(U64_BYTES);
                 if emits {
-                    step_bytes += entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
+                    block_step_bytes += entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
                     emitters += 1;
                 }
-                commit = commit.max(step_bytes);
+
+                if access.whole_block {
+                    degraded_machines += 1;
+                    let step_entries = if emits { 4 } else { 2 };
+                    reads += 1 + commit_reads(step_entries) + usize::from(emits);
+                    writes += commit_writes(step_entries);
+                    commit = commit.max(block_step_bytes);
+                } else {
+                    delta_machines += 1;
+                    // Covering-span read, verdict-count read if emitting.
+                    reads += 1 + usize::from(emits);
+                    // Sub-writes: state word + every write-set slot +
+                    // done bit (+ verdict cell and count).
+                    let mut k = 1 + access.writes.len() + 1;
+                    let mut delta_entry_bytes = entry_bytes(STATE_WORD_BYTES)
+                        + access.writes.len() * entry_bytes(NV_VALUE_BYTES)
+                        + entry_bytes(U64_BYTES);
+                    if emits {
+                        k += 2;
+                        delta_entry_bytes +=
+                            entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
+                    }
+                    writes += sparse_commit_writes(k);
+                    commit = commit
+                        .max(sparse_record_bytes(delta_entry_bytes))
+                        .max(block_step_bytes);
+                }
             }
 
             // Verdict readback: count + one cell per possible emitter.
@@ -187,6 +253,8 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                 task,
                 machines: armed.len(),
                 emitters,
+                delta_machines,
+                degraded_machines,
                 reads,
                 writes,
                 commit_bytes: commit,
@@ -288,17 +356,69 @@ mod tests {
                 .find(|c| c.kind == kind && c.task == task)
                 .unwrap()
         };
-        // maxTries machines observe starts of their task and can emit.
+        // maxTries machines observe starts of their task and can emit;
+        // their single counter means every key touches the whole block
+        // and degrades to whole-block commits.
         let start_a = key(EventKind::StartTask, Some(0));
         assert_eq!(start_a.machines, 1);
         assert_eq!(start_a.emitters, 1);
+        assert_eq!(start_a.degraded_machines, 1);
+        assert_eq!(start_a.delta_machines, 0);
         // An armed emitting machine costs more than an un-armed key.
         let wild = key(EventKind::StartTask, None);
         assert_eq!(wild.machines, 0);
         assert!(start_a.ops() > wild.ops());
-        assert!(start_a.reads >= 13 + 4 + 11 + 1 + 1);
+        // Sparse arming (2) + worklist (4) + degraded emitting machine
+        // (11) + readback (1 + 1).
+        assert_eq!(start_a.reads, 2 + 4 + 11 + 1 + 1);
         assert!(b.worst_commit_bytes >= b.reset_commit_bytes);
         assert!(b.worst_event().unwrap().ops() >= start_a.ops());
+    }
+
+    /// Pins the delta-key arithmetic on a hand-built sparse machine:
+    /// 12 slots, the routed body increments only slot 0.
+    #[test]
+    fn delta_keys_are_bounded_by_their_write_set() {
+        use crate::expr::{BinOp, Expr, Value, VarType};
+        use crate::fsm::{MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+        let app = app();
+        let mut sm = StateMachine::new("sparse", "a");
+        for v in 0..12 {
+            sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+        }
+        sm.add_state("S");
+        sm.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: None,
+            body: vec![Stmt::Assign(
+                "v0".into(),
+                Expr::bin(BinOp::Add, Expr::var("v0"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        let mut suite = MonitorSuite::new();
+        suite.push(sm);
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        let b = suite_bounds(&cs);
+
+        let start_a = b
+            .per_key
+            .iter()
+            .find(|c| c.kind == EventKind::StartTask && c.task == Some(0))
+            .unwrap();
+        assert_eq!(start_a.delta_machines, 1);
+        assert_eq!(start_a.degraded_machines, 0);
+        // Arming flag+seq (2) + worklist (4) + span load (1) +
+        // readback (1).
+        assert_eq!(start_a.reads, 2 + 4 + 1 + 1);
+        // Sparse arming (8) + sparse step of state+slot+done (6).
+        assert_eq!(start_a.writes, 8 + 6);
+        // The byte bound still covers the whole-block image, so a
+        // delta-disabled engine cannot overflow a derived capacity.
+        assert!(start_a.commit_bytes >= entry_bytes(block_bytes(12)) + entry_bytes(U64_BYTES));
     }
 
     #[test]

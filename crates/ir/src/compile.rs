@@ -137,6 +137,137 @@ pub(crate) fn kind_index(kind: EventKind) -> usize {
     }
 }
 
+/// Fraction of a machine's variable block a dispatch key may touch
+/// before its commits degrade to whole-block: `touched / var_count >=`
+/// [`DEGRADE_NUM`]`/`[`DEGRADE_DEN`] (the "~¾ of the block" heuristic —
+/// at that density a sparse record's per-sub-write headers outweigh the
+/// bytes it skips).
+pub const DEGRADE_NUM: usize = 3;
+/// See [`DEGRADE_NUM`].
+pub const DEGRADE_DEN: usize = 4;
+
+/// The statically-derived FRAM access footprint of one `(event kind,
+/// task)` dispatch key: every variable slot any routed transition's
+/// guard or body may read or write. A sound over-approximation — the
+/// union over all transitions in the key's dispatch list, whether or
+/// not they fire at run time.
+///
+/// The engine uses this to load only the covering slot span and to
+/// journal a sparse `(slot, value)` delta instead of the whole block;
+/// [`AccessSet::whole_block`] is the compile-time auto-degrade decision
+/// for keys that touch most of the block anyway.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AccessSet {
+    /// Slots a guard or body may read, sorted ascending.
+    pub reads: Vec<u16>,
+    /// Slots a body may write, sorted ascending.
+    pub writes: Vec<u16>,
+    /// `true` when this key should use whole-block load/commit: it
+    /// touches at least ¾ of the block (or the block is state-only).
+    pub whole_block: bool,
+}
+
+impl AccessSet {
+    /// Highest slot index the key can read **or** write — the engine
+    /// loads the block prefix covering `0..=max` (the write-back of
+    /// untouched write slots requires the read span to cover the write
+    /// span, which holds by construction).
+    pub fn max_touched_slot(&self) -> Option<u16> {
+        self.reads.iter().chain(&self.writes).copied().max()
+    }
+
+    /// Number of distinct slots touched (reads ∪ writes).
+    pub fn touched_count(&self) -> usize {
+        let mut n = self.reads.len();
+        for w in &self.writes {
+            if !self.reads.contains(w) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+/// Computes the access set of one dispatch list by scanning the guard
+/// and body ranges of every routed transition. Tolerates raw machines
+/// with out-of-range indices (clamped / skipped): access sets are
+/// derived data, and unverified machines are rejected by the analyser
+/// before any of this matters.
+fn access_for_list(
+    code: &[Op],
+    transitions: &[CompiledTransition],
+    list: &[u16],
+    var_count: usize,
+) -> AccessSet {
+    let mut read = vec![false; var_count];
+    let mut written = vec![false; var_count];
+    let scan = |range: &Range<u32>, read: &mut Vec<bool>, written: &mut Vec<bool>| {
+        let ops = code
+            .get(range.start as usize..range.end as usize)
+            .unwrap_or(&[]);
+        for op in ops {
+            match op {
+                Op::LoadVar { slot, .. } => {
+                    if let Some(r) = read.get_mut(*slot as usize) {
+                        *r = true;
+                    }
+                }
+                Op::StoreVar { slot, .. } => {
+                    if let Some(w) = written.get_mut(*slot as usize) {
+                        *w = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    };
+    for &ti in list {
+        let Some(t) = transitions.get(ti as usize) else {
+            continue;
+        };
+        if let Some(g) = &t.guard {
+            scan(g, &mut read, &mut written);
+        }
+        scan(&t.body, &mut read, &mut written);
+    }
+    let collect = |bits: &[bool]| {
+        bits.iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| i as u16)
+            .collect::<Vec<u16>>()
+    };
+    let reads = collect(&read);
+    let writes = collect(&written);
+    let touched = (0..var_count).filter(|&i| read[i] || written[i]).count();
+    let whole_block = var_count == 0 || touched * DEGRADE_DEN >= var_count * DEGRADE_NUM;
+    AccessSet {
+        reads,
+        writes,
+        whole_block,
+    }
+}
+
+/// Derives per-key access sets for a machine's dispatch tables. Called
+/// from both the compiler and [`CompiledMachine::from_raw`], so mutated
+/// raw machines always carry access sets consistent with their code.
+fn build_access_sets(
+    code: &[Op],
+    transitions: &[CompiledTransition],
+    dispatch: &[Vec<Vec<u16>>; 2],
+    wildcard: &[Vec<u16>; 2],
+    var_count: usize,
+) -> ([Vec<AccessSet>; 2], [AccessSet; 2]) {
+    let per_kind = |k: usize| {
+        dispatch[k]
+            .iter()
+            .map(|list| access_for_list(code, transitions, list, var_count))
+            .collect::<Vec<_>>()
+    };
+    let wc = |k: usize| access_for_list(code, transitions, &wildcard[k], var_count);
+    ([per_kind(0), per_kind(1)], [wc(0), wc(1)])
+}
+
 /// One monitor compiled to bytecode plus dispatch tables.
 #[derive(Clone, Debug)]
 pub struct CompiledMachine {
@@ -156,6 +287,12 @@ pub struct CompiledMachine {
     pub(crate) max_regs: usize,
     pub(crate) initial_state: u32,
     pub(crate) var_count: usize,
+    /// `access[kind][task id]` → the key's static FRAM access set,
+    /// mirroring `dispatch`. Derived from `code` (never serialised in
+    /// [`RawMachine`]), so mutation can't make it lie.
+    pub(crate) access: [Vec<AccessSet>; 2],
+    /// Access sets of the wildcard lists, mirroring `wildcard`.
+    pub(crate) wildcard_access: [AccessSet; 2],
 }
 
 /// The exploded parts of a [`CompiledMachine`].
@@ -248,8 +385,17 @@ impl CompiledMachine {
     }
 
     /// Reassembles a machine from raw parts **without any checking** —
-    /// see [`RawMachine`] for the safety contract.
+    /// see [`RawMachine`] for the safety contract. Access sets are
+    /// recomputed from the (possibly mutated) code, keeping derived
+    /// data consistent.
     pub fn from_raw(raw: RawMachine) -> Self {
+        let (access, wildcard_access) = build_access_sets(
+            &raw.code,
+            &raw.transitions,
+            &raw.dispatch,
+            &raw.wildcard,
+            raw.var_count,
+        );
         CompiledMachine {
             code: raw.code,
             lits: raw.lits,
@@ -259,6 +405,8 @@ impl CompiledMachine {
             max_regs: raw.max_regs,
             initial_state: raw.initial_state,
             var_count: raw.var_count,
+            access,
+            wildcard_access,
         }
     }
 
@@ -268,6 +416,15 @@ impl CompiledMachine {
             .get(task as usize)
             .map(Vec::as_slice)
             .unwrap_or(&self.wildcard[k])
+    }
+
+    /// The static FRAM access set of `(kind, task)` — same fallback
+    /// rule as [`CompiledMachine::transition_list`].
+    pub fn access(&self, kind: EventKind, task: u32) -> &AccessSet {
+        let k = kind_index(kind);
+        self.access[k]
+            .get(task as usize)
+            .unwrap_or(&self.wildcard_access[k])
     }
 
     /// Feeds one event to the machine: the bytecode counterpart of
@@ -444,6 +601,13 @@ impl<'a> Compiler<'a> {
             }
         }
 
+        let (access, wildcard_access) = build_access_sets(
+            &self.code,
+            &transitions,
+            &dispatch,
+            &wildcard,
+            self.machine.vars.len(),
+        );
         Ok(CompiledMachine {
             code: self.code,
             lits: self.lits,
@@ -453,6 +617,8 @@ impl<'a> Compiler<'a> {
             max_regs: self.max_regs,
             initial_state: self.machine.initial,
             var_count: self.machine.vars.len(),
+            access,
+            wildcard_access,
         })
     }
 
@@ -924,6 +1090,89 @@ mod tests {
         // depData on an event without data: both sides error identically
         // (checked inside `both` via result equality).
         both(&m, &c, &mut is, &mut cs, EventKind::EndTask, "a", ctx(50));
+    }
+
+    #[test]
+    fn access_sets_capture_per_key_slots_and_degrade() {
+        let mut m = StateMachine::new("m", "a");
+        for v in ["v0", "v1", "v2", "v3"] {
+            m.add_var(v, VarType::Int, Value::Int(0));
+        }
+        m.add_state("S");
+        // start(a): guard reads v0, body does v1 := v1 + 1 — touches
+        // 2/4 slots, stays sparse.
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: Some(Expr::bin(BinOp::Lt, Expr::var("v0"), Expr::int(2))),
+            body: vec![Stmt::Assign(
+                "v1".into(),
+                Expr::bin(BinOp::Add, Expr::var("v1"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        // start(b): writes every slot — 4/4 ≥ ¾ degrades to whole-block.
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("b")),
+            guard: None,
+            body: (0..4)
+                .map(|i| Stmt::Assign(format!("v{i}"), Expr::int(9)))
+                .collect(),
+            emit: None,
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+
+        let a = c.access(EventKind::StartTask, 0);
+        assert_eq!(a.reads, vec![0, 1]);
+        assert_eq!(a.writes, vec![1]);
+        assert_eq!(a.touched_count(), 2);
+        assert_eq!(a.max_touched_slot(), Some(1));
+        assert!(!a.whole_block);
+
+        let b = c.access(EventKind::StartTask, 1);
+        assert_eq!(b.reads, Vec::<u16>::new());
+        assert_eq!(b.writes, vec![0, 1, 2, 3]);
+        assert!(b.whole_block);
+
+        // Unrouted keys and out-of-graph ids have empty access sets.
+        let end = c.access(EventKind::EndTask, 0);
+        assert!(end.reads.is_empty() && end.writes.is_empty());
+        let far = c.access(EventKind::StartTask, 999);
+        assert!(far.reads.is_empty() && far.writes.is_empty());
+        assert_eq!(far.max_touched_slot(), None);
+    }
+
+    #[test]
+    fn from_raw_recomputes_access_sets_from_mutated_code() {
+        let mut m = StateMachine::new("m", "a");
+        m.add_var("x", VarType::Int, Value::Int(0));
+        m.add_var("y", VarType::Int, Value::Int(0));
+        m.add_var("z", VarType::Int, Value::Int(0));
+        m.add_state("S");
+        m.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: None,
+            body: vec![Stmt::Assign("x".into(), Expr::int(1))],
+            emit: None,
+        });
+        let c = CompiledMachine::compile(&m, &app()).unwrap();
+        assert_eq!(c.access(EventKind::StartTask, 0).writes, vec![0]);
+
+        // Retarget the store to slot 2: the reassembled machine's
+        // access set must follow the code, not the original spec.
+        let mut raw = c.to_raw();
+        for op in raw.code.iter_mut() {
+            if let Op::StoreVar { slot, .. } = op {
+                *slot = 2;
+            }
+        }
+        let c2 = CompiledMachine::from_raw(raw);
+        assert_eq!(c2.access(EventKind::StartTask, 0).writes, vec![2]);
     }
 
     #[test]

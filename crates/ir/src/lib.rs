@@ -38,7 +38,9 @@ use artemis_core::app::AppGraph;
 use artemis_spec::SpecAst;
 
 pub use analysis::{analyze_suite, suite_bounds, SuiteBounds};
-pub use compile::{CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue, RawMachine};
+pub use compile::{
+    AccessSet, CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue, RawMachine,
+};
 pub use exec::{IrEvent, MachineState};
 pub use fsm::{MonitorSuite, StateMachine};
 pub use lower::lower_set;

@@ -215,7 +215,7 @@ fn exercise(cm: &CompiledMachine, init_vars: &[Value]) {
                 seq += 1;
                 let ctx = EventCtx {
                     time_us: seq * 1_000,
-                    dep_data: (seq % 2 == 0).then_some(seq as f64),
+                    dep_data: seq.is_multiple_of(2).then_some(seq as f64),
                     energy_nj: 42_000,
                 };
                 let ev = CompiledEvent { kind, task, ctx };

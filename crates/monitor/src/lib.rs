@@ -56,6 +56,24 @@
 //! O(installed machines) step loop as the reference dispatch semantics;
 //! differential proptests pin the two paths to identical verdicts and
 //! FRAM-visible state, including under random power-failure schedules.
+//!
+//! # Sparse delta commits
+//!
+//! The compiler derives a static [`AccessSet`](artemis_ir::AccessSet)
+//! per `(event kind, task)` key: every variable slot the routed
+//! transitions' guards and bodies can read or write. On the default
+//! routed compiled path the engine exploits it twice per step: the
+//! machine block is loaded only up to the covering slot span, and the
+//! commit is a **sparse delta record**
+//! ([`SparseTx`](intermittent_sim::journal::SparseTx)) carrying just
+//! the state word, the write-set slots, and the completion bit — one
+//! staged FRAM write plus the scattered applies, instead of an
+//! entry-list commit of the whole block image. Event arming uses the
+//! same record format. Keys whose access set covers ≥ ¾ of the block
+//! auto-degrade to whole-block commits at compile time (the sparse
+//! headers would outweigh the savings); [`DeltaMode::Disabled`] pins
+//! the legacy whole-block behaviour for benchmarking and differential
+//! tests.
 
 pub mod remote;
 pub mod state;
@@ -66,7 +84,7 @@ use artemis_core::action::Action;
 use artemis_core::app::{AppGraph, PathId, TaskId};
 use artemis_core::event::{EventKind, MonitorEvent};
 use artemis_core::property::OnFail;
-use artemis_ir::compile::{CompileIssue, CompiledEvent, CompiledSuite};
+use artemis_ir::compile::{AccessSet, CompileIssue, CompiledEvent, CompiledMachine, CompiledSuite};
 use artemis_ir::exec::{step, IrEvent, MachineState};
 use artemis_ir::expr::{EventCtx, Value};
 use artemis_ir::fsm::MonitorSuite;
@@ -74,7 +92,7 @@ use artemis_ir::validate::{validate_strict, Issue};
 use immortal::Routine;
 use intermittent_sim::device::{CostCategory, Device, Interrupt, MemOwner};
 use intermittent_sim::fram::{NvCell, NvData};
-use intermittent_sim::journal::{u16_list_bytes, Journal, TxWriter};
+use intermittent_sim::journal::{encode_u16_list, u16_list_bytes, Journal, SparseTx, TxWriter};
 
 use state::{EncodedEvent, NvValue};
 
@@ -165,6 +183,19 @@ pub enum ExecMode {
     Interpreter,
 }
 
+/// Whether the routed compiled path commits sparse delta records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeltaMode {
+    /// Use each key's static access set: span loads + sparse `(slot,
+    /// value)` delta commits, with the compile-time ¾-block degrade
+    /// decision — the default.
+    #[default]
+    Auto,
+    /// Always load and commit whole machine blocks (the pre-delta
+    /// behaviour). Kept for benchmarking and differential testing.
+    Disabled,
+}
+
 /// Everything [`MonitorEngine::install_with`] can be told.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct InstallOptions {
@@ -172,11 +203,18 @@ pub struct InstallOptions {
     pub mode: ExecMode,
     /// Event dispatch strategy (routed worklists by default).
     pub routing: RoutingMode,
-    /// Journal capacity override in payload bytes. `None` sizes the
-    /// journal to the whole-suite reset commit. The static resource-
-    /// bound pass checks the suite's worst-case commit against whatever
-    /// capacity ends up in force, so an undersized override rejects the
-    /// install instead of faulting with `JournalOverflow` mid-run.
+    /// Sparse delta commits on the routed compiled path (on by
+    /// default; ignored by the interpreter and full-scan paths, which
+    /// always use whole-block/per-cell commits).
+    pub delta: DeltaMode,
+    /// Journal capacity override in payload bytes. `None` derives the
+    /// capacity from the static resource bounds: the worst-case single
+    /// commit any event or reset can stage, across both commit formats
+    /// (see [`artemis_ir::suite_bounds`]). The bound pass checks the
+    /// suite against whatever capacity ends up in force, so an
+    /// undersized override rejects the install with
+    /// [`InstallError::Analysis`] instead of faulting with
+    /// `JournalOverflow` mid-run.
     pub journal_capacity: Option<usize>,
 }
 
@@ -367,6 +405,9 @@ pub struct MonitorEngine {
     verdict_cells: Vec<NvCell<(u32, (u8, u32))>>,
     /// `Some` iff the engine runs [`RoutingMode::Routed`].
     routed: Option<RoutedState>,
+    /// `true` iff the routed compiled path commits sparse delta
+    /// records ([`DeltaMode::Auto`] and the suite actually routes).
+    delta_enabled: bool,
     scratch: RefCell<Scratch>,
 }
 
@@ -412,7 +453,7 @@ impl MonitorEngine {
             InstallOptions {
                 mode,
                 routing,
-                journal_capacity: None,
+                ..InstallOptions::default()
             },
         )
     }
@@ -480,21 +521,32 @@ impl MonitorEngine {
         let InstallOptions {
             mode,
             routing,
+            delta,
             journal_capacity,
         } = opts;
 
-        // The journal must fit the largest transaction: the hard
-        // reset, which rewrites every machine's state and variables
-        // in one atomic commit (plus the routed path's worklist and
-        // bitmap entries).
-        let reset_bytes: usize = suite
-            .machines()
-            .iter()
-            .map(|m| 10 + 15 * m.vars.len())
-            .sum::<usize>()
-            + u16_list_bytes(suite.len())
-            + 64;
-        let capacity = journal_capacity.unwrap_or_else(|| reset_bytes.max(512));
+        // Default journal capacity = the static worst-case transaction
+        // bound: the largest of the whole-suite reset commit and any
+        // event key's worst commit, across both record formats (so a
+        // `DeltaMode` toggle can never overflow a derived capacity).
+        // The interpreter's per-cell layout stages one entry per
+        // variable, so its reset commit is costed separately.
+        let bounds = artemis_ir::suite_bounds(&compiled);
+        let capacity = journal_capacity.unwrap_or_else(|| {
+            let derived = bounds.worst_commit_bytes;
+            match mode {
+                ExecMode::Compiled => derived,
+                ExecMode::Interpreter => derived.max(
+                    suite
+                        .machines()
+                        .iter()
+                        .map(|m| 10 + 15 * m.vars.len())
+                        .sum::<usize>()
+                        + u16_list_bytes(suite.len())
+                        + 64,
+                ),
+            }
+        });
 
         // Static analysis gate — before anything touches FRAM. The
         // first (most severe) error rejects the install; warnings
@@ -655,6 +707,8 @@ impl MonitorEngine {
                 worklist: Vec::with_capacity(machines.len()),
             });
 
+            let delta_enabled =
+                delta == DeltaMode::Auto && mode == ExecMode::Compiled && routed.is_some();
             Ok(MonitorEngine {
                 mode,
                 compiled,
@@ -666,6 +720,7 @@ impl MonitorEngine {
                 verdict_count,
                 verdict_cells,
                 routed,
+                delta_enabled,
                 scratch,
             })
         })();
@@ -798,18 +853,41 @@ impl MonitorEngine {
                 // commit resumes exactly the armed set, a failure
                 // before it re-arms cleanly.
                 let encoded = EncodedEvent::from_event(event, dev.energy_level().as_nano_joules());
-                let mut tx = TxWriter::new();
-                tx.write(&self.event_cell, encoded);
-                tx.write(&self.seq_cell, seq);
-                tx.write(&self.verdict_count, 0u32);
                 match &self.routed {
-                    Some(rs) => {
+                    Some(rs) if self.delta_enabled => {
+                        // Sparse arming: the whole record is staged
+                        // with one write and the five sub-writes apply
+                        // from RAM — no journal re-reads.
                         dev.compute(ROUTING_LOOKUP_CYCLES)?;
-                        self.stage_worklist(rs, &encoded, &mut tx);
+                        self.compute_worklist(&encoded);
+                        let mut stx = SparseTx::new();
+                        stx.push(&self.event_cell, encoded);
+                        stx.push(&self.seq_cell, seq);
+                        stx.push(&self.verdict_count, 0u32);
+                        {
+                            let scratch = self.scratch.borrow();
+                            stx.push_raw(rs.worklist_addr, encode_u16_list(&scratch.worklist));
+                        }
+                        stx.push(&rs.done_cell, 0u64);
+                        dev.commit_sparse(&self.journal, &stx)?;
                     }
-                    None => self.routine.stage_begin(&mut tx, self.machines.len() as u32),
+                    _ => {
+                        let mut tx = TxWriter::new();
+                        tx.write(&self.event_cell, encoded);
+                        tx.write(&self.seq_cell, seq);
+                        tx.write(&self.verdict_count, 0u32);
+                        match &self.routed {
+                            Some(rs) => {
+                                dev.compute(ROUTING_LOOKUP_CYCLES)?;
+                                self.stage_worklist(rs, &encoded, &mut tx);
+                            }
+                            None => {
+                                self.routine.stage_begin(&mut tx, self.machines.len() as u32)
+                            }
+                        }
+                        dev.commit(&self.journal, &tx)?;
+                    }
                 }
-                dev.commit(&self.journal, &tx)?;
             }
             self.run_steps(dev)?;
             self.read_verdicts(dev)
@@ -845,10 +923,10 @@ impl MonitorEngine {
         }
     }
 
-    /// Stages the event's interested worklist (routing-index lookup +
+    /// Computes the event's interested worklist (routing-index lookup +
     /// the dynamic `Path:` filter, both deterministic functions of the
-    /// event) and a cleared completion bitmap into the arming `tx`.
-    fn stage_worklist(&self, rs: &RoutedState, encoded: &EncodedEvent, tx: &mut TxWriter) {
+    /// event) into the scratch buffer.
+    fn compute_worklist(&self, encoded: &EncodedEvent) {
         let kind = if encoded.kind == 0 {
             EventKind::StartTask
         } else {
@@ -868,6 +946,13 @@ impl MonitorEngine {
                 scratch.worklist.push(mi);
             }
         }
+    }
+
+    /// Stages the computed worklist and a cleared completion bitmap
+    /// into the arming `tx`.
+    fn stage_worklist(&self, rs: &RoutedState, encoded: &EncodedEvent, tx: &mut TxWriter) {
+        self.compute_worklist(encoded);
+        let scratch = self.scratch.borrow();
         tx.write_u16_list(rs.worklist_addr, &scratch.worklist);
         tx.write(&rs.done_cell, 0u64);
     }
@@ -1018,6 +1103,18 @@ impl MonitorEngine {
         }
         dev.compute(COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES * dispatched as u64)?;
 
+        // Routed + delta: load only the covering slot span and commit
+        // a sparse record over the static write set. Keys that touch
+        // most of the block degraded at compile time.
+        if self.delta_enabled {
+            let access = cm.access(kind, encoded.task);
+            if !access.whole_block {
+                if let Completion::Bit(done) = completion {
+                    return self.step_compiled_delta(dev, i, lm, cm, access, encoded, kind, addr, done);
+                }
+            }
+        }
+
         let scratch = &mut *self.scratch.borrow_mut();
         {
             let bytes = dev.nv_read_raw(addr, len)?;
@@ -1057,6 +1154,96 @@ impl MonitorEngine {
             self.stage_verdict(dev, &mut tx, i, fail.action, fail.path.or(lm.machine.path))?;
         }
         self.finish_atomic(dev, completion, &mut tx)
+    }
+
+    /// Delta variant of [`MonitorEngine::step_compiled`]: one FRAM read
+    /// for the key's covering slot span, then a sparse commit of the
+    /// state word, the static write-set slots, and the completion bit.
+    ///
+    /// Soundness: the access set over-approximates every slot the
+    /// dispatched bytecode can read or write, so slots outside the
+    /// loaded span are never observed (they are placeholder-filled to
+    /// keep slot indexing in bounds) and slots outside the write set
+    /// cannot change. Write-set slots the step did not actually touch
+    /// write back their loaded value — idempotent, because the write
+    /// set is inside the read span by construction.
+    #[allow(clippy::too_many_arguments)]
+    fn step_compiled_delta(
+        &self,
+        dev: &mut Device,
+        i: u32,
+        lm: &LoadedMachine,
+        cm: &CompiledMachine,
+        access: &AccessSet,
+        encoded: &EncodedEvent,
+        kind: EventKind,
+        addr: usize,
+        done: u64,
+    ) -> Result<(), Interrupt> {
+        let covered = access.max_touched_slot().map_or(0, |s| s as usize + 1);
+        let span = 4 + NvValue::SIZE * covered;
+
+        let scratch = &mut *self.scratch.borrow_mut();
+        {
+            let bytes = dev.nv_read_raw(addr, span)?;
+            scratch.block.clear();
+            scratch.block.extend_from_slice(bytes);
+        }
+        let before_state = decode_block(&scratch.block, &mut scratch.vars);
+        scratch.vars.resize(cm.var_count(), Value::Int(0));
+        let mut state = before_state;
+
+        let event = CompiledEvent {
+            kind,
+            task: encoded.task,
+            ctx: EventCtx {
+                time_us: encoded.timestamp_us,
+                dep_data: encoded.dep_data(),
+                energy_nj: encoded.energy_nj,
+            },
+        };
+        let emit = cm
+            .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
+            .unwrap_or(None);
+
+        // Change detection over the written footprint only (byte-level,
+        // like the whole-block path): anything else cannot have moved.
+        let mut buf = [0u8; NvValue::SIZE];
+        let mut changed = state != before_state;
+        if !changed {
+            for &slot in &access.writes {
+                let off = 4 + NvValue::SIZE * slot as usize;
+                NvValue(scratch.vars[slot as usize]).store(&mut buf);
+                if scratch.block[off..off + NvValue::SIZE] != buf {
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if emit.is_none() && !changed {
+            return self.finish_plain(dev, Completion::Bit(done));
+        }
+
+        let mut stx = SparseTx::new();
+        stx.push_raw(addr, state.to_le_bytes().to_vec());
+        for &slot in &access.writes {
+            NvValue(scratch.vars[slot as usize]).store(&mut buf);
+            stx.push_raw(addr + 4 + NvValue::SIZE * slot as usize, buf.to_vec());
+        }
+        if let Some(fail) = emit {
+            let count = dev.nv_read(&self.verdict_count)?;
+            stx.push(
+                &self.verdict_cells[count as usize],
+                (i, encode_action(fail.action, fail.path.or(lm.machine.path))),
+            );
+            stx.push(&self.verdict_count, count + 1);
+        }
+        let rs = self
+            .routed
+            .as_ref()
+            .expect("delta step without routed state");
+        stx.push(&rs.done_cell, done);
+        dev.commit_sparse(&self.journal, &stx)
     }
 
     /// Interpreter step: the original reference path over per-variable
@@ -1657,6 +1844,127 @@ mod tests {
         let writes = (dev.fram().write_ops() - writes0) as usize;
         assert_eq!(reads, key.reads * EVENTS as usize, "read model drifted");
         assert_eq!(writes, key.writes * EVENTS as usize, "write model drifted");
+    }
+
+    /// The delta-commit twin of [`bounds_model_matches_engine`]: when
+    /// each handler touches a small slice of its block, every machine
+    /// takes the sparse path and the static per-key bound — one span
+    /// read plus `|writes| + 3` journalled writes per machine — must
+    /// equal the engine's billing exactly.
+    #[test]
+    fn bounds_model_matches_engine_delta() {
+        use artemis_ir::expr::{BinOp, Expr, Value, VarType};
+        use artemis_ir::fsm::{StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+        const MACHINES: usize = 8;
+        const VARS: usize = 12;
+        const EVENTS: u64 = 20;
+
+        let mut b = AppGraphBuilder::new();
+        let t0 = b.task("t0");
+        let t1 = b.task("t1");
+        b.path(&[t0, t1]);
+        let app = b.build().unwrap();
+
+        // Each handler increments only v0: 1 of 12 slots written, far
+        // below the ¾ degrade threshold, so all machines stay sparse.
+        let mut suite = MonitorSuite::new();
+        for m in 0..MACHINES {
+            let mut sm = StateMachine::new(&format!("m{m}"), "t0");
+            for v in 0..VARS {
+                sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+            }
+            sm.add_state("S");
+            sm.transitions.push(Transition {
+                from: 0,
+                to: 0,
+                trigger: Trigger::Start(TaskPat::named("t0")),
+                guard: None,
+                body: vec![Stmt::Assign(
+                    "v0".into(),
+                    Expr::bin(BinOp::Add, Expr::var("v0"), Expr::int(1)),
+                )],
+                emit: None,
+            });
+            suite.push(sm);
+        }
+
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let bounds = artemis_ir::suite_bounds(&compiled);
+        let key = bounds
+            .per_key
+            .iter()
+            .find(|c| c.kind == EventKind::StartTask && c.task == Some(0))
+            .unwrap();
+        assert_eq!(key.machines, MACHINES);
+        assert_eq!(key.delta_machines, MACHINES, "all machines must go sparse");
+        assert_eq!(key.degraded_machines, 0);
+        // Arming (2r+8w) + worklist setup (4r) + per machine 1 span
+        // read and |W|+2+3 = 6 sparse-commit writes + 1 readback read.
+        assert_eq!(key.reads, 2 + 4 + MACHINES + 1);
+        assert_eq!(key.writes, 8 + MACHINES * 6);
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+
+        let reads0 = dev.fram().read_ops();
+        let writes0 = dev.fram().write_ops();
+        for seq in 1..=EVENTS {
+            engine
+                .call_monitor(&mut dev, seq, &MonitorEvent::start(t0, t(seq)))
+                .unwrap();
+        }
+        let reads = (dev.fram().read_ops() - reads0) as usize;
+        let writes = (dev.fram().write_ops() - writes0) as usize;
+        assert_eq!(reads, key.reads * EVENTS as usize, "delta read model drifted");
+        assert_eq!(
+            writes,
+            key.writes * EVENTS as usize,
+            "delta write model drifted"
+        );
+    }
+
+    /// The derived journal capacity is exactly the static worst-case
+    /// commit: the default installs and runs, while overriding it one
+    /// byte smaller is rejected up front by the bounds pass.
+    #[test]
+    fn derived_journal_capacity_is_tight() {
+        let app = app();
+        let spec = "accel { maxTries: 5 onFail: skipPath; }";
+
+        let suite = artemis_ir::compile(spec, &app).unwrap();
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let worst = artemis_ir::suite_bounds(&compiled).worst_commit_bytes;
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+        let accel = app.task_by_name("accel").unwrap();
+        engine
+            .call_monitor(&mut dev, 1, &MonitorEvent::start(accel, t(0)))
+            .unwrap();
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let suite = artemis_ir::compile(spec, &app).unwrap();
+        let err = MonitorEngine::install_with(
+            &mut dev,
+            suite,
+            &app,
+            InstallOptions {
+                journal_capacity: Some(worst - 1),
+                ..InstallOptions::default()
+            },
+        )
+        .err()
+        .expect("a capacity below the static bound must be rejected");
+        match err {
+            InstallError::Analysis(d) => {
+                assert!(d.is_error());
+                assert_eq!(d.pass, "bounds");
+            }
+            other => panic!("expected a bounds rejection, got {other}"),
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@ use artemis_core::property::OnFail;
 use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
 use artemis_ir::expr::Value;
-use artemis_monitor::{ExecMode, MonitorEngine, MonitorVerdict, RoutingMode};
+use artemis_monitor::{
+    DeltaMode, ExecMode, InstallOptions, MonitorEngine, MonitorVerdict, RoutingMode,
+};
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
 use intermittent_sim::energy::Energy;
@@ -240,6 +242,10 @@ fn rich_event(e: &Ev, dep: Option<u32>, t: u64) -> MonitorEvent {
     }
 }
 
+/// Per-event verdicts plus the final FRAM-visible machine state
+/// (state word, variable values) of one engine run.
+type RunOutcome = (Vec<Vec<MonitorVerdict>>, Vec<(u32, Vec<Value>)>);
+
 /// Runs one spec/event stream through the engine in the given mode and
 /// returns (per-event verdicts, final FRAM-visible machine state).
 fn engine_run_mode(
@@ -248,7 +254,7 @@ fn engine_run_mode(
     events: &[(Ev, Option<u32>)],
     dev: &mut Device,
     mode: ExecMode,
-) -> (Vec<Vec<MonitorVerdict>>, Vec<(u32, Vec<Value>)>) {
+) -> RunOutcome {
     engine_run_routing(app, spec, events, dev, mode, RoutingMode::default())
 }
 
@@ -261,9 +267,31 @@ fn engine_run_routing(
     dev: &mut Device,
     mode: ExecMode,
     routing: RoutingMode,
-) -> (Vec<Vec<MonitorVerdict>>, Vec<(u32, Vec<Value>)>) {
+) -> RunOutcome {
+    engine_run_opts(
+        app,
+        spec,
+        events,
+        dev,
+        InstallOptions {
+            mode,
+            routing,
+            ..InstallOptions::default()
+        },
+    )
+}
+
+/// [`engine_run_mode`] with full [`InstallOptions`] (delta commits on
+/// or off, capacity overrides).
+fn engine_run_opts(
+    app: &AppGraph,
+    spec: &str,
+    events: &[(Ev, Option<u32>)],
+    dev: &mut Device,
+    opts: InstallOptions,
+) -> RunOutcome {
     let suite = artemis_ir::compile(spec, app).unwrap();
-    let engine = MonitorEngine::install_with_routing(dev, suite, app, mode, routing).unwrap();
+    let engine = MonitorEngine::install_with(dev, suite, app, opts).unwrap();
     let done = dev
         .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
         .unwrap();
@@ -381,6 +409,54 @@ proptest! {
         prop_assert_eq!(sr, sf, "state divergence on spec: {}", spec);
     }
 
+    /// Sparse delta commits vs whole-block commits: the two journal
+    /// formats must be observationally identical — same verdicts, same
+    /// FRAM-visible machine state — on every random spec and stream.
+    #[test]
+    fn delta_equals_whole_block_on_random_specs(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+    ) {
+        let app = rich_app();
+        let mut dev_d = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_w = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vd, sd) = engine_run_opts(
+            &app, &spec, &events, &mut dev_d,
+            InstallOptions { delta: DeltaMode::Auto, ..InstallOptions::default() });
+        let (vw, sw) = engine_run_opts(
+            &app, &spec, &events, &mut dev_w,
+            InstallOptions { delta: DeltaMode::Disabled, ..InstallOptions::default() });
+        prop_assert_eq!(vd, vw, "verdict divergence on spec: {}", spec);
+        prop_assert_eq!(sd, sw, "state divergence on spec: {}", spec);
+    }
+
+    /// Sparse delta commits on an intermittent device vs whole-block
+    /// commits on continuous power: delta records must recover across
+    /// random power-failure schedules without changing a verdict or a
+    /// variable.
+    #[test]
+    fn delta_equals_whole_block_under_random_power_failures(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_d = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_w = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vd, sd) = engine_run_opts(
+            &app, &spec, &events, &mut dev_d,
+            InstallOptions { delta: DeltaMode::Auto, ..InstallOptions::default() });
+        let (vw, sw) = engine_run_opts(
+            &app, &spec, &events, &mut dev_w,
+            InstallOptions { delta: DeltaMode::Disabled, ..InstallOptions::default() });
+        prop_assert_eq!(vd, vw, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(sd, sw, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
+    }
+
     /// Routed dispatch on an intermittent device vs full scan on
     /// continuous power: the armed worklist must resume exactly across
     /// random power-failure schedules, verdict for verdict.
@@ -490,6 +566,127 @@ fn arming_crash_windows_preserve_verdicts_and_state() {
     assert!(
         total_reboots > 100,
         "sweep too gentle to hit the crash windows ({total_reboots} reboots)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-delta commit crash windows (deterministic).
+//
+// The delta path journals only the written slots of a block. Its crash
+// windows differ from the whole-block path's: a failure can land after
+// the sparse record is staged but before the flag flips, between two
+// sub-write applications, or during replay. A machine with two
+// counters incremented by the same transition makes torn application
+// observable: if a crash ever left one counter applied and the other
+// not, the `a == b` invariant breaks at the next recovery point.
+// ---------------------------------------------------------------------------
+
+/// Ten variables, two written per event: 2/10 is far below the ¾
+/// degrade threshold, so every commit takes the sparse-delta format.
+const TWIN_IR: &str = "\
+    machine twin task a persistent { \
+        var a: int = 0; var b: int = 0; \
+        var p0: int = 0; var p1: int = 0; var p2: int = 0; var p3: int = 0; \
+        var p4: int = 0; var p5: int = 0; var p6: int = 0; var p7: int = 0; \
+        state S initial; \
+        on startTask(a) from S to S { a := (a + 1); b := (b + 1); }; }";
+
+/// Budget sweep landing brown-outs in every window of the sparse
+/// commit: after every recovery point the two correlated counters must
+/// be equal (old image or new image, never a mix), and the final state
+/// must match a continuous-power whole-block run.
+#[test]
+fn sparse_delta_commit_crash_windows_never_tear() {
+    const EVENTS: u64 = 30;
+    let app = rich_app();
+
+    // Guard the premise: the compiled access set must put this machine
+    // on the sparse path, not the degraded whole-block path.
+    let suite = artemis_ir::parse::parse_suite(TWIN_IR).unwrap();
+    let compiled = artemis_ir::CompiledSuite::compile(&suite, &app).unwrap();
+    let key = artemis_ir::suite_bounds(&compiled)
+        .per_key
+        .into_iter()
+        .find(|c| c.task == Some(0))
+        .unwrap();
+    assert_eq!(key.delta_machines, 1, "twin machine must take the delta path");
+    assert_eq!(key.degraded_machines, 0);
+
+    // Continuous-power whole-block reference image.
+    let reference = {
+        let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let suite = artemis_ir::parse::parse_suite(TWIN_IR).unwrap();
+        let engine = MonitorEngine::install_with(
+            &mut dev,
+            suite,
+            &app,
+            InstallOptions {
+                delta: DeltaMode::Disabled,
+                ..InstallOptions::default()
+            },
+        )
+        .unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+        for seq in 1..=EVENTS {
+            engine
+                .call_monitor(
+                    &mut dev,
+                    seq,
+                    &MonitorEvent::start(TaskId(0), SimInstant::from_micros(seq * 1_000)),
+                )
+                .unwrap();
+        }
+        engine.snapshot(&dev)
+    };
+
+    let twins = |snap: &[(u32, Vec<Value>)]| (snap[0].1[0], snap[0].1[1]);
+
+    let mut total_reboots = 0u64;
+    for budget_nj in (700..3_000).step_by(25) {
+        let mut dev = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let suite = artemis_ir::parse::parse_suite(TWIN_IR).unwrap();
+        let engine = MonitorEngine::install(&mut dev, suite, &app).unwrap();
+        let done = dev
+            .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
+            .unwrap();
+        let sim = Simulator::new(RunLimit::reboots(100_000));
+        let outcome = sim.run(&mut dev, &mut |dev: &mut Device| {
+            engine.monitor_finalize(dev)?;
+            // Every reboot is a recovery point: a torn sparse commit
+            // would surface here as a half-applied increment.
+            let (a, b) = twins(&engine.snapshot(dev));
+            assert_eq!(a, b, "torn commit at budget {budget_nj} nJ");
+            loop {
+                let idx = dev.nv_read(&done)? as usize;
+                if idx as u64 >= EVENTS {
+                    return Ok(());
+                }
+                let seq = idx as u64 + 1;
+                engine.call_monitor(
+                    dev,
+                    seq,
+                    &MonitorEvent::start(TaskId(0), SimInstant::from_micros(seq * 1_000)),
+                )?;
+                let (a, b) = twins(&engine.snapshot(dev));
+                assert_eq!(a, b, "torn commit at budget {budget_nj} nJ");
+                dev.nv_write(&done, (idx + 1) as u32)?;
+            }
+        });
+        assert!(outcome.is_completed(), "stream never finished");
+        assert_eq!(
+            engine.snapshot(&dev),
+            reference,
+            "final image diverged at budget {budget_nj} nJ"
+        );
+        total_reboots += dev.reboots();
+    }
+    assert!(
+        total_reboots > 100,
+        "sweep too gentle to hit the sparse commit windows ({total_reboots} reboots)"
     );
 }
 

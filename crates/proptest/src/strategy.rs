@@ -346,7 +346,7 @@ mod tests {
     #[test]
     fn union_draws_every_branch() {
         let mut rng = StdRng::seed_from_u64(12);
-        let strat = prop_oneof![Just(1u8), Just(2u8), (3u8..=3)];
+        let strat = prop_oneof![Just(1u8), Just(2u8), 3u8..=3];
         let mut seen = [false; 4];
         for _ in 0..200 {
             seen[strat.generate(&mut rng).unwrap() as usize] = true;

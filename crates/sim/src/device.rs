@@ -20,7 +20,7 @@ use crate::energy::Energy;
 use crate::fram::{Fram, NvCell, NvData, Sram};
 pub use crate::fram::MemOwner;
 use crate::harvester::Harvester;
-use crate::journal::{Journal, TxWriter};
+use crate::journal::{Journal, SparseTx, TxWriter};
 use crate::mcu::{Cost, CostModel};
 use crate::peripherals::{Peripheral, PeripheralBank};
 
@@ -382,6 +382,20 @@ impl Device {
         let power = &mut self.power;
         let costs = &self.costs;
         journal.commit(&mut self.fram, tx, &mut |bytes| {
+            power.spend(costs.fram_write(bytes))
+        })
+    }
+
+    /// Commits a sparse write-set crash-atomically as one journal
+    /// record, billing FRAM costs.
+    pub fn commit_sparse(
+        &mut self,
+        journal: &Journal,
+        tx: &SparseTx,
+    ) -> Result<(), Interrupt> {
+        let power = &mut self.power;
+        let costs = &self.costs;
+        journal.commit_sparse(&mut self.fram, tx, &mut |bytes| {
             power.spend(costs.fram_write(bytes))
         })
     }

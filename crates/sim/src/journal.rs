@@ -18,6 +18,20 @@
 //! (idempotent) redo entries. Fault-injection tests in this module drive
 //! a commit through a power failure at **every** possible byte boundary
 //! and assert atomicity each time.
+//!
+//! Two record formats share the region, discriminated by the flag byte:
+//!
+//! - **Entry-list** ([`TxWriter`] via [`Journal::commit`], flag = 1):
+//!   the classic format above. Each entry is staged with its own header
+//!   write, and the apply phase re-reads every entry from the journal —
+//!   `2e+1` FRAM reads and `3e+3` writes for `e` entries.
+//! - **Sparse delta** ([`SparseTx`] via [`Journal::commit_sparse`],
+//!   flag = 2): the whole length-prefixed record is staged in a single
+//!   FRAM write, and after the flag is set the sub-writes are applied
+//!   straight from RAM — `k+3` writes and **zero** reads for `k`
+//!   sub-writes. Only reboot recovery re-reads the record from FRAM.
+//!   This is the commit path for statically-derived write sets, where
+//!   an event touches a handful of scattered slots.
 
 use crate::device::{Fault, Interrupt};
 use crate::fram::{Fram, MemOwner, NvCell, NvData, OutOfFram};
@@ -30,6 +44,12 @@ const FLAG_OFF: usize = 0;
 const COUNT_OFF: usize = 1;
 /// First entry byte.
 const ENTRIES_OFF: usize = 3;
+/// Flag value: no transaction pending.
+const FLAG_IDLE: u8 = 0;
+/// Flag value: a committed entry-list transaction is pending.
+const FLAG_ENTRIES: u8 = 1;
+/// Flag value: a committed sparse-delta record is pending.
+const FLAG_SPARSE: u8 = 2;
 
 /// A volatile write-set staged by a task before commit.
 ///
@@ -112,6 +132,80 @@ impl TxWriter {
     /// Discards all staged writes.
     pub fn clear(&mut self) {
         self.entries.clear();
+    }
+}
+
+/// A volatile write-set destined for a single-record sparse commit.
+///
+/// Unlike [`TxWriter`], the staged sub-writes are serialised into one
+/// length-prefixed record (`count: u16`, then `addr: u32`, `len: u16`,
+/// `data` per sub-write) that [`Journal::commit_sparse`] stages with a
+/// single FRAM write and applies straight from RAM. Sub-writes to the
+/// same address are merged in place, mirroring [`TxWriter::write_raw`].
+#[derive(Default, Debug)]
+pub struct SparseTx {
+    writes: Vec<(usize, Vec<u8>)>,
+}
+
+impl SparseTx {
+    /// Creates an empty sparse write-set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages a typed sub-write.
+    pub fn push<T: NvData>(&mut self, cell: &NvCell<T>, value: T) {
+        let mut buf = vec![0u8; T::SIZE];
+        value.store(&mut buf);
+        self.push_raw(cell.addr(), buf);
+    }
+
+    /// Stages a raw sub-write.
+    pub fn push_raw(&mut self, addr: usize, data: Vec<u8>) {
+        for (a, d) in self.writes.iter_mut() {
+            if *a == addr && d.len() == data.len() {
+                *d = data;
+                return;
+            }
+        }
+        self.writes.push((addr, data));
+    }
+
+    /// Number of staged sub-writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// Returns `true` if nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Journal bytes the serialised record occupies: the count word
+    /// plus a header and payload per sub-write.
+    pub fn record_bytes(&self) -> usize {
+        2 + self
+            .writes
+            .iter()
+            .map(|(_, d)| ENTRY_HEADER + d.len())
+            .sum::<usize>()
+    }
+
+    /// Serialises the record image staged into the journal region.
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.record_bytes());
+        buf.extend_from_slice(&(self.writes.len() as u16).to_le_bytes());
+        for (addr, data) in &self.writes {
+            buf.extend_from_slice(&(*addr as u32).to_le_bytes());
+            buf.extend_from_slice(&(data.len() as u16).to_le_bytes());
+            buf.extend_from_slice(data);
+        }
+        buf
+    }
+
+    /// Discards all staged sub-writes.
+    pub fn clear(&mut self) {
+        self.writes.clear();
     }
 }
 
@@ -221,10 +315,54 @@ impl Journal {
 
         // Phase 2: the linearisation point — one atomic byte.
         spend(1)?;
-        fram.write_raw(self.base + FLAG_OFF, &[1]);
+        fram.write_raw(self.base + FLAG_OFF, &[FLAG_ENTRIES]);
 
         // Phase 3: apply; a failure here is repaired by `recover`.
         self.apply(fram, spend)
+    }
+
+    /// Commits a sparse write-set atomically as one journal record.
+    ///
+    /// The record is staged with a single FRAM write, linearised by the
+    /// flag byte, and the sub-writes are then applied from RAM — no
+    /// journal re-reads on the happy path. A failure before the flag
+    /// write discards the record; after it, [`Journal::recover`]
+    /// replays the record from FRAM (redo, idempotent).
+    pub fn commit_sparse(
+        &self,
+        fram: &mut Fram,
+        tx: &SparseTx,
+        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+    ) -> Result<(), Interrupt> {
+        if tx.is_empty() {
+            return Ok(());
+        }
+        let needed = tx.record_bytes();
+        if needed > self.capacity {
+            return Err(Interrupt::Fault(Fault::JournalOverflow {
+                needed,
+                capacity: self.capacity,
+            }));
+        }
+
+        // Phase 1: stage the whole record in one write.
+        spend(needed)?;
+        fram.write_raw(self.base + ENTRIES_OFF, &tx.encode());
+
+        // Phase 2: the linearisation point — one atomic byte.
+        spend(1)?;
+        fram.write_raw(self.base + FLAG_OFF, &[FLAG_SPARSE]);
+
+        // Phase 3: apply straight from RAM; a failure here is repaired
+        // by `recover`, which replays the FRAM copy.
+        for (addr, data) in &tx.writes {
+            spend(data.len())?;
+            fram.write_raw(*addr, data);
+        }
+
+        spend(1)?;
+        fram.write_raw(self.base + FLAG_OFF, &[FLAG_IDLE]);
+        Ok(())
     }
 
     /// Completes an interrupted commit, if one is pending.
@@ -238,17 +376,23 @@ impl Journal {
     ) -> Result<bool, Interrupt> {
         spend(1)?;
         let flag = fram.read_raw(self.base + FLAG_OFF, 1)[0];
-        if flag == 0 {
-            return Ok(false);
+        match flag {
+            FLAG_IDLE => Ok(false),
+            FLAG_SPARSE => {
+                self.replay_sparse(fram, spend)?;
+                Ok(true)
+            }
+            _ => {
+                self.apply(fram, spend)?;
+                Ok(true)
+            }
         }
-        self.apply(fram, spend)?;
-        Ok(true)
     }
 
     /// Returns `true` if a committed-but-unapplied transaction is
     /// pending (for tests).
     pub fn is_pending(&self, fram: &Fram) -> bool {
-        fram.peek_raw(self.base + FLAG_OFF, 1)[0] == 1
+        fram.peek_raw(self.base + FLAG_OFF, 1)[0] != FLAG_IDLE
     }
 
     fn apply(
@@ -274,7 +418,35 @@ impl Journal {
 
         // Clear the flag: the transaction is fully applied.
         spend(1)?;
-        fram.write_raw(self.base + FLAG_OFF, &[0]);
+        fram.write_raw(self.base + FLAG_OFF, &[FLAG_IDLE]);
+        Ok(())
+    }
+
+    /// Replays a committed sparse record from its FRAM copy (reboot
+    /// path only — the happy path applies from RAM).
+    fn replay_sparse(
+        &self,
+        fram: &mut Fram,
+        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+    ) -> Result<(), Interrupt> {
+        spend(2)?;
+        let count_bytes = fram.read_raw(self.base + ENTRIES_OFF, 2);
+        let count = u16::from_le_bytes([count_bytes[0], count_bytes[1]]) as usize;
+
+        let mut off = self.base + ENTRIES_OFF + 2;
+        for _ in 0..count {
+            spend(ENTRY_HEADER)?;
+            let header = fram.read_raw(off, ENTRY_HEADER).to_vec();
+            let addr = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+            let len = u16::from_le_bytes([header[4], header[5]]) as usize;
+            spend(len)?;
+            let data = fram.read_raw(off + ENTRY_HEADER, len).to_vec();
+            fram.write_raw(addr, &data);
+            off += ENTRY_HEADER + len;
+        }
+
+        spend(1)?;
+        fram.write_raw(self.base + FLAG_OFF, &[FLAG_IDLE]);
         Ok(())
     }
 }
@@ -502,5 +674,173 @@ mod tests {
 
         // A second recovery finds nothing to do.
         assert!(!journal.recover(&mut fram, &mut no_fail).unwrap());
+    }
+
+    #[test]
+    fn sparse_commit_applies_scattered_writes_without_reads() {
+        let (mut fram, journal, a, b) = setup();
+        let mut tx = SparseTx::new();
+        tx.push(&a, 10u64);
+        tx.push(&b, 20u32);
+        let reads = fram.read_ops();
+        journal.commit_sparse(&mut fram, &tx, &mut no_fail).unwrap();
+        assert_eq!(fram.read(&a), 10);
+        assert_eq!(fram.read(&b), 20);
+        assert!(!journal.is_pending(&fram));
+        // k sub-writes cost k+3 raw writes and zero reads.
+        assert_eq!(fram.read_ops(), reads + 2, "only the two readbacks");
+    }
+
+    #[test]
+    fn sparse_tx_merges_rewrites_of_same_cell() {
+        let (mut fram, journal, a, _) = setup();
+        let mut tx = SparseTx::new();
+        tx.push(&a, 1u64);
+        tx.push(&a, 9u64);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(tx.record_bytes(), 2 + ENTRY_HEADER + 8);
+        journal.commit_sparse(&mut fram, &tx, &mut no_fail).unwrap();
+        assert_eq!(fram.peek(&a), 9);
+    }
+
+    #[test]
+    fn oversized_sparse_tx_is_rejected_cleanly() {
+        let mut fram = Fram::new(4096);
+        let journal = Journal::new(&mut fram, 8, MemOwner::Runtime).unwrap();
+        let a = fram.alloc::<u64>(0, MemOwner::App, "a").unwrap();
+        let mut tx = SparseTx::new();
+        tx.push(&a, 7u64);
+        let err = journal
+            .commit_sparse(&mut fram, &tx, &mut no_fail)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Interrupt::Fault(Fault::JournalOverflow { .. })
+        ));
+        assert_eq!(fram.peek(&a), 0, "target untouched");
+    }
+
+    /// Same exhaustive fault-injection sweep as the entry-list commit:
+    /// a power failure at every byte boundary must leave FRAM fully
+    /// pre- or fully post-transaction after recovery — a torn sparse
+    /// record (failure before the flag) must be discarded wholesale.
+    #[test]
+    fn sparse_commit_is_atomic_under_exhaustive_failure_injection() {
+        let (mut fram, journal, a, b) = setup();
+        let mut tx = SparseTx::new();
+        tx.push(&a, 0xAAAA_AAAA_AAAA_AAAA_u64);
+        tx.push(&b, 0xBBBB_BBBB_u32);
+        let mut total = 0usize;
+        journal
+            .commit_sparse(&mut fram, &tx, &mut |n| {
+                total += n;
+                Ok(())
+            })
+            .unwrap();
+        assert!(total > 0);
+
+        for fail_at in 0..total {
+            let (mut fram, journal, a, b) = setup();
+            let mut tx = SparseTx::new();
+            tx.push(&a, 0xAAAA_AAAA_AAAA_AAAA_u64);
+            tx.push(&b, 0xBBBB_BBBB_u32);
+
+            let mut spent = 0usize;
+            let result = journal.commit_sparse(&mut fram, &tx, &mut |n| {
+                if spent + n > fail_at {
+                    Err(Interrupt::PowerFailure)
+                } else {
+                    spent += n;
+                    Ok(())
+                }
+            });
+            assert!(matches!(result, Err(Interrupt::PowerFailure)));
+
+            journal.recover(&mut fram, &mut no_fail).unwrap();
+            let va = fram.peek(&a);
+            let vb = fram.peek(&b);
+            let old = (va, vb) == (1, 2);
+            let new = (va, vb) == (0xAAAA_AAAA_AAAA_AAAA, 0xBBBB_BBBB);
+            assert!(
+                old || new,
+                "fail_at={fail_at}: torn state a={va:#x} b={vb:#x}"
+            );
+            assert!(!journal.is_pending(&fram));
+        }
+    }
+
+    /// Replay of a committed sparse record is redo-idempotent: recovery
+    /// itself may be interrupted arbitrarily often and must converge.
+    #[test]
+    fn sparse_recover_is_idempotent_under_repeated_failures() {
+        let (mut fram, journal, a, b) = setup();
+        let mut tx = SparseTx::new();
+        tx.push(&a, 77u64);
+        tx.push(&b, 88u32);
+
+        // Allow staging + flag through, stop before any apply write.
+        let flag_budget = tx.record_bytes() + 1;
+        let mut spent = 0usize;
+        let r = journal.commit_sparse(&mut fram, &tx, &mut |n| {
+            if spent + n > flag_budget {
+                Err(Interrupt::PowerFailure)
+            } else {
+                spent += n;
+                Ok(())
+            }
+        });
+        assert!(matches!(r, Err(Interrupt::PowerFailure)));
+        assert!(journal.is_pending(&fram));
+        assert_eq!(fram.peek(&a), 1, "no sub-write applied yet");
+
+        let mut fail_at = 0usize;
+        loop {
+            let mut spent = 0usize;
+            let r = journal.recover(&mut fram, &mut |n| {
+                if spent + n > fail_at {
+                    Err(Interrupt::PowerFailure)
+                } else {
+                    spent += n;
+                    Ok(())
+                }
+            });
+            match r {
+                Ok(applied) => {
+                    assert!(applied);
+                    break;
+                }
+                Err(_) => fail_at += 1,
+            }
+            assert!(fail_at < 10_000, "recovery never converged");
+        }
+        assert_eq!(fram.peek(&a), 77);
+        assert_eq!(fram.peek(&b), 88);
+        assert!(!journal.is_pending(&fram));
+        assert!(!journal.recover(&mut fram, &mut no_fail).unwrap());
+    }
+
+    /// A torn record prefix with the flag still idle must be invisible:
+    /// recovery is a no-op and the targets keep their old image.
+    #[test]
+    fn torn_sparse_record_prefix_recovers_to_old_image() {
+        let image = {
+            let (_, _, a, b) = setup();
+            let mut tx = SparseTx::new();
+            tx.push(&a, 0xDEAD_BEEF_u64);
+            tx.push(&b, 0xCAFE_u32);
+            tx.encode()
+        };
+
+        // Simulate a crash mid-stage at every record prefix length: the
+        // flag byte was never written, so whatever landed in the region
+        // is dead data.
+        for torn in 0..=image.len() {
+            let (mut fram, journal, a, b) = setup();
+            fram.write_raw(journal.base + ENTRIES_OFF, &image[..torn]);
+            assert!(!journal.recover(&mut fram, &mut no_fail).unwrap());
+            assert!(!journal.is_pending(&fram));
+            assert_eq!(fram.peek(&a), 1, "torn={torn}: old image lost");
+            assert_eq!(fram.peek(&b), 2, "torn={torn}: old image lost");
+        }
     }
 }
