@@ -10,7 +10,7 @@ use artemis_bench::Report;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|analyze|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|analyze|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
          analyze  lint shipped specs/examples with the static analyser\n\
          \x20        (exits non-zero on any error-severity finding)\n\
@@ -29,7 +29,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--emit" => emit = true,
             "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "scaling" | "dispatch" | "delta" | "analyze" | "all" => which = Some(arg),
+            | "scaling" | "dispatch" | "delta" | "batch" | "analyze" | "all" => which = Some(arg),
             _ => return usage(),
         }
     }
@@ -54,6 +54,7 @@ fn main() -> ExitCode {
         "scaling" => vec![experiments::scaling()],
         "dispatch" => vec![experiments::dispatch()],
         "delta" => vec![experiments::delta()],
+        "batch" => vec![experiments::batch()],
         _ => experiments::all(),
     };
 

@@ -820,6 +820,140 @@ pub fn delta() -> Report {
     r
 }
 
+/// **Batch benchmark (beyond the paper's figures)** — per-event FRAM
+/// traffic of group-commit batch delivery versus the per-event sparse
+/// delta path on the sparse-handler dispatch suite. One sparse
+/// transaction arms the whole batch, each machine steps every event in
+/// volatile scratch and commits its coalesced net effect once, so the
+/// arming and per-machine commit overheads amortise across the batch:
+/// larger batches spend fewer FRAM ops per event.
+pub fn batch() -> Report {
+    use artemis_core::event::MonitorEvent;
+    use artemis_monitor::{BatchMode, InstallOptions, MonitorEngine};
+    use intermittent_sim::DeviceBuilder;
+
+    const EVENTS: u64 = 200;
+    /// Batch capacities swept (200 events divide evenly into each).
+    const SIZES: [usize; 4] = [1, 2, 4, 8];
+
+    struct Sample {
+        reads: u64,
+        writes: u64,
+        time: SimDuration,
+    }
+    impl Sample {
+        fn ops_per_event(&self) -> f64 {
+            (self.reads + self.writes) as f64 / EVENTS as f64
+        }
+    }
+
+    let (suite, app, t0) = sparse_dispatch_suite();
+
+    // Feed the same 200-event stream either through the per-event
+    // entry point (batch capacity 0 = the PR-4 delta baseline) or
+    // through `deliver_batch` in full chunks of `b`.
+    let run = |batch: Option<usize>| -> Sample {
+        let opts = InstallOptions {
+            batch: match batch {
+                Some(b) => BatchMode::Enabled { max_events: b },
+                None => BatchMode::Disabled,
+            },
+            ..InstallOptions::default()
+        };
+        let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let engine = MonitorEngine::install_with(&mut dev, suite.clone(), &app, opts)
+            .expect("installs");
+        engine.reset_monitor(&mut dev).expect("reset");
+        let reads0 = dev.fram().read_ops();
+        let writes0 = dev.fram().write_ops();
+        let time0 = dev.stats().time(CostCategory::Monitor);
+        let event = |seq: u64| {
+            MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq))
+        };
+        match batch {
+            None => {
+                for seq in 1..=EVENTS {
+                    engine.call_monitor(&mut dev, seq, &event(seq)).expect("event");
+                }
+            }
+            Some(b) => {
+                let mut seq = 1;
+                while seq <= EVENTS {
+                    let n = (b as u64).min(EVENTS - seq + 1);
+                    let chunk: Vec<MonitorEvent> = (0..n).map(|i| event(seq + i)).collect();
+                    engine.deliver_batch(&mut dev, seq, &chunk).expect("batch");
+                    seq += n;
+                }
+            }
+        }
+        Sample {
+            reads: dev.fram().read_ops() - reads0,
+            writes: dev.fram().write_ops() - writes0,
+            time: dev.stats().time(CostCategory::Monitor) - time0,
+        }
+    };
+
+    let mut r = Report::new(
+        "batch",
+        "per-event FRAM ops: group-commit batches vs per-event delta",
+        &[
+            "mode",
+            "FRAM reads",
+            "FRAM writes",
+            "ops/event",
+            "time/event (us)",
+        ],
+    );
+
+    let mut emit = |name: String, s: &Sample| {
+        r.row(vec![
+            name,
+            s.reads.to_string(),
+            s.writes.to_string(),
+            format!("{:.1}", s.ops_per_event()),
+            format!("{:.2}", s.time.as_secs_f64() * 1e6 / EVENTS as f64),
+        ]);
+    };
+
+    let baseline = run(None);
+    emit("per-event delta".to_string(), &baseline);
+    let mut samples = Vec::new();
+    for b in SIZES {
+        let s = run(Some(b));
+        emit(format!("batch-{b}"), &s);
+        samples.push((b, s));
+    }
+
+    let at = |b: usize| -> f64 {
+        samples.iter().find(|(sb, _)| *sb == b).expect("swept size").1.ops_per_event()
+    };
+    r.note(format!(
+        "batch-4 vs per-event delta FRAM op reduction: {:.2}x \
+         (acceptance target: >= 1.5x on the sparse dispatch workload)",
+        baseline.ops_per_event() / at(4)
+    ));
+    r.note(format!(
+        "batch-1 vs per-event delta: {:.1} vs {:.1} ops/event \
+         (acceptance target: within noise — batching must not tax unbatched traffic)",
+        at(1),
+        baseline.ops_per_event()
+    ));
+
+    let compiled = artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+    for (b, s) in &samples {
+        let bound = artemis_ir::batch_bounds(&compiled, *b);
+        debug_assert!(bound.ops_per_event_ceil() as f64 >= s.ops_per_event());
+        r.note(format!(
+            "batch-{b} static bound: {} ops/event ceiling, {} B worst commit \
+             (measured {:.1} ops/event stays under it)",
+            bound.ops_per_event_ceil(),
+            bound.worst_commit_bytes,
+            s.ops_per_event()
+        ));
+    }
+    r
+}
+
 /// **Dispatch benchmark (beyond the paper's figures)** — per-event FRAM
 /// traffic of the two execution modes on a monitor-heavy workload:
 /// every event drives every variable of every machine, the worst case
@@ -914,6 +1048,7 @@ pub fn all() -> Vec<Report> {
         scaling(),
         dispatch(),
         delta(),
+        batch(),
     ]
 }
 
@@ -1096,6 +1231,58 @@ mod tests {
             "auto-degrade must keep parity on single-variable blocks: \
              whole-block {scaling_wb} vs delta {scaling_dl}"
         );
+    }
+
+    #[test]
+    fn batch_cuts_sparse_dispatch_fram_ops_1_5x() {
+        let r = batch();
+        let ops = |mode: &str| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0] == mode)
+                .unwrap_or_else(|| panic!("missing row {mode}"))[3]
+                .parse()
+                .unwrap()
+        };
+        let baseline = ops("per-event delta");
+        let b4 = ops("batch-4");
+        assert!(
+            b4 * 1.5 <= baseline,
+            "batch-4 must cut FRAM ops >= 1.5x vs per-event delta: \
+             {baseline} vs {b4} ({:.2}x)",
+            baseline / b4
+        );
+        // Size-1 batches pay the arming record for nothing: they may
+        // not beat the per-event path, but must stay within noise.
+        let b1 = ops("batch-1");
+        assert!(
+            b1 <= baseline * 1.1,
+            "batch-1 must stay within noise of per-event delta: {baseline} vs {b1}"
+        );
+        // Larger batches amortise more.
+        assert!(ops("batch-8") < b4, "batch-8 must beat batch-4");
+        assert!(b4 < ops("batch-2"), "batch-4 must beat batch-2");
+    }
+
+    /// Same soundness direction as
+    /// [`dispatch_static_bound_dominates_measured`], for the batch
+    /// path: the per-batch static bound divided by the batch size must
+    /// never under-estimate the measured per-event cost.
+    #[test]
+    fn batch_static_bound_dominates_measured() {
+        let r = batch();
+        let (suite, app, _t0) = sparse_dispatch_suite();
+        let compiled =
+            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+        for row in r.rows.iter().filter(|row| row[0].starts_with("batch-")) {
+            let b: usize = row[0]["batch-".len()..].parse().unwrap();
+            let measured: f64 = row[3].parse().unwrap();
+            let bound = artemis_ir::batch_bounds(&compiled, b).ops_per_event_ceil();
+            assert!(
+                bound as f64 >= measured,
+                "batch-{b}: static bound {bound} must dominate measured {measured} ops/event"
+            );
+        }
     }
 
     /// The static resource-bound pass must dominate what the engine

@@ -285,6 +285,159 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
     }
 }
 
+/// Worst-case cost of delivering one **batch** of up to `max_events`
+/// events through the group-commit path (`BatchMode::Enabled`).
+///
+/// The model is deliberately conservative — it must dominate any
+/// actual batch the engine can run:
+///
+/// - **arming**: recovery-flag + batch-seq reads, then one 5-sub-write
+///   sparse commit (events region, batch seq, verdict count, merged
+///   worklist, done bitmap). The events region entry carries a `u16`
+///   count plus `max_events` encoded events; the merged worklist is
+///   bounded by the whole suite.
+/// - **batch setup**: worklist count + done bitmap + worklist items +
+///   events count + events payload — 5 reads.
+/// - **per machine** (all machines may be armed): the footprint is the
+///   union of the machine's access sets over *every* dispatch key, and
+///   a machine emits if *any* of its transitions emits. One covering
+///   span read (whole block when any key degrades), a verdict-count
+///   read for emitters, then a single sparse commit of: the state word
+///   (or the whole block image) + every merged write slot + up to
+///   `max_events` verdict cells + the count + the done bit.
+/// - **verdict readback**: count read + up to `max_events` cells per
+///   emitter.
+///
+/// Dominance over the engine's dynamic cost follows from the same
+/// arguments as [`suite_bounds`], plus: the merged worklist is a subset
+/// of all machines, a batch's dynamic merged access set unions access
+/// sets of *delivered* keys only (⊆ union over all keys), and a machine
+/// emits at most one verdict per event in the batch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BatchBounds {
+    /// Batch capacity the bound was derived for.
+    pub max_events: usize,
+    /// Journal bytes of the batch arming commit.
+    pub arming_commit_bytes: usize,
+    /// Largest single journal commit the batch path can stage (arming
+    /// or any machine's coalesced commit).
+    pub worst_commit_bytes: usize,
+    /// Journal bytes the batch cells add to the whole-suite reset
+    /// commit (batch sequence, cleared events region, empty merged
+    /// worklist, done bitmap) — add to
+    /// [`SuiteBounds::reset_commit_bytes`] when sizing a journal for a
+    /// batch-enabled engine.
+    pub reset_extra_bytes: usize,
+    /// Worst-case FRAM reads for one full batch.
+    pub reads: usize,
+    /// Worst-case FRAM writes for one full batch.
+    pub writes: usize,
+}
+
+impl BatchBounds {
+    /// Total FRAM operations (reads + writes) for one full batch.
+    pub fn ops(&self) -> usize {
+        self.reads + self.writes
+    }
+
+    /// Worst-case FRAM ops per event when the batch is full — the
+    /// number the bench's measured per-event figure must stay under.
+    pub fn ops_per_event_ceil(&self) -> usize {
+        self.ops().div_ceil(self.max_events.max(1))
+    }
+}
+
+/// Computes the batch-path resource bound for batches of up to
+/// `max_events` events (see [`BatchBounds`]).
+pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds {
+    let machines = compiled.machines();
+    let task_count = compiled.task_count();
+
+    // Arming: flag + batch-seq reads, one 5-sub-write sparse commit.
+    let mut reads = 2;
+    let mut writes = sparse_commit_writes(5);
+    let arming_entry_bytes = entry_bytes(2 + ENCODED_EVENT_BYTES * max_events)
+        + entry_bytes(U64_BYTES)
+        + entry_bytes(U32_BYTES)
+        + u16_list_entry_bytes(machines.len())
+        + entry_bytes(U64_BYTES);
+    let arming_commit_bytes = sparse_record_bytes(arming_entry_bytes);
+    let mut commit = arming_commit_bytes;
+
+    // Batch setup: worklist count + done bitmap + items + events count
+    // + events payload.
+    reads += 5;
+
+    let mut emitters = 0;
+    for m in machines {
+        // Merged footprint over every key the machine can see.
+        let mut access = crate::compile::AccessSet::default();
+        let mut emits = false;
+        for kind in [EventKind::StartTask, EventKind::EndTask] {
+            for key_task in 0..=task_count {
+                let probe = if key_task == task_count {
+                    u32::MAX
+                } else {
+                    key_task as u32
+                };
+                access.union_with(m.access(kind, probe));
+                emits |= m
+                    .transition_list(kind, probe)
+                    .iter()
+                    .any(|&ti| m.transitions[ti as usize].emit.is_some());
+            }
+        }
+        if emits {
+            emitters += 1;
+        }
+
+        // Span (or block) read + verdict-count read for emitters.
+        reads += 1 + usize::from(emits);
+
+        let verdict_subs = if emits { max_events + 1 } else { 0 };
+        let state_subs = if access.whole_block {
+            1 // whole block image in one raw sub-write
+        } else {
+            1 + access.writes.len()
+        };
+        writes += sparse_commit_writes(state_subs + verdict_subs + 1);
+
+        let verdict_entry_bytes = if emits {
+            max_events * entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES)
+        } else {
+            0
+        };
+        let delta_entries = entry_bytes(STATE_WORD_BYTES)
+            + access.writes.len() * entry_bytes(NV_VALUE_BYTES)
+            + verdict_entry_bytes
+            + entry_bytes(U64_BYTES);
+        let block_entries =
+            entry_bytes(block_bytes(m.var_count)) + verdict_entry_bytes + entry_bytes(U64_BYTES);
+        commit = commit
+            .max(sparse_record_bytes(delta_entries))
+            .max(sparse_record_bytes(block_entries));
+    }
+
+    // Verdict readback: count + up to `max_events` cells per emitter.
+    reads += 1 + emitters * max_events;
+
+    // Reset surcharge: batch seq + cleared events count (a 2-byte raw
+    // image) + empty merged worklist + done bitmap.
+    let reset_extra_bytes = entry_bytes(U64_BYTES)
+        + entry_bytes(2)
+        + u16_list_entry_bytes(0)
+        + entry_bytes(U64_BYTES);
+
+    BatchBounds {
+        max_events,
+        arming_commit_bytes,
+        worst_commit_bytes: commit,
+        reset_extra_bytes,
+        reads,
+        writes,
+    }
+}
+
 /// Cross-checks the suite's static bounds against a journal capacity.
 /// With `journal_capacity: None` the check degenerates to computing the
 /// bounds (no findings).
@@ -419,6 +572,28 @@ mod tests {
         // The byte bound still covers the whole-block image, so a
         // delta-disabled engine cannot overflow a derived capacity.
         assert!(start_a.commit_bytes >= entry_bytes(block_bytes(12)) + entry_bytes(U64_BYTES));
+    }
+
+    #[test]
+    fn batch_bounds_amortise_arming_and_grow_with_capacity() {
+        let app = app();
+        let suite = crate::compile(
+            "a { maxTries: 2 onFail: skipPath; }\n\
+             b { maxTries: 2 onFail: skipTask; }",
+            &app,
+        )
+        .unwrap();
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        let b1 = batch_bounds(&cs, 1);
+        let b4 = batch_bounds(&cs, 4);
+        // Arming once for four events amortises: a full batch costs
+        // far less than four batches of one, so per-event ops shrink.
+        assert!(b4.ops() < 4 * b1.ops());
+        assert!(b4.ops_per_event_ceil() < b1.ops());
+        // Bigger batches stage bigger arming records and commits.
+        assert!(b4.arming_commit_bytes > b1.arming_commit_bytes);
+        assert!(b4.worst_commit_bytes >= b1.worst_commit_bytes);
+        assert!(b4.worst_commit_bytes >= b4.arming_commit_bytes);
     }
 
     #[test]

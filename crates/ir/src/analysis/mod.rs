@@ -36,7 +36,7 @@ pub mod conflicts;
 pub mod reachability;
 pub mod verifier;
 
-pub use bounds::{check_bounds, suite_bounds, EventCost, SuiteBounds};
+pub use bounds::{batch_bounds, check_bounds, suite_bounds, BatchBounds, EventCost, SuiteBounds};
 pub use conflicts::check_conflicts;
 pub use reachability::check_reachability;
 pub use verifier::{verify_machine, MachineEnv};

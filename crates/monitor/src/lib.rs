@@ -74,6 +74,35 @@
 //! headers would outweigh the savings); [`DeltaMode::Disabled`] pins
 //! the legacy whole-block behaviour for benchmarking and differential
 //! tests.
+//!
+//! # Batch delivery (group commit)
+//!
+//! Events arrive in bursts at task boundaries — an `EndTask`, the next
+//! `StartTask`, `collect` samples — yet the per-event path pays a full
+//! arming transaction and one commit per machine *per event*.
+//! [`BatchMode::Enabled`] adds a group-commit path
+//! ([`MonitorEngine::deliver_batch`]): a burst of up to `max_events`
+//! events under consecutive sequence numbers is armed in ONE sparse
+//! transaction (the encoded event array, the batch sequence number, the
+//! **merged** interested worklist, and a single per-machine completion
+//! bitmap), then each armed machine steps through *all* its events of
+//! the batch in volatile scratch and commits **once**: repeated writes
+//! to the same variable slot coalesce to the last value over the
+//! merged static [`AccessSet`](artemis_ir::AccessSet) of the events it
+//! dispatched, with one verdict cell per emitting event folded into
+//! the same record as its done-bit.
+//!
+//! Crash correctness is the same argument as the per-event path, one
+//! level up: the arming commit fixes the events and the merged
+//! worklist; a machine's bit flips only in the transaction that
+//! persists the *net* effect of all its steps, so a reboot anywhere
+//! resumes from the first incomplete machine and observes either none
+//! or all of a machine's batch effects — indistinguishable from an
+//! event-at-a-time execution that crashed between machines.
+//! Redelivering a committed batch (same first sequence number) returns
+//! the recorded verdicts without re-stepping. Differential proptests
+//! pin batched ≡ event-at-a-time ≡ interpreter on verdicts and FRAM
+//! state, including reboots injected inside the batch window.
 
 pub mod remote;
 pub mod state;
@@ -118,6 +147,40 @@ pub trait Monitoring {
         seq: u64,
         event: &MonitorEvent,
     ) -> Result<Vec<MonitorVerdict>, Interrupt>;
+
+    /// Delivers a burst of events under consecutive sequence numbers
+    /// (`first_seq`, `first_seq + 1`, …) and returns one verdict list
+    /// per event, in delivery order. Redelivering a processed batch
+    /// (same `first_seq` and events) must not double-step.
+    ///
+    /// The default forwards to [`Monitoring::call_monitor`] event by
+    /// event; deployments with a group-commit path override it.
+    fn deliver_batch(
+        &self,
+        dev: &mut Device,
+        first_seq: u64,
+        events: &[MonitorEvent],
+    ) -> Result<Vec<Vec<MonitorVerdict>>, Interrupt> {
+        let mut out = Vec::with_capacity(events.len());
+        for (i, event) in events.iter().enumerate() {
+            out.push(self.call_monitor(dev, first_seq + i as u64, event)?);
+        }
+        Ok(out)
+    }
+
+    /// Largest burst [`Monitoring::deliver_batch`] can commit as one
+    /// group (1 = no group-commit path; the default loop applies).
+    fn batch_capacity(&self) -> usize {
+        1
+    }
+
+    /// `true` when delivering `EndTask(task)` provably produces no
+    /// verdicts — the static gate the runtime uses before folding an
+    /// end event into a batch whose later events it must not depend
+    /// on. Conservative deployments return `false`.
+    fn end_event_is_silent(&self, _task: TaskId) -> bool {
+        false
+    }
 
     /// Verdicts of the most recently processed event.
     fn last_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt>;
@@ -196,6 +259,29 @@ pub enum DeltaMode {
     Disabled,
 }
 
+/// Most events one batch can carry: the per-machine event mask is a
+/// half-word and the encoded-event array must stay journal-sized.
+/// [`BatchMode::Enabled`] requests above this clamp to it.
+pub const MAX_BATCH_EVENTS: usize = 16;
+
+/// Whether the engine allocates the group-commit batch path
+/// ([`MonitorEngine::deliver_batch`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BatchMode {
+    /// No batch state; `deliver_batch` falls back to the per-event
+    /// path — the default.
+    #[default]
+    Disabled,
+    /// Arm up to `max_events` events in one transaction and commit each
+    /// machine once per batch (clamped to [`MAX_BATCH_EVENTS`]).
+    /// Requires the routed compiled path; other configurations fall
+    /// back to per-event delivery.
+    Enabled {
+        /// Batch capacity in events.
+        max_events: usize,
+    },
+}
+
 /// Everything [`MonitorEngine::install_with`] can be told.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct InstallOptions {
@@ -207,6 +293,9 @@ pub struct InstallOptions {
     /// default; ignored by the interpreter and full-scan paths, which
     /// always use whole-block/per-cell commits).
     pub delta: DeltaMode,
+    /// Group-commit batch delivery (off by default; only takes effect
+    /// on the routed compiled path).
+    pub batch: BatchMode,
     /// Journal capacity override in payload bytes. `None` derives the
     /// capacity from the static resource bounds: the worst-case single
     /// commit any event or reset can stage, across both commit formats
@@ -367,6 +456,21 @@ struct RoutedState {
     done_cell: NvCell<u64>,
 }
 
+/// Persistent state of the group-commit batch path, all fixed by one
+/// arming transaction: the encoded event array (`u16` count +
+/// `max_events` × [`EncodedEvent`]), the batch's first sequence
+/// number, the **merged** interested worklist, and the per-machine
+/// completion bitmap. Separate from [`RoutedState`] so batch and
+/// per-event deliveries can interleave without clobbering each other's
+/// pending-work detection.
+struct BatchState {
+    max_events: usize,
+    seq_cell: NvCell<u64>,
+    events_addr: usize,
+    worklist_addr: usize,
+    done_cell: NvCell<u64>,
+}
+
 /// Bitmap with the low `count` bits set: "every worklist entry done".
 fn worklist_mask(count: usize) -> u64 {
     debug_assert!(count <= MAX_ROUTED_MACHINES);
@@ -405,6 +509,9 @@ pub struct MonitorEngine {
     verdict_cells: Vec<NvCell<(u32, (u8, u32))>>,
     /// `Some` iff the engine runs [`RoutingMode::Routed`].
     routed: Option<RoutedState>,
+    /// `Some` iff [`BatchMode::Enabled`] took effect (routed compiled
+    /// path only).
+    batch: Option<BatchState>,
     /// `true` iff the routed compiled path commits sparse delta
     /// records ([`DeltaMode::Auto`] and the suite actually routes).
     delta_enabled: bool,
@@ -522,18 +629,44 @@ impl MonitorEngine {
             mode,
             routing,
             delta,
+            batch,
             journal_capacity,
         } = opts;
+
+        // The batch path only exists on the routed compiled path (its
+        // completion bitmap and merged worklists reuse the routing
+        // machinery); any other configuration silently falls back to
+        // per-event delivery.
+        let batch_events = match batch {
+            BatchMode::Enabled { max_events }
+                if mode == ExecMode::Compiled
+                    && routing == RoutingMode::Routed
+                    && suite.len() <= MAX_ROUTED_MACHINES =>
+            {
+                Some(max_events.clamp(1, MAX_BATCH_EVENTS))
+            }
+            _ => None,
+        };
 
         // Default journal capacity = the static worst-case transaction
         // bound: the largest of the whole-suite reset commit and any
         // event key's worst commit, across both record formats (so a
         // `DeltaMode` toggle can never overflow a derived capacity).
-        // The interpreter's per-cell layout stages one entry per
-        // variable, so its reset commit is costed separately.
+        // With batching enabled the per-batch bound joins the max (the
+        // batch arming record carries the whole event array). The
+        // interpreter's per-cell layout stages one entry per variable,
+        // so its reset commit is costed separately.
         let bounds = artemis_ir::suite_bounds(&compiled);
+        let bbounds = batch_events.map(|n| artemis_ir::batch_bounds(&compiled, n));
+        // The batch cells ride along in the whole-suite reset commit,
+        // so a batch-enabled engine's reset can outgrow both per-event
+        // figures — it joins the max too.
+        let batch_floor = bbounds.as_ref().map_or(0, |b| {
+            b.worst_commit_bytes
+                .max(bounds.reset_commit_bytes + b.reset_extra_bytes)
+        });
         let capacity = journal_capacity.unwrap_or_else(|| {
-            let derived = bounds.worst_commit_bytes;
+            let derived = bounds.worst_commit_bytes.max(batch_floor);
             match mode {
                 ExecMode::Compiled => derived,
                 ExecMode::Interpreter => derived.max(
@@ -547,6 +680,19 @@ impl MonitorEngine {
                 ),
             }
         });
+        // The analysis gate below checks per-event commits against the
+        // capacity; the batch path's larger transactions get the same
+        // install-time rejection here.
+        if bbounds.is_some() && batch_floor > capacity {
+            return Err(InstallError::Analysis(artemis_spec::Diagnostic::error(
+                "bounds",
+                "batch",
+                format!(
+                    "worst-case batch commit of {batch_floor} journal bytes \
+                     exceeds the capacity of {capacity}"
+                ),
+            )));
+        }
 
         // Static analysis gate — before anything touches FRAM. The
         // first (most severe) error rejects the install; warnings
@@ -596,8 +742,45 @@ impl MonitorEngine {
                 None
             };
 
-            let mut verdict_cells = Vec::with_capacity(suite.len());
-            for i in 0..suite.len() {
+            // Batch delivery: the encoded event array, the batch
+            // sequence number, the merged worklist, and the
+            // per-machine completion bitmap — all zeroed ("no batch
+            // pending").
+            let batch_state = match batch_events {
+                Some(max_events) => {
+                    let seq_cell = dev
+                        .nv_alloc(0u64, owner, "monitor.batch.seq")
+                        .map_err(dev_err)?;
+                    let events_addr = dev
+                        .nv_alloc_raw(
+                            2 + EncodedEvent::SIZE * max_events,
+                            owner,
+                            "monitor.batch.events",
+                        )
+                        .map_err(dev_err)?;
+                    let worklist_addr = dev
+                        .nv_alloc_raw(u16_list_bytes(suite.len()), owner, "monitor.batch.worklist")
+                        .map_err(dev_err)?;
+                    let done_cell = dev
+                        .nv_alloc(0u64, owner, "monitor.batch.done")
+                        .map_err(dev_err)?;
+                    Some(BatchState {
+                        max_events,
+                        seq_cell,
+                        events_addr,
+                        worklist_addr,
+                        done_cell,
+                    })
+                }
+                None => None,
+            };
+
+            // One verdict cell per machine per event the largest
+            // delivery can carry (a batched machine can emit once per
+            // event it dispatches).
+            let verdict_slots = suite.len() * batch_events.unwrap_or(1).max(1);
+            let mut verdict_cells = Vec::with_capacity(verdict_slots);
+            for i in 0..verdict_slots {
                 verdict_cells.push(
                     dev.nv_alloc(
                         (0u32, (0u8, 0u32)),
@@ -720,6 +903,7 @@ impl MonitorEngine {
                 verdict_count,
                 verdict_cells,
                 routed,
+                batch: batch_state,
                 delta_enabled,
                 scratch,
             })
@@ -795,6 +979,12 @@ impl MonitorEngine {
                 tx.write_u16_list(rs.worklist_addr, &[]);
                 tx.write(&rs.done_cell, 0u64);
             }
+            if let Some(bs) = &self.batch {
+                tx.write(&bs.seq_cell, 0u64);
+                tx.write_raw(bs.events_addr, vec![0u8; 2]);
+                tx.write_u16_list(bs.worklist_addr, &[]);
+                tx.write(&bs.done_cell, 0u64);
+            }
             dev.commit(&self.journal, &tx)
         })
     }
@@ -806,6 +996,19 @@ impl MonitorEngine {
         dev.billed(CostCategory::Monitor, |dev| {
             // Repair a torn journal commit first.
             dev.recover(&self.journal)?;
+            // A batch interrupted mid-window resumes from the first
+            // incomplete machine (the events and merged worklist were
+            // fixed by the batch arming commit).
+            if let Some(bs) = &self.batch {
+                let count = self.read_batch_worklist_count(dev, bs)?;
+                if count > 0 {
+                    let done = dev.nv_read(&bs.done_cell)?;
+                    if done & worklist_mask(count) != worklist_mask(count) {
+                        self.run_batch(dev, bs)?;
+                        return Ok(true);
+                    }
+                }
+            }
             match &self.routed {
                 Some(rs) => {
                     // Pending iff an armed worklist has unfinished bits.
@@ -892,6 +1095,338 @@ impl MonitorEngine {
             self.run_steps(dev)?;
             self.read_verdicts(dev)
         })
+    }
+
+    /// Delivers a burst of events under consecutive sequence numbers
+    /// (`first_seq`, `first_seq + 1`, …) through the group-commit path
+    /// and returns one verdict list per event, in delivery order.
+    ///
+    /// One sparse transaction arms the whole batch (event array, batch
+    /// sequence, merged worklist, cleared bitmap); each interested
+    /// machine then steps through all its events in volatile scratch
+    /// and commits its coalesced net effect once. Redelivering a
+    /// processed batch (same `first_seq` and events) only finishes
+    /// pending machines and returns the recorded verdicts. Bursts
+    /// longer than the installed capacity split into maximal groups;
+    /// engines without batch state fall back to per-event delivery.
+    pub fn deliver_batch(
+        &self,
+        dev: &mut Device,
+        first_seq: u64,
+        events: &[MonitorEvent],
+    ) -> Result<Vec<Vec<MonitorVerdict>>, Interrupt> {
+        let Some(bs) = &self.batch else {
+            let mut out = Vec::with_capacity(events.len());
+            for (i, event) in events.iter().enumerate() {
+                out.push(self.call_monitor(dev, first_seq + i as u64, event)?);
+            }
+            return Ok(out);
+        };
+        if events.is_empty() {
+            return Ok(Vec::new());
+        }
+        if events.len() > bs.max_events {
+            let mut out = Vec::with_capacity(events.len());
+            for (ci, chunk) in events.chunks(bs.max_events).enumerate() {
+                let seq = first_seq + (ci * bs.max_events) as u64;
+                out.extend(self.deliver_batch(dev, seq, chunk)?);
+            }
+            return Ok(out);
+        }
+        assert!(first_seq >= 1, "sequence numbers start at 1");
+
+        dev.billed(CostCategory::Monitor, |dev| {
+            dev.recover(&self.journal)?;
+            let last = dev.nv_read(&bs.seq_cell)?;
+            if last != first_seq {
+                // Arm the whole batch atomically: the encoded event
+                // array, the batch sequence, the verdict reset, the
+                // MERGED interested worklist, and the cleared
+                // per-machine bitmap — one staged record, five
+                // sub-writes, no matter how many events the burst
+                // carries.
+                dev.compute(ROUTING_LOOKUP_CYCLES * events.len() as u64)?;
+                let mut region = vec![0u8; 2 + EncodedEvent::SIZE * events.len()];
+                region[0..2].copy_from_slice(&(events.len() as u16).to_le_bytes());
+                let mut merged: Vec<u16> = Vec::new();
+                for (i, event) in events.iter().enumerate() {
+                    let encoded =
+                        EncodedEvent::from_event(event, dev.energy_level().as_nano_joules());
+                    let off = 2 + EncodedEvent::SIZE * i;
+                    encoded.store(&mut region[off..off + EncodedEvent::SIZE]);
+                    self.compute_worklist(&encoded);
+                    merged.extend_from_slice(&self.scratch.borrow().worklist);
+                }
+                merged.sort_unstable();
+                merged.dedup();
+
+                let mut stx = SparseTx::new();
+                stx.push_raw(bs.events_addr, region);
+                stx.push(&bs.seq_cell, first_seq);
+                stx.push(&self.verdict_count, 0u32);
+                stx.push_raw(bs.worklist_addr, encode_u16_list(&merged));
+                stx.push(&bs.done_cell, 0u64);
+                dev.commit_sparse(&self.journal, &stx)?;
+            }
+            self.run_batch(dev, bs)?;
+            self.read_batch_verdicts(dev, events.len())
+        })
+    }
+
+    /// The armed batch worklist's entry count (0 = no batch pending).
+    fn read_batch_worklist_count(
+        &self,
+        dev: &mut Device,
+        bs: &BatchState,
+    ) -> Result<usize, Interrupt> {
+        let b = dev.nv_read_raw(bs.worklist_addr, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]) as usize)
+    }
+
+    /// Steps the pending machines of the armed batch. Everything the
+    /// loop depends on — the event array, the merged worklist, the
+    /// per-machine interest masks (a deterministic function of the
+    /// stored events) — was fixed by the arming commit, so a resume
+    /// after any power failure processes exactly the armed batch;
+    /// completed machines are skipped via the bitmap.
+    fn run_batch(&self, dev: &mut Device, bs: &BatchState) -> Result<(), Interrupt> {
+        let count = self.read_batch_worklist_count(dev, bs)?;
+        if count == 0 {
+            return Ok(());
+        }
+        let full = worklist_mask(count);
+        let mut done = dev.nv_read(&bs.done_cell)?;
+        if done & full == full {
+            return Ok(());
+        }
+
+        let mut wl = [0u16; MAX_ROUTED_MACHINES];
+        {
+            let bytes = dev.nv_read_raw(bs.worklist_addr + 2, count * 2)?;
+            for (slot, ch) in wl.iter_mut().zip(bytes.chunks_exact(2)) {
+                *slot = u16::from_le_bytes([ch[0], ch[1]]);
+            }
+        }
+        let n = {
+            let b = dev.nv_read_raw(bs.events_addr, 2)?;
+            u16::from_le_bytes([b[0], b[1]]) as usize
+        };
+        let mut events = Vec::with_capacity(n);
+        {
+            let bytes = dev.nv_read_raw(bs.events_addr + 2, n * EncodedEvent::SIZE)?;
+            for ch in bytes.chunks_exact(EncodedEvent::SIZE) {
+                events.push(EncodedEvent::load(ch));
+            }
+        }
+
+        dev.compute(ROUTING_LOOKUP_CYCLES * n as u64)?;
+        let mut masks = [0u32; MAX_ROUTED_MACHINES];
+        for (e, encoded) in events.iter().enumerate() {
+            self.compute_worklist(encoded);
+            for &mi in &*self.scratch.borrow().worklist {
+                if let Some(j) = wl[..count].iter().position(|&w| w == mi) {
+                    masks[j] |= 1 << e;
+                }
+            }
+        }
+
+        for j in 0..count {
+            let bit = 1u64 << j;
+            if done & bit != 0 {
+                continue;
+            }
+            self.step_batch_machine(dev, u32::from(wl[j]), &events, masks[j], done | bit, bs)?;
+            done |= bit;
+        }
+        Ok(())
+    }
+
+    /// Steps one machine through every batch event it dispatches, in
+    /// delivery order, and commits the **coalesced** net effect once:
+    /// repeated writes to a slot collapse to the last value in scratch,
+    /// and the sparse record carries the state word, the merged static
+    /// write set (or the whole block image for degraded machines), one
+    /// verdict per emitting event, and the machine's done-bit.
+    fn step_batch_machine(
+        &self,
+        dev: &mut Device,
+        i: u32,
+        events: &[EncodedEvent],
+        mask: u32,
+        done: u64,
+        bs: &BatchState,
+    ) -> Result<(), Interrupt> {
+        let lm = &self.machines[i as usize];
+        let MachineStore::Block { addr, len } = lm.store else {
+            unreachable!("batch mode allocates block storage");
+        };
+        let cm = &self.compiled.machines()[i as usize];
+        let kind_of = |encoded: &EncodedEvent| {
+            if encoded.kind == 0 {
+                EventKind::StartTask
+            } else {
+                EventKind::EndTask
+            }
+        };
+
+        // Merge the static footprints of the events this machine will
+        // actually dispatch; bill each dispatch-table test.
+        let mut access = AccessSet::default();
+        let mut step_mask = 0u32;
+        let mut cycles = 0u64;
+        for (e, encoded) in events.iter().enumerate() {
+            if mask & (1 << e) == 0 {
+                continue;
+            }
+            let kind = kind_of(encoded);
+            let dispatched = cm.dispatch_len(kind, encoded.task);
+            cycles += COMPILED_DISPATCH_CYCLES;
+            if dispatched > 0 {
+                cycles += STEP_PER_TRANSITION_CYCLES * dispatched as u64;
+                access.union_with(cm.access(kind, encoded.task));
+                step_mask |= 1 << e;
+            }
+        }
+        dev.compute(cycles)?;
+        if step_mask == 0 {
+            // Every event dismissed: plain idempotent done-bit write.
+            return dev.nv_write(&bs.done_cell, done);
+        }
+
+        // Degraded machines (and delta-disabled engines) load and
+        // commit the full block image; sparse ones the covering span.
+        let whole = access.whole_block || !self.delta_enabled;
+        let span = if whole {
+            len
+        } else {
+            4 + NvValue::SIZE * access.max_touched_slot().map_or(0, |s| s as usize + 1)
+        };
+
+        let scratch = &mut *self.scratch.borrow_mut();
+        {
+            let bytes = dev.nv_read_raw(addr, span)?;
+            scratch.block.clear();
+            scratch.block.extend_from_slice(bytes);
+        }
+        let before_state = decode_block(&scratch.block, &mut scratch.vars);
+        scratch.vars.resize(cm.var_count(), Value::Int(0));
+        let mut state = before_state;
+
+        let mut emits: Vec<(usize, OnFail, Option<u32>)> = Vec::new();
+        for (e, encoded) in events.iter().enumerate() {
+            if step_mask & (1 << e) == 0 {
+                continue;
+            }
+            let event = CompiledEvent {
+                kind: kind_of(encoded),
+                task: encoded.task,
+                ctx: EventCtx {
+                    time_us: encoded.timestamp_us,
+                    dep_data: encoded.dep_data(),
+                    energy_nj: encoded.energy_nj,
+                },
+            };
+            let emit = cm
+                .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
+                .unwrap_or(None);
+            if let Some(fail) = emit {
+                emits.push((e, fail.action, fail.path.or(lm.machine.path)));
+            }
+        }
+
+        // Change detection over the merged written footprint.
+        let mut buf = [0u8; NvValue::SIZE];
+        let changed = if whole {
+            encode_block(state, &scratch.vars, &mut scratch.block_new);
+            scratch.block_new != scratch.block
+        } else {
+            let mut c = state != before_state;
+            if !c {
+                for &slot in &access.writes {
+                    let off = 4 + NvValue::SIZE * slot as usize;
+                    NvValue(scratch.vars[slot as usize]).store(&mut buf);
+                    if scratch.block[off..off + NvValue::SIZE] != buf {
+                        c = true;
+                        break;
+                    }
+                }
+            }
+            c
+        };
+        if emits.is_empty() && !changed {
+            return dev.nv_write(&bs.done_cell, done);
+        }
+
+        let mut stx = SparseTx::new();
+        if whole {
+            stx.push_raw(addr, scratch.block_new.clone());
+        } else {
+            stx.push_raw(addr, state.to_le_bytes().to_vec());
+            for &slot in &access.writes {
+                NvValue(scratch.vars[slot as usize]).store(&mut buf);
+                stx.push_raw(addr + 4 + NvValue::SIZE * slot as usize, buf.to_vec());
+            }
+        }
+        if !emits.is_empty() {
+            let count = dev.nv_read(&self.verdict_count)?;
+            for (k, (e, action, path)) in emits.iter().enumerate() {
+                stx.push(
+                    &self.verdict_cells[count as usize + k],
+                    (i | ((*e as u32) << 16), encode_action(*action, *path)),
+                );
+            }
+            stx.push(&self.verdict_count, count + emits.len() as u32);
+        }
+        stx.push(&bs.done_cell, done);
+        dev.commit_sparse(&self.journal, &stx)
+    }
+
+    /// Regroups the verdict log of the armed batch by event position.
+    /// Machines run in ascending suite order and push their events in
+    /// delivery order, so each per-event list comes back in the same
+    /// machine order the per-event path produces.
+    fn read_batch_verdicts(
+        &self,
+        dev: &mut Device,
+        n_events: usize,
+    ) -> Result<Vec<Vec<MonitorVerdict>>, Interrupt> {
+        let mut out = vec![Vec::new(); n_events];
+        let count = dev.nv_read(&self.verdict_count)?;
+        for slot in 0..count {
+            let (packed, encoded) = dev.nv_read(&self.verdict_cells[slot as usize])?;
+            let e = (packed >> 16) as usize;
+            let mi = (packed & 0xFFFF) as usize;
+            if let (Some(list), Some(action)) = (out.get_mut(e), decode_action(encoded)) {
+                list.push(MonitorVerdict {
+                    machine_index: mi,
+                    machine: self.machines[mi].machine.name.clone(),
+                    action,
+                });
+            }
+        }
+        for list in &mut out {
+            list.sort_by_key(|v| v.machine_index);
+        }
+        Ok(out)
+    }
+
+    /// Largest burst the group-commit path can arm at once (1 when
+    /// batching is disabled or fell back at install time).
+    pub fn batch_capacity(&self) -> usize {
+        self.batch.as_ref().map_or(1, |b| b.max_events)
+    }
+
+    /// Static gate for runtime bursts: `true` iff no machine interested
+    /// in `EndTask(task)` has an emitting transition in that dispatch
+    /// list — delivering the event can then never produce a verdict, so
+    /// the runtime may fold it into a batch whose later events must not
+    /// depend on its (necessarily empty) verdicts.
+    pub fn end_event_is_silent(&self, task: TaskId) -> bool {
+        self.compiled
+            .routing()
+            .interested(EventKind::EndTask, task.0)
+            .iter()
+            .all(|&mi| !self.compiled.machines()[mi as usize].may_emit(EventKind::EndTask, task.0))
     }
 
     /// Reads back the verdicts of the most recently processed event.
@@ -1358,11 +1893,14 @@ impl MonitorEngine {
         let scratch = &mut *self.scratch.borrow_mut();
         scratch.verdicts.clear();
         for slot in 0..count {
-            let (machine_index, encoded) = dev.nv_read(&self.verdict_cells[slot as usize])?;
+            let (packed, encoded) = dev.nv_read(&self.verdict_cells[slot as usize])?;
+            // Batch deliveries pack the event position into the high
+            // half-word; the machine index is the low half either way.
+            let machine_index = (packed & 0xFFFF) as usize;
             if let Some(action) = decode_action(encoded) {
                 scratch.verdicts.push(MonitorVerdict {
-                    machine_index: machine_index as usize,
-                    machine: self.machines[machine_index as usize].machine.name.clone(),
+                    machine_index,
+                    machine: self.machines[machine_index].machine.name.clone(),
                     action,
                 });
             }
@@ -1398,6 +1936,23 @@ impl Monitoring for MonitorEngine {
         event: &MonitorEvent,
     ) -> Result<Vec<MonitorVerdict>, Interrupt> {
         MonitorEngine::call_monitor(self, dev, seq, event)
+    }
+
+    fn deliver_batch(
+        &self,
+        dev: &mut Device,
+        first_seq: u64,
+        events: &[MonitorEvent],
+    ) -> Result<Vec<Vec<MonitorVerdict>>, Interrupt> {
+        MonitorEngine::deliver_batch(self, dev, first_seq, events)
+    }
+
+    fn batch_capacity(&self) -> usize {
+        MonitorEngine::batch_capacity(self)
+    }
+
+    fn end_event_is_silent(&self, task: TaskId) -> bool {
+        MonitorEngine::end_event_is_silent(self, task)
     }
 
     fn last_verdicts(&self, dev: &mut Device) -> Result<Vec<MonitorVerdict>, Interrupt> {

@@ -11,7 +11,7 @@ use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
 use artemis_ir::expr::Value;
 use artemis_monitor::{
-    DeltaMode, ExecMode, InstallOptions, MonitorEngine, MonitorVerdict, RoutingMode,
+    BatchMode, DeltaMode, ExecMode, InstallOptions, MonitorEngine, MonitorVerdict, RoutingMode,
 };
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
@@ -232,6 +232,40 @@ fn rich_ev_strategy() -> impl Strategy<Value = Vec<(Ev, Option<u32>)>> {
     )
 }
 
+/// Events shaped like the runtime's task-boundary bursts: whole runs
+/// of correlated `EndTask` → next `StartTask` pairs (tiny in-burst
+/// gaps), separated by larger inter-burst gaps — the traffic the
+/// group-commit batch path is built for.
+fn burst_ev_strategy() -> impl Strategy<Value = Vec<(Ev, Option<u32>)>> {
+    let pair = (
+        any::<bool>(),                 // ending task
+        any::<bool>(),                 // starting task
+        0u64..20_000,                  // gap before the burst
+        proptest::option::of(25u32..45), // dpData sample on a's end
+    )
+        .prop_map(|(end_a, start_a, gap_ms, dep)| {
+            vec![
+                (
+                    Ev {
+                        start: false,
+                        task_a: end_a,
+                        gap_ms,
+                    },
+                    dep,
+                ),
+                (
+                    Ev {
+                        start: true,
+                        task_a: start_a,
+                        gap_ms: 0,
+                    },
+                    None,
+                ),
+            ]
+        });
+    proptest::collection::runs(pair, 1..14)
+}
+
 fn rich_event(e: &Ev, dep: Option<u32>, t: u64) -> MonitorEvent {
     let task = if e.task_a { TaskId(0) } else { TaskId(1) };
     let at = SimInstant::from_micros(t);
@@ -313,6 +347,61 @@ fn engine_run_opts(
             }
             results[idx] = verdicts;
             dev.nv_write(&done, (idx + 1) as u32)?;
+        }
+    });
+    assert!(outcome.is_completed(), "stream never finished");
+    let snapshot = engine.snapshot(dev);
+    (results, snapshot)
+}
+
+/// Like [`engine_run_opts`], but delivers the stream through the
+/// group-commit batch path in chunks of `chunk` events. The persistent
+/// cursor advances a whole chunk at a time, so a power failure inside
+/// a batch redelivers the same chunk — exercising arming replay,
+/// mid-batch resume via the done bitmap, and verdict readback.
+fn engine_run_batch(
+    app: &AppGraph,
+    spec: &str,
+    events: &[(Ev, Option<u32>)],
+    dev: &mut Device,
+    chunk: usize,
+) -> RunOutcome {
+    let suite = artemis_ir::compile(spec, app).unwrap();
+    let engine = MonitorEngine::install_with(
+        dev,
+        suite,
+        app,
+        InstallOptions {
+            batch: BatchMode::Enabled { max_events: chunk },
+            ..InstallOptions::default()
+        },
+    )
+    .unwrap();
+    let done = dev
+        .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
+        .unwrap();
+    let sim = Simulator::new(RunLimit::reboots(100_000));
+
+    let mut results: Vec<Vec<MonitorVerdict>> = Vec::new();
+    let outcome = sim.run(dev, &mut |dev: &mut Device| {
+        engine.monitor_finalize(dev)?;
+        loop {
+            let idx = dev.nv_read(&done)? as usize;
+            if idx >= events.len() {
+                return Ok(());
+            }
+            let n = chunk.min(events.len() - idx);
+            let mut batch = Vec::with_capacity(n);
+            for (j, (e, dep)) in events[idx..idx + n].iter().enumerate() {
+                let t: u64 = events[..=idx + j].iter().map(|(e, _)| e.gap_ms * 1_000).sum();
+                batch.push(rich_event(e, *dep, t));
+            }
+            let verdicts = engine.deliver_batch(dev, idx as u64 + 1, &batch)?;
+            if results.len() < idx + n {
+                results.resize(idx + n, Vec::new());
+            }
+            results[idx..idx + n].clone_from_slice(&verdicts);
+            dev.nv_write(&done, (idx + n) as u32)?;
         }
     });
     assert!(outcome.is_completed(), "stream never finished");
@@ -455,6 +544,53 @@ proptest! {
             InstallOptions { delta: DeltaMode::Disabled, ..InstallOptions::default() });
         prop_assert_eq!(vd, vw, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
         prop_assert_eq!(sd, sw, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
+    }
+
+    /// Group-commit batch delivery vs the per-event delta path vs the
+    /// tree-walking interpreter, on burst-shaped streams: all three
+    /// must agree on every verdict and on the final FRAM-visible
+    /// machine state, for every batch size.
+    #[test]
+    fn batched_equals_per_event_and_interpreter_on_burst_streams(
+        spec in spec_strategy(),
+        events in burst_ev_strategy(),
+        chunk in 1usize..5,
+    ) {
+        let app = rich_app();
+        let mut dev_b = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_e = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vb, sb) = engine_run_batch(&app, &spec, &events, &mut dev_b, chunk);
+        let (ve, se) = engine_run_mode(&app, &spec, &events, &mut dev_e, ExecMode::Compiled);
+        let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
+        prop_assert_eq!(&vb, &ve, "batch(chunk {}) vs per-event verdicts, spec: {}", chunk, spec);
+        prop_assert_eq!(&sb, &se, "batch(chunk {}) vs per-event state, spec: {}", chunk, spec);
+        prop_assert_eq!(&vb, &vi, "batch(chunk {}) vs interpreter verdicts, spec: {}", chunk, spec);
+        prop_assert_eq!(&sb, &si, "batch(chunk {}) vs interpreter state, spec: {}", chunk, spec);
+    }
+
+    /// Batch delivery on an intermittent device vs the per-event path
+    /// on continuous power: reboots land inside the batch window —
+    /// after arming, between per-machine commits, during readback —
+    /// and must never change a verdict or a variable.
+    #[test]
+    fn batched_equals_per_event_under_random_power_failures(
+        spec in spec_strategy(),
+        events in burst_ev_strategy(),
+        chunk in 2usize..5,
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_b = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_e = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vb, sb) = engine_run_batch(&app, &spec, &events, &mut dev_b, chunk);
+        let (ve, se) = engine_run_mode(&app, &spec, &events, &mut dev_e, ExecMode::Compiled);
+        prop_assert_eq!(vb, ve, "verdicts, chunk {}, budget {} nJ, spec: {}", chunk, budget_nj, spec);
+        prop_assert_eq!(sb, se, "state, chunk {}, budget {} nJ, spec: {}", chunk, budget_nj, spec);
     }
 
     /// Routed dispatch on an intermittent device vs full scan on
@@ -688,6 +824,114 @@ fn sparse_delta_commit_crash_windows_never_tear() {
         total_reboots > 100,
         "sweep too gentle to hit the sparse commit windows ({total_reboots} reboots)"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Batch crash windows (deterministic).
+//
+// The group-commit path adds crash windows of its own: after the batch
+// arming commit but before any machine steps, between two per-machine
+// batch commits (some done bits set), and during verdict readback. The
+// same fine-grained budget sweep as the arming tests lands brown-outs
+// in each of them; the chunked cursor in `engine_run_batch` then
+// redelivers the interrupted batch, exercising the bitmap resume.
+// ---------------------------------------------------------------------------
+
+/// Budget sweep over the whole batch protocol on the multi-machine
+/// crash stream: verdicts and FRAM state must match the full-scan
+/// per-event reference at every budget. The floor sits just above the
+/// batch engine's install cost (the batch regions make installation a
+/// little dearer than the per-event engine's 700 nJ).
+#[test]
+fn batch_crash_windows_preserve_verdicts_and_state() {
+    let app = rich_app();
+    let events = crash_events();
+    let mut dev_f = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    let (vf, sf) = engine_run_routing(
+        &app,
+        CRASH_SPEC,
+        &events,
+        &mut dev_f,
+        ExecMode::Compiled,
+        RoutingMode::FullScan,
+    );
+
+    let mut total_reboots = 0u64;
+    for budget_nj in (900..3_200).step_by(25) {
+        let mut dev_b = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let (vb, sb) = engine_run_batch(&app, CRASH_SPEC, &events, &mut dev_b, 4);
+        assert_eq!(vb, vf, "verdict divergence at budget {budget_nj} nJ");
+        assert_eq!(sb, sf, "state divergence at budget {budget_nj} nJ");
+        total_reboots += dev_b.reboots();
+    }
+    assert!(
+        total_reboots > 100,
+        "sweep too gentle to hit the batch crash windows ({total_reboots} reboots)"
+    );
+}
+
+/// A fully committed batch redelivered after multiple reboots must be
+/// a pure no-op: same verdicts back, not one byte of FRAM-visible
+/// machine state changed, no machine re-stepped.
+#[test]
+fn redelivered_completed_batch_is_a_noop() {
+    let app = rich_app();
+    let events = crash_events();
+    let suite = artemis_ir::compile(CRASH_SPEC, &app).unwrap();
+    let mut dev = DeviceBuilder::msp430fr5994().build();
+    let engine = MonitorEngine::install_with(
+        &mut dev,
+        suite,
+        &app,
+        InstallOptions {
+            batch: BatchMode::Enabled { max_events: 4 },
+            ..InstallOptions::default()
+        },
+    )
+    .unwrap();
+    engine.reset_monitor(&mut dev).unwrap();
+
+    // Deliver the stream in batches of 4, keeping the last batch.
+    let timed: Vec<MonitorEvent> = {
+        let mut t = 0u64;
+        events
+            .iter()
+            .map(|(e, dep)| {
+                t += e.gap_ms * 1_000;
+                rich_event(e, *dep, t)
+            })
+            .collect()
+    };
+    let mut seq = 1u64;
+    let mut verdicts = Vec::new();
+    let mut idx = 0usize;
+    while idx < timed.len() {
+        let n = 4.min(timed.len() - idx);
+        seq = idx as u64 + 1;
+        verdicts = engine
+            .deliver_batch(&mut dev, seq, &timed[idx..idx + n])
+            .unwrap();
+        idx += n;
+    }
+    let batch = &timed[(seq - 1) as usize..];
+    let snap = engine.snapshot(&dev);
+
+    // Replay the committed batch across several reboots: the sequence
+    // check must short-circuit everything but the verdict readback.
+    for round in 0..3 {
+        dev.power_cycle();
+        assert!(
+            !engine.monitor_finalize(&mut dev).unwrap(),
+            "nothing may be pending on round {round}"
+        );
+        let again = engine.deliver_batch(&mut dev, seq, batch).unwrap();
+        assert_eq!(again, verdicts, "verdicts changed on round {round}");
+        assert_eq!(engine.snapshot(&dev), snap, "state changed on round {round}");
+    }
 }
 
 /// Redelivering a seq whose armed worklist already ran to completion

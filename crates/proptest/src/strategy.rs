@@ -46,6 +46,18 @@ pub trait Strategy {
             pred,
         }
     }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it — dependent generation (e.g. draw a burst shape, then
+    /// draw a burst of that shape).
+    fn prop_flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        U: Strategy,
+        F: Fn(Self::Value) -> U,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 impl<T> Strategy for Box<dyn Strategy<Value = T>> {
@@ -92,6 +104,57 @@ where
 
     fn generate(&self, rng: &mut StdRng) -> NewValue<U> {
         self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    U: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> NewValue<U::Value> {
+        let v = self.inner.generate(rng)?;
+        (self.f)(v).generate(rng)
+    }
+}
+
+/// See [`crate::collection::runs`].
+#[derive(Clone, Debug)]
+pub struct RunsStrategy<S> {
+    burst: S,
+    count: Range<usize>,
+}
+
+impl<S> RunsStrategy<S> {
+    pub(crate) fn new(burst: S, count: Range<usize>) -> Self {
+        assert!(count.start < count.end, "empty count range");
+        RunsStrategy { burst, count }
+    }
+}
+
+impl<S, T> Strategy for RunsStrategy<S>
+where
+    S: Strategy<Value = Vec<T>>,
+{
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut StdRng) -> NewValue<Vec<T>> {
+        let n = rng.random_range(self.count.clone());
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.extend(self.burst.generate(rng)?);
+        }
+        Ok(out)
     }
 }
 
@@ -352,6 +415,36 @@ mod tests {
             seen[strat.generate(&mut rng).unwrap() as usize] = true;
         }
         assert_eq!(seen, [false, true, true, true]);
+    }
+
+    #[test]
+    fn flat_map_generates_dependently() {
+        let mut rng = StdRng::seed_from_u64(15);
+        // Draw a length, then a vector of exactly that length.
+        let strat = (1usize..6).prop_flat_map(|n| crate::collection::vec(0u32..10, n..n + 1));
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert!((1..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn runs_concatenates_whole_bursts() {
+        let mut rng = StdRng::seed_from_u64(16);
+        // Each burst is a correlated (end, start) pair; the stream must
+        // be a whole number of pairs with the correlation intact.
+        let burst = (0u32..8).prop_map(|t| vec![(false, t), (true, t)]);
+        let strat = crate::collection::runs(burst, 1..7);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng).unwrap();
+            assert_eq!(v.len() % 2, 0);
+            assert!((1..7).contains(&(v.len() / 2)));
+            for pair in v.chunks(2) {
+                assert!(!pair[0].0);
+                assert!(pair[1].0);
+                assert_eq!(pair[0].1, pair[1].1, "burst split across runs");
+            }
+        }
     }
 
     #[test]

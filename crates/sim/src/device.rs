@@ -20,7 +20,7 @@ use crate::energy::Energy;
 use crate::fram::{Fram, NvCell, NvData, Sram};
 pub use crate::fram::MemOwner;
 use crate::harvester::Harvester;
-use crate::journal::{Journal, SparseTx, TxWriter};
+use crate::journal::{Journal, JournalOp, SparseTx, TxWriter};
 use crate::mcu::{Cost, CostModel};
 use crate::peripherals::{Peripheral, PeripheralBank};
 
@@ -377,17 +377,21 @@ impl Device {
         })
     }
 
-    /// Commits a staged write-set crash-atomically, billing FRAM costs.
+    /// Commits a staged write-set crash-atomically, billing each
+    /// journal FRAM access at its direction's price.
     pub fn commit(&mut self, journal: &Journal, tx: &TxWriter) -> Result<(), Interrupt> {
         let power = &mut self.power;
         let costs = &self.costs;
-        journal.commit(&mut self.fram, tx, &mut |bytes| {
-            power.spend(costs.fram_write(bytes))
+        journal.commit(&mut self.fram, tx, &mut |bytes, op| {
+            power.spend(match op {
+                JournalOp::Read => costs.fram_read(bytes),
+                JournalOp::Write => costs.fram_write(bytes),
+            })
         })
     }
 
     /// Commits a sparse write-set crash-atomically as one journal
-    /// record, billing FRAM costs.
+    /// record, billing each FRAM access at its direction's price.
     pub fn commit_sparse(
         &mut self,
         journal: &Journal,
@@ -395,17 +399,24 @@ impl Device {
     ) -> Result<(), Interrupt> {
         let power = &mut self.power;
         let costs = &self.costs;
-        journal.commit_sparse(&mut self.fram, tx, &mut |bytes| {
-            power.spend(costs.fram_write(bytes))
+        journal.commit_sparse(&mut self.fram, tx, &mut |bytes, op| {
+            power.spend(match op {
+                JournalOp::Read => costs.fram_read(bytes),
+                JournalOp::Write => costs.fram_write(bytes),
+            })
         })
     }
 
-    /// Completes an interrupted commit on boot, if any.
+    /// Completes an interrupted commit on boot, if any. Replay reads
+    /// are billed as reads, re-applied writes as writes.
     pub fn recover(&mut self, journal: &Journal) -> Result<bool, Interrupt> {
         let power = &mut self.power;
         let costs = &self.costs;
-        journal.recover(&mut self.fram, &mut |bytes| {
-            power.spend(costs.fram_write(bytes))
+        journal.recover(&mut self.fram, &mut |bytes, op| {
+            power.spend(match op {
+                JournalOp::Read => costs.fram_read(bytes),
+                JournalOp::Write => costs.fram_write(bytes),
+            })
         })
     }
 

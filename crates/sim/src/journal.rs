@@ -36,6 +36,17 @@
 use crate::device::{Fault, Interrupt};
 use crate::fram::{Fram, MemOwner, NvCell, NvData, OutOfFram};
 
+/// Direction of one journal FRAM access, passed to the `spend`
+/// callbacks so the device bills read and write prices — and their
+/// per-access base costs — to the right side of the cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JournalOp {
+    /// The bytes are read from FRAM.
+    Read,
+    /// The bytes are written to FRAM.
+    Write,
+}
+
 /// Byte cost of a journal entry header: `addr: u32` + `len: u16`.
 const ENTRY_HEADER: usize = 6;
 /// Byte offset of the commit flag within the journal region.
@@ -252,7 +263,7 @@ pub fn decode_u16_list(bytes: &[u8]) -> Vec<u16> {
 ///
 /// let mut tx = TxWriter::new();
 /// tx.write(&cell, 99);
-/// journal.commit(&mut fram, &tx, &mut |_| Ok(())).unwrap();
+/// journal.commit(&mut fram, &tx, &mut |_, _| Ok(())).unwrap();
 /// assert_eq!(fram.read(&cell), 99);
 /// ```
 #[derive(Clone, Copy, Debug)]
@@ -276,14 +287,15 @@ impl Journal {
 
     /// Commits a write-set atomically.
     ///
-    /// `spend` is charged once per FRAM byte touched and may fail with
+    /// `spend` is charged once per FRAM access with its byte count and
+    /// direction ([`JournalOp`]) and may fail with
     /// [`Interrupt::PowerFailure`], aborting the commit at that point;
     /// the journal protocol guarantees the abort is clean.
     pub fn commit(
         &self,
         fram: &mut Fram,
         tx: &TxWriter,
-        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+        spend: &mut dyn FnMut(usize, JournalOp) -> Result<(), Interrupt>,
     ) -> Result<(), Interrupt> {
         if tx.is_empty() {
             return Ok(());
@@ -299,7 +311,7 @@ impl Journal {
         // Phase 1: copy entries into the journal region.
         let mut off = self.base + ENTRIES_OFF;
         for (addr, data) in &tx.entries {
-            spend(ENTRY_HEADER + data.len())?;
+            spend(ENTRY_HEADER + data.len(), JournalOp::Write)?;
             let mut header = [0u8; ENTRY_HEADER];
             header[..4].copy_from_slice(&(*addr as u32).to_le_bytes());
             header[4..].copy_from_slice(&(data.len() as u16).to_le_bytes());
@@ -307,14 +319,14 @@ impl Journal {
             fram.write_raw(off + ENTRY_HEADER, data);
             off += ENTRY_HEADER + data.len();
         }
-        spend(2)?;
+        spend(2, JournalOp::Write)?;
         fram.write_raw(
             self.base + COUNT_OFF,
             &(tx.entries.len() as u16).to_le_bytes(),
         );
 
         // Phase 2: the linearisation point — one atomic byte.
-        spend(1)?;
+        spend(1, JournalOp::Write)?;
         fram.write_raw(self.base + FLAG_OFF, &[FLAG_ENTRIES]);
 
         // Phase 3: apply; a failure here is repaired by `recover`.
@@ -332,7 +344,7 @@ impl Journal {
         &self,
         fram: &mut Fram,
         tx: &SparseTx,
-        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+        spend: &mut dyn FnMut(usize, JournalOp) -> Result<(), Interrupt>,
     ) -> Result<(), Interrupt> {
         if tx.is_empty() {
             return Ok(());
@@ -346,21 +358,21 @@ impl Journal {
         }
 
         // Phase 1: stage the whole record in one write.
-        spend(needed)?;
+        spend(needed, JournalOp::Write)?;
         fram.write_raw(self.base + ENTRIES_OFF, &tx.encode());
 
         // Phase 2: the linearisation point — one atomic byte.
-        spend(1)?;
+        spend(1, JournalOp::Write)?;
         fram.write_raw(self.base + FLAG_OFF, &[FLAG_SPARSE]);
 
         // Phase 3: apply straight from RAM; a failure here is repaired
         // by `recover`, which replays the FRAM copy.
         for (addr, data) in &tx.writes {
-            spend(data.len())?;
+            spend(data.len(), JournalOp::Write)?;
             fram.write_raw(*addr, data);
         }
 
-        spend(1)?;
+        spend(1, JournalOp::Write)?;
         fram.write_raw(self.base + FLAG_OFF, &[FLAG_IDLE]);
         Ok(())
     }
@@ -372,9 +384,9 @@ impl Journal {
     pub fn recover(
         &self,
         fram: &mut Fram,
-        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+        spend: &mut dyn FnMut(usize, JournalOp) -> Result<(), Interrupt>,
     ) -> Result<bool, Interrupt> {
-        spend(1)?;
+        spend(1, JournalOp::Read)?;
         let flag = fram.read_raw(self.base + FLAG_OFF, 1)[0];
         match flag {
             FLAG_IDLE => Ok(false),
@@ -398,26 +410,27 @@ impl Journal {
     fn apply(
         &self,
         fram: &mut Fram,
-        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+        spend: &mut dyn FnMut(usize, JournalOp) -> Result<(), Interrupt>,
     ) -> Result<(), Interrupt> {
-        spend(2)?;
+        spend(2, JournalOp::Read)?;
         let count_bytes = fram.read_raw(self.base + COUNT_OFF, 2);
         let count = u16::from_le_bytes([count_bytes[0], count_bytes[1]]) as usize;
 
         let mut off = self.base + ENTRIES_OFF;
         for _ in 0..count {
-            spend(ENTRY_HEADER)?;
+            spend(ENTRY_HEADER, JournalOp::Read)?;
             let header = fram.read_raw(off, ENTRY_HEADER).to_vec();
             let addr = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
             let len = u16::from_le_bytes([header[4], header[5]]) as usize;
-            spend(len)?;
+            spend(len, JournalOp::Read)?;
             let data = fram.read_raw(off + ENTRY_HEADER, len).to_vec();
+            spend(len, JournalOp::Write)?;
             fram.write_raw(addr, &data);
             off += ENTRY_HEADER + len;
         }
 
         // Clear the flag: the transaction is fully applied.
-        spend(1)?;
+        spend(1, JournalOp::Write)?;
         fram.write_raw(self.base + FLAG_OFF, &[FLAG_IDLE]);
         Ok(())
     }
@@ -427,25 +440,26 @@ impl Journal {
     fn replay_sparse(
         &self,
         fram: &mut Fram,
-        spend: &mut dyn FnMut(usize) -> Result<(), Interrupt>,
+        spend: &mut dyn FnMut(usize, JournalOp) -> Result<(), Interrupt>,
     ) -> Result<(), Interrupt> {
-        spend(2)?;
+        spend(2, JournalOp::Read)?;
         let count_bytes = fram.read_raw(self.base + ENTRIES_OFF, 2);
         let count = u16::from_le_bytes([count_bytes[0], count_bytes[1]]) as usize;
 
         let mut off = self.base + ENTRIES_OFF + 2;
         for _ in 0..count {
-            spend(ENTRY_HEADER)?;
+            spend(ENTRY_HEADER, JournalOp::Read)?;
             let header = fram.read_raw(off, ENTRY_HEADER).to_vec();
             let addr = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
             let len = u16::from_le_bytes([header[4], header[5]]) as usize;
-            spend(len)?;
+            spend(len, JournalOp::Read)?;
             let data = fram.read_raw(off + ENTRY_HEADER, len).to_vec();
+            spend(len, JournalOp::Write)?;
             fram.write_raw(addr, &data);
             off += ENTRY_HEADER + len;
         }
 
-        spend(1)?;
+        spend(1, JournalOp::Write)?;
         fram.write_raw(self.base + FLAG_OFF, &[FLAG_IDLE]);
         Ok(())
     }
@@ -463,7 +477,7 @@ mod tests {
         (fram, journal, a, b)
     }
 
-    fn no_fail(_: usize) -> Result<(), Interrupt> {
+    fn no_fail(_: usize, _: JournalOp) -> Result<(), Interrupt> {
         Ok(())
     }
 
@@ -583,7 +597,7 @@ mod tests {
         tx.write(&b, 0xBBBB_BBBB);
         let mut total = 0usize;
         journal
-            .commit(&mut fram, &tx, &mut |n| {
+            .commit(&mut fram, &tx, &mut |n, _| {
                 total += n;
                 Ok(())
             })
@@ -597,7 +611,7 @@ mod tests {
             tx.write(&b, 0xBBBB_BBBB);
 
             let mut spent = 0usize;
-            let result = journal.commit(&mut fram, &tx, &mut |n| {
+            let result = journal.commit(&mut fram, &tx, &mut |n, _| {
                 if spent + n > fail_at {
                     Err(Interrupt::PowerFailure)
                 } else {
@@ -635,7 +649,7 @@ mod tests {
         // not.
         let flag_budget = tx.journal_bytes() + 2 + 1;
         let mut spent = 0usize;
-        let r = journal.commit(&mut fram, &tx, &mut |n| {
+        let r = journal.commit(&mut fram, &tx, &mut |n, _| {
             if spent + n > flag_budget {
                 Err(Interrupt::PowerFailure)
             } else {
@@ -651,7 +665,7 @@ mod tests {
         let mut fail_at = 0usize;
         loop {
             let mut spent = 0usize;
-            let r = journal.recover(&mut fram, &mut |n| {
+            let r = journal.recover(&mut fram, &mut |n, _| {
                 if spent + n > fail_at {
                     Err(Interrupt::PowerFailure)
                 } else {
@@ -732,7 +746,7 @@ mod tests {
         tx.push(&b, 0xBBBB_BBBB_u32);
         let mut total = 0usize;
         journal
-            .commit_sparse(&mut fram, &tx, &mut |n| {
+            .commit_sparse(&mut fram, &tx, &mut |n, _| {
                 total += n;
                 Ok(())
             })
@@ -746,7 +760,7 @@ mod tests {
             tx.push(&b, 0xBBBB_BBBB_u32);
 
             let mut spent = 0usize;
-            let result = journal.commit_sparse(&mut fram, &tx, &mut |n| {
+            let result = journal.commit_sparse(&mut fram, &tx, &mut |n, _| {
                 if spent + n > fail_at {
                     Err(Interrupt::PowerFailure)
                 } else {
@@ -781,7 +795,7 @@ mod tests {
         // Allow staging + flag through, stop before any apply write.
         let flag_budget = tx.record_bytes() + 1;
         let mut spent = 0usize;
-        let r = journal.commit_sparse(&mut fram, &tx, &mut |n| {
+        let r = journal.commit_sparse(&mut fram, &tx, &mut |n, _| {
             if spent + n > flag_budget {
                 Err(Interrupt::PowerFailure)
             } else {
@@ -796,7 +810,7 @@ mod tests {
         let mut fail_at = 0usize;
         loop {
             let mut spent = 0usize;
-            let r = journal.recover(&mut fram, &mut |n| {
+            let r = journal.recover(&mut fram, &mut |n, _| {
                 if spent + n > fail_at {
                     Err(Interrupt::PowerFailure)
                 } else {

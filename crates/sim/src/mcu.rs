@@ -6,8 +6,13 @@
 //!
 //! - active CPU: ~120 µA/MHz at 3 V ≈ 0.36 mW, i.e. ~0.36 nJ per cycle
 //!   (one cycle = 1 µs at 1 MHz);
-//! - FRAM access through the cache: a handful of cycles per word; we
-//!   bill per byte with separate read/write prices;
+//! - FRAM access: a fixed per-access setup price (address phase, FRAM
+//!   controller/cache-line turnaround, journal bookkeeping) plus a
+//!   per-byte streaming price, with separate read/write rates. The
+//!   per-access term dominates for the small scattered accesses the
+//!   monitor engine issues, so simulated time/energy track the *op
+//!   mix*, not just raw byte volume — 10 one-byte writes cost more
+//!   than one 10-byte write, as on the real part;
 //! - low-power idle (LPM3): ~1 µA ≈ 3 µW.
 //!
 //! Absolute fidelity is *not* required (see DESIGN.md §4): the
@@ -63,9 +68,13 @@ pub struct CostModel {
     pub clock_hz: u64,
     /// Energy per CPU cycle.
     pub energy_per_cycle: Energy,
-    /// Price per FRAM byte read.
+    /// Fixed price per FRAM read access (setup, independent of size).
+    pub fram_read_base: Cost,
+    /// Price per FRAM byte read, on top of the per-access base.
     pub fram_read_per_byte: Cost,
-    /// Price per FRAM byte written.
+    /// Fixed price per FRAM write access (setup, independent of size).
+    pub fram_write_base: Cost,
+    /// Price per FRAM byte written, on top of the per-access base.
     pub fram_write_per_byte: Cost,
     /// Power drawn while idling in low-power mode, in nanowatts.
     pub idle_power_nanowatts: u64,
@@ -78,13 +87,27 @@ impl CostModel {
             clock_hz: 1_000_000,
             // ~120 µA/MHz · 3 V = 0.36 mW → 0.36 nJ per 1 µs cycle.
             energy_per_cycle: Energy::from_pico_joules(360),
-            // FRAM via the 2-wait-state cache: ~2 cycles and ~1 nJ/byte.
+            // FRAM: a fixed per-access setup price (~25 cycles of
+            // address phase + controller turnaround + bookkeeping)
+            // plus ~1 cycle and ~1 nJ per streamed byte. The split is
+            // what makes time/energy track the op *mix*: scattered
+            // small accesses pay the setup price each time, one large
+            // block access pays it once (see EXPERIMENTS.md, "Cost
+            // model constants").
+            fram_read_base: Cost::new(
+                SimDuration::from_micros(25),
+                Energy::from_pico_joules(5_000),
+            ),
             fram_read_per_byte: Cost::new(
-                SimDuration::from_micros(2),
+                SimDuration::from_micros(1),
                 Energy::from_pico_joules(700),
             ),
+            fram_write_base: Cost::new(
+                SimDuration::from_micros(25),
+                Energy::from_pico_joules(7_000),
+            ),
             fram_write_per_byte: Cost::new(
-                SimDuration::from_micros(2),
+                SimDuration::from_micros(1),
                 Energy::from_pico_joules(1_000),
             ),
             // LPM3 ballpark.
@@ -101,14 +124,25 @@ impl CostModel {
         }
     }
 
-    /// Cost of reading `bytes` from FRAM.
+    /// Cost of one FRAM read access of `bytes`: per-access base plus
+    /// the per-byte streaming price. Zero-byte accesses are free (no
+    /// bus transaction is issued).
     pub fn fram_read(&self, bytes: usize) -> Cost {
-        self.fram_read_per_byte.times(bytes as u64)
+        if bytes == 0 {
+            return Cost::FREE;
+        }
+        self.fram_read_base
+            .plus(self.fram_read_per_byte.times(bytes as u64))
     }
 
-    /// Cost of writing `bytes` to FRAM.
+    /// Cost of one FRAM write access of `bytes`: per-access base plus
+    /// the per-byte streaming price. Zero-byte accesses are free.
     pub fn fram_write(&self, bytes: usize) -> Cost {
-        self.fram_write_per_byte.times(bytes as u64)
+        if bytes == 0 {
+            return Cost::FREE;
+        }
+        self.fram_write_base
+            .plus(self.fram_write_per_byte.times(bytes as u64))
     }
 
     /// Cost of idling for `dt` in low-power mode.
@@ -148,6 +182,23 @@ mod tests {
         let m = CostModel::msp430fr5994();
         assert!(m.fram_write(16).energy > m.fram_read(16).energy);
         assert_eq!(m.fram_read(0), Cost::FREE);
+        assert_eq!(m.fram_write(0), Cost::FREE);
+    }
+
+    #[test]
+    fn scattered_accesses_cost_more_than_one_block() {
+        // The per-access base makes the op mix matter: k accesses of
+        // n bytes must cost strictly more than one access of k·n
+        // bytes, for both time and energy, read and write.
+        let m = CostModel::msp430fr5994();
+        let scattered_w = m.fram_write(9).times(12);
+        let block_w = m.fram_write(9 * 12);
+        assert!(scattered_w.time > block_w.time);
+        assert!(scattered_w.energy > block_w.energy);
+        let scattered_r = m.fram_read(9).times(12);
+        let block_r = m.fram_read(9 * 12);
+        assert!(scattered_r.time > block_r.time);
+        assert!(scattered_r.energy > block_r.energy);
     }
 
     #[test]

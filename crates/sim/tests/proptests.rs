@@ -64,7 +64,7 @@ proptest! {
         }
 
         let mut spent = 0usize;
-        let result = journal.commit(&mut fram, &tx, &mut |n| {
+        let result = journal.commit(&mut fram, &tx, &mut |n, _| {
             if spent + n > fail_at {
                 Err(Interrupt::PowerFailure)
             } else {
@@ -73,7 +73,7 @@ proptest! {
             }
         });
         // Recovery always completes with unlimited budget.
-        journal.recover(&mut fram, &mut |_| Ok(())).unwrap();
+        journal.recover(&mut fram, &mut |_, _| Ok(())).unwrap();
 
         let now: Vec<u64> = cells.iter().map(|c| fram.peek(c)).collect();
         if result.is_ok() {
