@@ -1034,6 +1034,145 @@ pub fn dispatch() -> Report {
     r
 }
 
+/// `key` parsed as an integer, or `default` when unset/invalid.
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// `FLEET_WORKERS` parsed as a comma-separated worker-count sweep
+/// (e.g. `1,2` for the CI smoke), or the full `1,2,4,8` sweep.
+fn fleet_worker_sweep() -> Vec<usize> {
+    std::env::var("FLEET_WORKERS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|w| w.trim().parse().ok())
+                .filter(|&w| w >= 1)
+                .collect::<Vec<usize>>()
+        })
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// **Fleet benchmark (beyond the paper's figures)** — fleet-scale
+/// sharded simulation: the wearable benchmark replicated across very
+/// many independent devices, driven in parallel by a work-stealing
+/// worker pool ([`artemis_fleet`]). Sweeps the worker count over the
+/// same fleet and asserts the merged [`artemis_fleet::FleetStats`] is
+/// bit-identical for every sweep point — the determinism contract that
+/// makes fleet-scale results reproducible from a single seed.
+///
+/// Env overrides (for CI smoke runs): `FLEET_DEVICES`, `FLEET_SEED`,
+/// `FLEET_WORKERS` (comma-separated sweep).
+pub fn fleet() -> Report {
+    use artemis_fleet::{run_fleet, FleetConfig, FleetStats};
+    use std::time::Instant;
+
+    let devices = env_u64("FLEET_DEVICES", 100_000);
+    let seed = env_u64("FLEET_SEED", 0xA27E_F1EE);
+    let sweep = fleet_worker_sweep();
+    let factory = crate::health::fleet_factory();
+
+    let mut r = Report::new(
+        "fleet",
+        "fleet-scale sharded simulation: wearable devices vs worker threads",
+        &[
+            "workers",
+            "devices",
+            "wall (s)",
+            "events/sec",
+            "speedup",
+            "completed",
+            "dnf",
+            "reboots",
+            "violations",
+        ],
+    );
+
+    let mut baseline: Option<(f64, FleetStats)> = None;
+    for &workers in &sweep {
+        let cfg = FleetConfig::new(devices, workers, seed);
+        let t0 = Instant::now();
+        let stats = run_fleet(&cfg, &factory);
+        let wall = t0.elapsed().as_secs_f64();
+        let eps = stats.events as f64 / wall;
+        let speedup = match &baseline {
+            Some((base_eps, base_stats)) => {
+                assert_eq!(
+                    &stats, base_stats,
+                    "fleet aggregate must not depend on worker count"
+                );
+                eps / base_eps
+            }
+            None => 1.0,
+        };
+        r.row(vec![
+            workers.to_string(),
+            stats.devices.to_string(),
+            format!("{wall:.2}"),
+            format!("{eps:.0}"),
+            format!("{speedup:.2}x"),
+            stats.completed.to_string(),
+            stats.dnf.to_string(),
+            stats.reboots.to_string(),
+            stats.violations_total.to_string(),
+        ]);
+        if baseline.is_none() {
+            baseline = Some((eps, stats));
+        }
+    }
+
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    r.note(format!(
+        "host: {host_cores} core(s); speedup is events/sec relative to 1 worker on this \
+         host (thread parallelism cannot exceed the physical core count)"
+    ));
+    r.note(format!(
+        "determinism: merged FleetStats bit-identical across the {{{}}}-worker sweep \
+         (asserted, run would abort otherwise); fleet seed {seed:#x}",
+        sweep
+            .iter()
+            .map(|w| w.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    if let Some((_, stats)) = &baseline {
+        r.note(format!(
+            "per-device consumed energy quantile ceilings: p50 < {} uJ, p90 < {} uJ, \
+             p99 < {} uJ",
+            stats
+                .energy_quantile_ceiling_uj(0.5)
+                .expect("non-empty fleet"),
+            stats
+                .energy_quantile_ceiling_uj(0.9)
+                .expect("non-empty fleet"),
+            stats
+                .energy_quantile_ceiling_uj(0.99)
+                .expect("non-empty fleet"),
+        ));
+        r.note(format!(
+            "reboot histogram (devices per reboot-count bucket): {}",
+            stats
+                .reboot_histogram()
+                .iter()
+                .map(|(label, n)| format!("{label}: {n}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+        r.note(format!(
+            "workload mix per derived seed stream: 40% continuous, 40% RF fixed-delay \
+             1-3 nominal min, 20% stochastic outages; {:.1} simulated device-hours total",
+            stats.sim_micros as f64 / 3.6e9
+        ));
+    }
+    r
+}
+
 /// Runs every experiment, in paper order, plus the ablations.
 pub fn all() -> Vec<Report> {
     vec![

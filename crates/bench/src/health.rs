@@ -21,13 +21,17 @@
 
 use artemis_core::app::{AppGraph, AppGraphBuilder};
 use artemis_core::time::SimDuration;
+use artemis_fleet::FleetDevice;
 use artemis_runtime::{ArtemisRuntime, ArtemisRuntimeBuilder};
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
 use intermittent_sim::energy::Energy;
 use intermittent_sim::harvester::Harvester;
 use intermittent_sim::peripherals::Peripheral;
+use intermittent_sim::simulator::RunLimit;
 use mayfly::{MayflyRuntime, MayflyRuntimeBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 
 /// The ARTEMIS property specification for the benchmark — the paper's
 /// Figure 5, verbatim (with `heartRate` on path 1 per Figure 6).
@@ -174,6 +178,52 @@ pub fn artemis_builder(app: AppGraph) -> ArtemisRuntimeBuilder {
         ctx.consume("cough")
     });
     rb
+}
+
+/// A fleet-device factory over the wearable benchmark, for the
+/// fleet-scale sharded simulation (`experiments::fleet`).
+///
+/// The spec is parsed and lowered **once**, here; each device clones the
+/// compiled [`artemis_ir::MonitorSuite`] instead of re-running the spec
+/// front end 100k times. Every per-device decision — which energy
+/// environment the wearer lives in — is drawn from the device's derived
+/// stream seed, so device `i` of a fleet seeded with `m` is a pure
+/// function of `(m, i)`:
+///
+/// - 40 % wall-powered (`Continuous`): the fast path, completes in one
+///   charge;
+/// - 40 % RF-charged (`FixedDelay` of 1–3 nominal minutes): the paper's
+///   testbed regime, reboots between `accel` and `send`;
+/// - 20 % ambient/stochastic (outage windows of 1 s – 4 min, straddling
+///   the 5-minute MITD): the adversarial tail that exercises
+///   `maxTries`/`MITD` violations and deep reboot counts.
+///
+/// Traces are bounded (ring buffer) so a 100k-device fleet holds one
+/// 256-record window per *live* device, not an unbounded history.
+pub fn fleet_factory() -> impl Fn(u64, u64) -> FleetDevice + Sync {
+    let app = health_app();
+    let suite = artemis_ir::compile(HEALTH_SPEC, &app).expect("benchmark spec compiles");
+    move |_index, seed| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let harvester = match rng.random_range(0..10u32) {
+            0..=3 => Harvester::Continuous,
+            4..=7 => Harvester::FixedDelay(nominal_minutes(rng.random_range(1..=3u64))),
+            _ => Harvester::stochastic(
+                SimDuration::from_secs(1),
+                SimDuration::from_mins(4),
+                rng.next_u64(),
+            ),
+        };
+        let mut dev = benchmark_device_bounded(harvester, 256);
+        let rt = artemis_builder(app.clone())
+            .install(&mut dev, suite.clone())
+            .expect("benchmark installs");
+        FleetDevice {
+            dev,
+            rt,
+            limit: RunLimit::sim_time(SimDuration::from_hours(2)),
+        }
+    }
 }
 
 /// Installs the Mayfly version (paper §5.1.1): only the `collect` and

@@ -1,0 +1,27 @@
+//! Compile-time `Send` assertions for the fleet's device ownership
+//! model.
+//!
+//! The fleet shards complete devices across OS threads by move; that is
+//! sound only while every layer of the stack stays `Send`. These
+//! assertions fail `cargo test` at compile time if a future `Rc`, raw
+//! pointer, or non-`Send` trait object sneaks into any of them — long
+//! before the fleet bench would hit it at runtime.
+
+use artemis_fleet::{DeviceSample, FleetDevice, FleetStats};
+use artemis_monitor::{MonitorEngine, RemoteMonitorEngine};
+use artemis_runtime::ArtemisRuntime;
+use intermittent_sim::device::Device;
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn device_stack_is_send() {
+    assert_send::<Device>();
+    assert_send::<MonitorEngine>();
+    assert_send::<RemoteMonitorEngine>();
+    assert_send::<ArtemisRuntime>();
+    assert_send::<ArtemisRuntime<RemoteMonitorEngine>>();
+    assert_send::<FleetDevice>();
+    assert_send::<DeviceSample>();
+    assert_send::<FleetStats>();
+}

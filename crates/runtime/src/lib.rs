@@ -85,7 +85,13 @@ const PATH_COMPLETED: u8 = 1;
 const PATH_SKIPPED: u8 = 2;
 
 /// A task body: application code run inside the task sandbox.
-pub type TaskBody = Box<dyn FnMut(&mut TaskCtx<'_>) -> Result<(), Interrupt>>;
+///
+/// Bodies are `Send` so that a fully installed runtime (and the device
+/// it drives) is one self-contained `Send` value — the property the
+/// fleet simulator relies on to shard complete devices across OS
+/// threads. Bodies capture per-device state only; anything shared
+/// would reintroduce cross-device coupling.
+pub type TaskBody = Box<dyn FnMut(&mut TaskCtx<'_>) -> Result<(), Interrupt> + Send>;
 
 /// The sandbox a task body executes in.
 ///
@@ -227,7 +233,7 @@ impl ArtemisRuntimeBuilder {
     pub fn body(
         &mut self,
         task: &str,
-        body: impl FnMut(&mut TaskCtx<'_>) -> Result<(), Interrupt> + 'static,
+        body: impl FnMut(&mut TaskCtx<'_>) -> Result<(), Interrupt> + Send + 'static,
     ) -> &mut Self {
         let id = self
             .app
@@ -396,6 +402,13 @@ impl<M: Monitoring> ArtemisRuntime<M> {
     /// Looks up a declared channel (for post-run inspection).
     pub fn channel(&self, name: &str) -> Option<Channel> {
         self.channels.get(name).copied()
+    }
+
+    /// Total monitor events delivered so far: the persistent event
+    /// sequence counter, read without cost. Fleet aggregation uses this
+    /// as the per-device throughput figure after a run.
+    pub fn events_delivered(&self, dev: &Device) -> u64 {
+        dev.peek(&self.cells.seq)
     }
 
     /// Runs the application once on `dev` under `limit`.

@@ -651,8 +651,9 @@ fn burst_is_crash_consistent_across_budget_sweep() {
 fn end_triggered_restart_task_reruns_until_in_budget() {
     // A transient overrun: the first execution exceeds maxDuration, the
     // re-run (warm caches, in this model: a captured flag) is fast.
-    use std::cell::Cell;
-    use std::rc::Rc;
+    // Atomic rather than Rc<Cell<_>>: task bodies are Send.
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
 
     let mut b = AppGraphBuilder::new();
     let warm = b.task("warm");
@@ -662,11 +663,11 @@ fn end_triggered_restart_task_reruns_until_in_budget() {
     let mut dev = continuous_device();
     let suite =
         artemis_ir::compile("warm { maxDuration: 10ms onFail: restartTask; }", &app).unwrap();
-    let first = Rc::new(Cell::new(true));
-    let flag = Rc::clone(&first);
+    let first = Arc::new(AtomicBool::new(true));
+    let flag = Arc::clone(&first);
     let mut rb = ArtemisRuntimeBuilder::new(app.clone());
     rb.body("warm", move |ctx| {
-        if flag.replace(false) {
+        if flag.swap(false, Ordering::Relaxed) {
             ctx.compute(50_000) // 50 ms: overruns
         } else {
             ctx.compute(2_000) // 2 ms: fine

@@ -16,6 +16,8 @@
 //!   lowering, and C/Rust monitor code generation;
 //! - [`monitor`] — the power-failure-resilient monitor engine;
 //! - [`runtime`] — the ARTEMIS task-based intermittent runtime;
+//! - [`fleet`] — fleet-scale sharded simulation of many devices across
+//!   OS threads with deterministic per-device seed streams;
 //! - [`mayfly`] — the Mayfly baseline runtime used by the evaluation;
 //! - [`mod@bench`] — the benchmark application and experiment drivers.
 //!
@@ -45,6 +47,7 @@
 
 pub use artemis_bench as bench;
 pub use artemis_core as core;
+pub use artemis_fleet as fleet;
 pub use checkpoint;
 pub use artemis_ir as ir;
 pub use artemis_monitor as monitor;
