@@ -10,12 +10,14 @@ use artemis_bench::Report;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|fleet|analyze|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|fleet|analyze|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
          analyze  lint shipped specs/examples with the static analyser\n\
          \x20        (exits non-zero on any error-severity finding)\n\
-         fleet    fleet-scale sharded simulation sweep (not part of `all`;\n\
-         \x20        FLEET_DEVICES / FLEET_SEED / FLEET_WORKERS override)\n\
+         cache    shadow-cache FRAM-traffic comparison (cached vs uncached)\n\
+         fleet    full fleet-scale sharded simulation sweep (`all` includes a\n\
+         \x20        small fleet_smoke run; FLEET_DEVICES / FLEET_SEED /\n\
+         \x20        FLEET_WORKERS override the full sweep)\n\
          --json   print a JSON array to stdout\n\
          --emit   also write each report to BENCH_<id>.json"
     );
@@ -31,7 +33,8 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--emit" => emit = true,
             "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "scaling" | "dispatch" | "delta" | "batch" | "fleet" | "analyze" | "all" => {
+            | "scaling" | "dispatch" | "delta" | "batch" | "cache" | "fleet" | "analyze"
+            | "all" => {
                 which = Some(arg)
             }
             _ => return usage(),
@@ -59,6 +62,7 @@ fn main() -> ExitCode {
         "dispatch" => vec![experiments::dispatch()],
         "delta" => vec![experiments::delta()],
         "batch" => vec![experiments::batch()],
+        "cache" => vec![experiments::cache()],
         "fleet" => vec![experiments::fleet()],
         _ => experiments::all(),
     };

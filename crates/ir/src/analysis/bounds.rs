@@ -55,6 +55,26 @@
 //! index's interest list, effectless steps complete with a single
 //! plain write instead of a commit, and a step's dynamic write set is
 //! a subset of the static one.
+//!
+//! # Cache-aware bounds
+//!
+//! With the engine's volatile shadow cache enabled (`CacheMode::
+//! Enabled`, the default on the routed compiled path), every *input*
+//! read of a steady-state delivery — recovery flag, sequence, armed
+//! worklist, event, machine spans, verdict log — is served from RAM.
+//! [`EventCost::cached_reads`] bounds what remains: only the
+//! entry-list commit protocol reads of degraded (whole-block)
+//! machines, which are journal traffic, not cacheable input. For a key
+//! whose armed machines all commit sparsely the warm read bound is
+//! exactly `0`. [`EventCost::cold_extra_reads`] bounds the refill cost
+//! of the first delivery after a reboot (flag + seq + one whole-block
+//! fill per armed machine); a cold cached delivery never reads more
+//! than the uncached pattern, so [`EventCost::reads`] stays a valid
+//! bound in *both* cache modes. The same split exists on the batch
+//! path ([`BatchBounds::cached_reads`] — always `0`, every batch
+//! commit is sparse — and [`BatchBounds::cold_extra_reads`]). Write
+//! bounds are identical in both modes: the cache is write-through and
+//! never changes what the engine commits.
 
 use artemis_core::event::EventKind;
 use artemis_spec::Diagnostic;
@@ -134,6 +154,21 @@ pub struct EventCost {
     pub reads: usize,
     /// Worst-case FRAM write operations.
     pub writes: usize,
+    /// Worst-case FRAM read operations with the volatile shadow cache
+    /// warm (`CacheMode::Enabled`, steady state): every input read is
+    /// served from RAM, so only the entry-list journal *protocol*
+    /// reads of degraded (whole-block) machines remain — `0` for keys
+    /// whose armed machines all commit sparsely.
+    pub cached_reads: usize,
+    /// Extra FRAM reads the first delivery after a reboot pays on top
+    /// of [`EventCost::cached_reads`] to refill the shadow: the
+    /// recovery flag, the sequence number, and one whole-block fill
+    /// per armed machine (the fill is one op, same as the uncached
+    /// span read). Any post-reboot delivery — including resuming an
+    /// event armed before the crash — is also bounded by the uncached
+    /// [`EventCost::reads`], because a cold cached delivery never reads
+    /// more than the uncached pattern.
+    pub cold_extra_reads: usize,
     /// Largest single journal commit, in payload bytes.
     pub commit_bytes: usize,
 }
@@ -142,6 +177,11 @@ impl EventCost {
     /// Total FRAM operations (reads + writes).
     pub fn ops(&self) -> usize {
         self.reads + self.writes
+    }
+
+    /// Total FRAM operations with the shadow cache warm.
+    pub fn cached_ops(&self) -> usize {
+        self.cached_reads + self.writes
     }
 }
 
@@ -200,6 +240,7 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
             let mut emitters = 0;
             let mut delta_machines = 0;
             let mut degraded_machines = 0;
+            let mut cached_reads = 0;
             for &mi in armed {
                 let m = &machines[mi as usize];
                 let emits = m
@@ -222,6 +263,11 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                     let step_entries = if emits { 4 } else { 2 };
                     reads += 1 + commit_reads(step_entries) + usize::from(emits);
                     writes += commit_writes(step_entries);
+                    // The shadow serves the block load and the verdict
+                    // count, but the entry-list commit's re-read-and-
+                    // apply protocol reads are journal traffic the
+                    // cache cannot touch.
+                    cached_reads += commit_reads(step_entries);
                     commit = commit.max(block_step_bytes);
                 } else {
                     delta_machines += 1;
@@ -257,6 +303,11 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                 degraded_machines,
                 reads,
                 writes,
+                cached_reads,
+                // Recovery flag + seq + one whole-block fill per armed
+                // machine (the fresh-arm cold path; resuming a
+                // pre-crash event is bounded by `reads`).
+                cold_extra_reads: 2 + armed.len(),
                 commit_bytes: commit,
             });
         }
@@ -332,6 +383,16 @@ pub struct BatchBounds {
     pub reads: usize,
     /// Worst-case FRAM writes for one full batch.
     pub writes: usize,
+    /// Worst-case FRAM reads for one full batch with the volatile
+    /// shadow cache warm. The batch path commits exclusively through
+    /// sparse records (zero protocol reads), so a steady-state batch
+    /// reads **nothing** from FRAM.
+    pub cached_reads: usize,
+    /// Extra FRAM reads the first batch after a reboot pays to refill
+    /// the shadow: recovery flag + batch sequence + one whole-block
+    /// fill per armed machine. A resumed (pre-crash) batch is also
+    /// bounded by the uncached [`BatchBounds::reads`].
+    pub cold_extra_reads: usize,
 }
 
 impl BatchBounds {
@@ -344,6 +405,18 @@ impl BatchBounds {
     /// number the bench's measured per-event figure must stay under.
     pub fn ops_per_event_ceil(&self) -> usize {
         self.ops().div_ceil(self.max_events.max(1))
+    }
+
+    /// Total FRAM operations for one full batch with the shadow cache
+    /// warm.
+    pub fn cached_ops(&self) -> usize {
+        self.cached_reads + self.writes
+    }
+
+    /// Worst-case warm-cache FRAM ops per event when the batch is
+    /// full.
+    pub fn cached_ops_per_event_ceil(&self) -> usize {
+        self.cached_ops().div_ceil(self.max_events.max(1))
     }
 }
 
@@ -435,6 +508,8 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         reset_extra_bytes,
         reads,
         writes,
+        cached_reads: 0,
+        cold_extra_reads: 2 + machines.len(),
     }
 }
 
@@ -524,6 +599,11 @@ mod tests {
         // Sparse arming (2) + worklist (4) + degraded emitting machine
         // (11) + readback (1 + 1).
         assert_eq!(start_a.reads, 2 + 4 + 11 + 1 + 1);
+        // Warm cache: only the degraded machine's 4-entry commit
+        // protocol reads survive; cold refill = flag + seq + 1 block.
+        assert_eq!(start_a.cached_reads, commit_reads(4));
+        assert_eq!(start_a.cold_extra_reads, 2 + 1);
+        assert!(start_a.cached_reads < start_a.reads);
         assert!(b.worst_commit_bytes >= b.reset_commit_bytes);
         assert!(b.worst_event().unwrap().ops() >= start_a.ops());
     }
@@ -569,6 +649,11 @@ mod tests {
         assert_eq!(start_a.reads, 2 + 4 + 1 + 1);
         // Sparse arming (8) + sparse step of state+slot+done (6).
         assert_eq!(start_a.writes, 8 + 6);
+        // All-sparse key: a warm cache reads NOTHING from FRAM, and the
+        // cold refill is flag + seq + one whole-block fill.
+        assert_eq!(start_a.cached_reads, 0);
+        assert_eq!(start_a.cold_extra_reads, 2 + 1);
+        assert_eq!(start_a.cached_ops(), start_a.writes);
         // The byte bound still covers the whole-block image, so a
         // delta-disabled engine cannot overflow a derived capacity.
         assert!(start_a.commit_bytes >= entry_bytes(block_bytes(12)) + entry_bytes(U64_BYTES));
@@ -594,6 +679,13 @@ mod tests {
         assert!(b4.arming_commit_bytes > b1.arming_commit_bytes);
         assert!(b4.worst_commit_bytes >= b1.worst_commit_bytes);
         assert!(b4.worst_commit_bytes >= b4.arming_commit_bytes);
+        // Every batch commit is sparse: the warm-cache read bound is
+        // zero at any capacity, and cold refill scales with the suite.
+        assert_eq!(b1.cached_reads, 0);
+        assert_eq!(b4.cached_reads, 0);
+        assert_eq!(b4.cold_extra_reads, 2 + 2);
+        assert_eq!(b4.cached_ops(), b4.writes);
+        assert!(b4.cached_ops_per_event_ceil() <= b4.ops_per_event_ceil());
     }
 
     #[test]

@@ -11,7 +11,8 @@ use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
 use artemis_ir::expr::Value;
 use artemis_monitor::{
-    BatchMode, DeltaMode, ExecMode, InstallOptions, MonitorEngine, MonitorVerdict, RoutingMode,
+    BatchMode, CacheMode, DeltaMode, ExecMode, InstallOptions, MonitorEngine, MonitorVerdict,
+    RoutingMode,
 };
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
@@ -32,6 +33,25 @@ fn app() -> AppGraph {
     let b = builder.task("b");
     builder.path(&[a, b]);
     builder.build().unwrap()
+}
+
+/// CI runs this whole suite twice: once with the shadow cache at its
+/// default (`Enabled`) and once with `ARTEMIS_CACHE_MODE=disabled`, so
+/// every differential property below doubles as a cache oracle.
+fn env_cache_mode() -> CacheMode {
+    match std::env::var("ARTEMIS_CACHE_MODE") {
+        Ok(v) if v.eq_ignore_ascii_case("disabled") => CacheMode::Disabled,
+        _ => CacheMode::Enabled,
+    }
+}
+
+/// [`InstallOptions::default`] with the cache mode taken from the
+/// environment — the baseline every helper in this file installs with.
+fn base_opts() -> InstallOptions {
+    InstallOptions {
+        cache: env_cache_mode(),
+        ..InstallOptions::default()
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -86,7 +106,7 @@ fn oracle(app: &AppGraph, events: &[Ev]) -> Vec<Vec<(usize, OnFail)>> {
 /// Engine verdicts on the given device (which may inject failures).
 fn engine_run(app: &AppGraph, events: &[Ev], dev: &mut Device) -> Vec<Vec<(usize, OnFail)>> {
     let suite = artemis_ir::compile(SPEC, app).unwrap();
-    let engine = MonitorEngine::install(dev, suite, app).unwrap();
+    let engine = MonitorEngine::install_with(dev, suite, app, base_opts()).unwrap();
     // Drive through the simulator so power failures reboot and resume.
     let done = dev.nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done").unwrap();
     let sim = Simulator::new(RunLimit::reboots(100_000));
@@ -310,7 +330,7 @@ fn engine_run_routing(
         InstallOptions {
             mode,
             routing,
-            ..InstallOptions::default()
+            ..base_opts()
         },
     )
 }
@@ -366,6 +386,19 @@ fn engine_run_batch(
     dev: &mut Device,
     chunk: usize,
 ) -> RunOutcome {
+    engine_run_batch_cache(app, spec, events, dev, chunk, env_cache_mode())
+}
+
+/// [`engine_run_batch`] with an explicit cache mode, for the cached vs
+/// uncached batch differentials below.
+fn engine_run_batch_cache(
+    app: &AppGraph,
+    spec: &str,
+    events: &[(Ev, Option<u32>)],
+    dev: &mut Device,
+    chunk: usize,
+    cache: CacheMode,
+) -> RunOutcome {
     let suite = artemis_ir::compile(spec, app).unwrap();
     let engine = MonitorEngine::install_with(
         dev,
@@ -373,6 +406,7 @@ fn engine_run_batch(
         app,
         InstallOptions {
             batch: BatchMode::Enabled { max_events: chunk },
+            cache,
             ..InstallOptions::default()
         },
     )
@@ -511,10 +545,10 @@ proptest! {
         let mut dev_w = DeviceBuilder::msp430fr5994().trace_disabled().build();
         let (vd, sd) = engine_run_opts(
             &app, &spec, &events, &mut dev_d,
-            InstallOptions { delta: DeltaMode::Auto, ..InstallOptions::default() });
+            InstallOptions { delta: DeltaMode::Auto, ..base_opts() });
         let (vw, sw) = engine_run_opts(
             &app, &spec, &events, &mut dev_w,
-            InstallOptions { delta: DeltaMode::Disabled, ..InstallOptions::default() });
+            InstallOptions { delta: DeltaMode::Disabled, ..base_opts() });
         prop_assert_eq!(vd, vw, "verdict divergence on spec: {}", spec);
         prop_assert_eq!(sd, sw, "state divergence on spec: {}", spec);
     }
@@ -538,10 +572,10 @@ proptest! {
         let mut dev_w = DeviceBuilder::msp430fr5994().trace_disabled().build();
         let (vd, sd) = engine_run_opts(
             &app, &spec, &events, &mut dev_d,
-            InstallOptions { delta: DeltaMode::Auto, ..InstallOptions::default() });
+            InstallOptions { delta: DeltaMode::Auto, ..base_opts() });
         let (vw, sw) = engine_run_opts(
             &app, &spec, &events, &mut dev_w,
-            InstallOptions { delta: DeltaMode::Disabled, ..InstallOptions::default() });
+            InstallOptions { delta: DeltaMode::Disabled, ..base_opts() });
         prop_assert_eq!(vd, vw, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
         prop_assert_eq!(sd, sw, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
     }
@@ -615,6 +649,38 @@ proptest! {
             &app, &spec, &events, &mut dev_f, ExecMode::Compiled, RoutingMode::FullScan);
         prop_assert_eq!(vr, vf, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
         prop_assert_eq!(sr, sf, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
+    }
+
+    /// The shadow cache must be observationally invisible: cached
+    /// delivery on an intermittent device (reboots wipe the shadows
+    /// mid-stream) vs uncached delivery and the interpreter on
+    /// continuous power — identical verdicts and FRAM-visible state on
+    /// every random spec, stream, and power-failure schedule.
+    #[test]
+    fn cached_equals_uncached_and_interpreter_under_power_failures(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_c = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vc, sc) = engine_run_opts(
+            &app, &spec, &events, &mut dev_c,
+            InstallOptions { cache: CacheMode::Enabled, ..InstallOptions::default() });
+        let (vu, su) = engine_run_opts(
+            &app, &spec, &events, &mut dev_u,
+            InstallOptions { cache: CacheMode::Disabled, ..InstallOptions::default() });
+        let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
+        prop_assert_eq!(&vc, &vu, "cached vs uncached verdicts, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(&sc, &su, "cached vs uncached state, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(&vc, &vi, "cached vs interpreter verdicts, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(&sc, &si, "cached vs interpreter state, budget {} nJ, spec: {}", budget_nj, spec);
     }
 }
 
@@ -871,6 +937,96 @@ fn batch_crash_windows_preserve_verdicts_and_state() {
     assert!(
         total_reboots > 100,
         "sweep too gentle to hit the batch crash windows ({total_reboots} reboots)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Shadow-cache crash windows (deterministic).
+//
+// The cache is strictly write-through, so its only new failure mode is
+// stale RAM surviving a reboot or a wipe landing between two of the
+// FRAM writes that make up a cached delivery (arming commit, sparse
+// machine commits, batch finalize). The same fine-grained budget
+// sweeps as above land a brown-out at every one of those writes with
+// the cache enabled; the runs must match an uncached continuous-power
+// reference byte for byte.
+// ---------------------------------------------------------------------------
+
+/// Per-event cached delivery under the arming/commit crash sweep:
+/// every budget reboots mid-delivery, wiping warm shadows at every
+/// possible FRAM-write boundary, and must still match the uncached
+/// reference's verdicts and FRAM-visible state.
+#[test]
+fn cached_crash_windows_preserve_verdicts_and_state() {
+    let app = rich_app();
+    let events = crash_events();
+    let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    let (vu, su) = engine_run_opts(
+        &app,
+        CRASH_SPEC,
+        &events,
+        &mut dev_u,
+        InstallOptions {
+            cache: CacheMode::Disabled,
+            ..InstallOptions::default()
+        },
+    );
+
+    let mut total_reboots = 0u64;
+    for budget_nj in (700..3_000).step_by(25) {
+        let mut dev_c = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let (vc, sc) = engine_run_opts(
+            &app,
+            CRASH_SPEC,
+            &events,
+            &mut dev_c,
+            InstallOptions {
+                cache: CacheMode::Enabled,
+                ..InstallOptions::default()
+            },
+        );
+        assert_eq!(vc, vu, "verdict divergence at budget {budget_nj} nJ");
+        assert_eq!(sc, su, "state divergence at budget {budget_nj} nJ");
+        total_reboots += dev_c.reboots();
+    }
+    assert!(
+        total_reboots > 100,
+        "sweep too gentle to hit the cached crash windows ({total_reboots} reboots)"
+    );
+}
+
+/// Batch cached delivery under the batch crash sweep: brown-outs land
+/// inside the batch arming commit, between per-machine batch commits,
+/// and during the finalize/readback window — all with warm shadows
+/// that the reboot must invalidate.
+#[test]
+fn cached_batch_crash_windows_preserve_verdicts_and_state() {
+    let app = rich_app();
+    let events = crash_events();
+    let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    let (vu, su) =
+        engine_run_batch_cache(&app, CRASH_SPEC, &events, &mut dev_u, 4, CacheMode::Disabled);
+
+    let mut total_reboots = 0u64;
+    for budget_nj in (900..3_200).step_by(25) {
+        let mut dev_c = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let (vc, sc) =
+            engine_run_batch_cache(&app, CRASH_SPEC, &events, &mut dev_c, 4, CacheMode::Enabled);
+        assert_eq!(vc, vu, "verdict divergence at budget {budget_nj} nJ");
+        assert_eq!(sc, su, "state divergence at budget {budget_nj} nJ");
+        total_reboots += dev_c.reboots();
+    }
+    assert!(
+        total_reboots > 100,
+        "sweep too gentle to hit the cached batch crash windows ({total_reboots} reboots)"
     );
 }
 
