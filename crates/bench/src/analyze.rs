@@ -4,9 +4,12 @@
 //! ([`artemis_spec::consistency`]), IR validation
 //! ([`artemis_ir::validate`]), and the install-time analysis passes
 //! ([`artemis_ir::analysis`]: bytecode verifier, resource bounds,
-//! reachability, cross-monitor conflicts) — over every specification
-//! and hand-written monitor the repository ships, and reports all
-//! findings through the unified [`artemis_spec::Diagnostic`] type.
+//! reachability, cross-monitor conflicts, energy feasibility) — over
+//! every specification and hand-written monitor the repository ships,
+//! and reports all findings through the unified
+//! [`artemis_spec::Diagnostic`] type. The energy pass runs against the
+//! default wearable capacitor (800 µJ usable, 10 % margin) and prints
+//! one verdict row per task on top of any diagnostics it raises.
 //!
 //! CI runs this as a build gate: the shipped samples and examples must
 //! produce **zero errors** (warnings are listed but tolerated). The
@@ -16,8 +19,15 @@ use artemis_core::app::{AppGraph, AppGraphBuilder};
 use artemis_ir::compile::CompiledSuite;
 use artemis_spec::{sort_diagnostics, Diagnostic};
 
-use crate::health::health_app;
+use crate::health::{benchmark_capacitor, health_app};
 use crate::Report;
+
+/// The default wearable device profile the energy verdicts are checked
+/// against: the 800 µJ benchmark capacitor priced through the
+/// MSP430FR5994 cost model with the default 10 % margin.
+fn wearable_profile() -> intermittent_sim::EnergyProfile {
+    intermittent_sim::EnergyProfile::with_budget(benchmark_capacitor().usable_budget())
+}
 
 /// The hand-written IR of `examples/custom_monitor.rs`, extracted from
 /// the example source so the lint can never drift from what users see.
@@ -55,7 +65,13 @@ fn first_raw_string(src: &str) -> Option<&str> {
 /// validate → compile → whole-suite analysis. Every stage's findings
 /// are tagged with `target` in the subject; a stage failure becomes an
 /// error diagnostic instead of aborting the sweep.
-fn lint_spec(target: &str, source: &str, app: &AppGraph, out: &mut Vec<(String, Diagnostic)>) {
+fn lint_spec(
+    target: &str,
+    source: &str,
+    app: &AppGraph,
+    out: &mut Vec<(String, Diagnostic)>,
+    verdicts: &mut Vec<(String, artemis_ir::analysis::TaskFeasibility)>,
+) {
     let push = |out: &mut Vec<(String, Diagnostic)>, d: Diagnostic| {
         out.push((target.to_string(), d));
     };
@@ -93,7 +109,7 @@ fn lint_spec(target: &str, source: &str, app: &AppGraph, out: &mut Vec<(String, 
             return;
         }
     };
-    lint_suite(target, &suite, app, out);
+    lint_suite(target, &suite, app, out, verdicts);
 }
 
 /// Lints a lowered (or hand-written) machine suite: per-machine
@@ -103,6 +119,7 @@ fn lint_suite(
     suite: &artemis_ir::MonitorSuite,
     app: &AppGraph,
     out: &mut Vec<(String, Diagnostic)>,
+    verdicts: &mut Vec<(String, artemis_ir::analysis::TaskFeasibility)>,
 ) {
     for m in suite.machines() {
         for issue in artemis_ir::validate::validate(m) {
@@ -122,6 +139,14 @@ fn lint_suite(
     for d in artemis_ir::analysis::analyze_suite(suite, &compiled, None) {
         out.push((target.to_string(), d));
     }
+    let profile = wearable_profile();
+    let bounds = artemis_ir::suite_bounds(&compiled);
+    for d in artemis_ir::analysis::check_energy(&compiled, &bounds, app, &profile) {
+        out.push((target.to_string(), d));
+    }
+    for f in artemis_ir::analysis::task_feasibility(&compiled, &bounds, app, &profile) {
+        verdicts.push((target.to_string(), f));
+    }
 }
 
 /// Runs the lint over every shipped specification and example monitor.
@@ -129,25 +154,30 @@ fn lint_suite(
 /// CI gate).
 pub fn analyze_all() -> (Report, usize) {
     let mut findings: Vec<(String, Diagnostic)> = Vec::new();
+    let mut verdicts: Vec<(String, artemis_ir::analysis::TaskFeasibility)> = Vec::new();
 
     lint_spec(
         "samples::FIGURE5",
         artemis_spec::samples::FIGURE5,
         &health_app(),
         &mut findings,
+        &mut verdicts,
     );
     lint_spec(
         "samples::MINIMAL",
         artemis_spec::samples::MINIMAL,
         &minimal_app(),
         &mut findings,
+        &mut verdicts,
     );
 
     // The hand-written IR example, straight from its source file.
     let target = "examples/custom_monitor.rs";
     match first_raw_string(CUSTOM_MONITOR_SRC) {
         Some(ir) => match artemis_ir::parse::parse_suite(ir) {
-            Ok(suite) => lint_suite(target, &suite, &custom_monitor_app(), &mut findings),
+            Ok(suite) => {
+                lint_suite(target, &suite, &custom_monitor_app(), &mut findings, &mut verdicts)
+            }
             Err(e) => findings.push((
                 target.to_string(),
                 Diagnostic::error("parse", target.to_string(), e.to_string()),
@@ -185,8 +215,31 @@ pub fn analyze_all() -> (Report, usize) {
             d.message.clone(),
         ]);
     }
+    let profile = wearable_profile();
+    for (target, f) in &verdicts {
+        use artemis_ir::analysis::Verdict;
+        r.row(vec![
+            target.clone(),
+            "energy".to_string(),
+            match f.verdict {
+                Verdict::Feasible => "feasible",
+                Verdict::Marginal => "marginal",
+                Verdict::Infeasible => "infeasible",
+            }
+            .to_string(),
+            format!("task {}", f.name),
+            format!(
+                "attempt floor {} / ceiling {} vs {} budget",
+                f.floor, f.ceiling, profile.budget
+            ),
+        ]);
+    }
     r.note(format!(
         "{errors} error(s), {warnings} warning(s) across 3 targets"
+    ));
+    r.note(format!(
+        "energy verdicts against the default wearable capacitor ({} usable, {}% margin)",
+        profile.budget, profile.margin_percent
     ));
     r.note("CI gate: shipped specs and examples must produce zero errors");
     (r, errors)
@@ -216,7 +269,83 @@ mod tests {
     #[test]
     fn lint_reports_broken_specs() {
         let mut out = Vec::new();
-        lint_spec("broken", "ghost { maxTries: 1 onFail: skipPath; }", &minimal_app(), &mut out);
+        let mut verdicts = Vec::new();
+        lint_spec(
+            "broken",
+            "ghost { maxTries: 1 onFail: skipPath; }",
+            &minimal_app(),
+            &mut out,
+            &mut verdicts,
+        );
         assert!(out.iter().any(|(_, d)| d.is_error()), "{out:?}");
+    }
+
+    /// Every task of every shipped target gets an energy verdict row,
+    /// and at the default wearable capacitor they are all feasible
+    /// (which is why the error gate stays at zero).
+    #[test]
+    fn shipped_targets_print_feasible_energy_verdicts() {
+        let (r, _) = analyze_all();
+        let verdict_rows: Vec<_> = r.rows.iter().filter(|row| row[1] == "energy").collect();
+        // FIGURE5's eight tasks + MINIMAL's one + the example app's four.
+        assert_eq!(verdict_rows.len(), 8 + 1 + 4, "{}", r.render());
+        for row in &verdict_rows {
+            assert_eq!(row[2], "feasible", "{row:?}");
+        }
+    }
+
+    /// EXPERIMENTS.md "Cost model constants" documents the numbers in
+    /// `CostModel::msp430fr5994()`; this pins the table to the struct
+    /// so the docs cannot drift from the single source of truth.
+    #[test]
+    fn experiments_md_cost_table_matches_cost_model() {
+        const DOC: &str = include_str!("../../../EXPERIMENTS.md");
+        let model = intermittent_sim::CostModel::msp430fr5994();
+        let section = DOC
+            .split("## Cost model constants")
+            .nth(1)
+            .expect("EXPERIMENTS.md has a `Cost model constants` section");
+        let cells = |label: &str| -> Vec<String> {
+            section
+                .lines()
+                .find(|l| l.starts_with(&format!("| {label} |")))
+                .unwrap_or_else(|| panic!("cost table row `{label}` missing"))
+                .split('|')
+                .map(|c| c.trim().to_string())
+                .collect()
+        };
+        // "| <label> | 25 µs | 5,000 pJ | <basis> |" — numeric value is
+        // the first whitespace-separated token of the cell.
+        let num = |cell: &str| -> u64 {
+            cell.split_whitespace()
+                .next()
+                .expect("non-empty cell")
+                .replace(',', "")
+                .parse()
+                .unwrap_or_else(|_| panic!("unparseable number in cell `{cell}`"))
+        };
+
+        let cycle = cells("CPU cycle");
+        assert_eq!(num(&cycle[2]), 1_000_000 / model.clock_hz, "cycle time (µs)");
+        assert_eq!(num(&cycle[3]), model.energy_per_cycle.as_pico_joules(), "cycle energy (pJ)");
+
+        let read_base = cells("FRAM read, per access");
+        assert_eq!(num(&read_base[2]), model.fram_read_base.time.as_micros());
+        assert_eq!(num(&read_base[3]), model.fram_read_base.energy.as_pico_joules());
+
+        let read_byte = cells("FRAM read, per byte");
+        assert_eq!(num(&read_byte[2]), model.fram_read_per_byte.time.as_micros());
+        assert_eq!(num(&read_byte[3]), model.fram_read_per_byte.energy.as_pico_joules());
+
+        let write_base = cells("FRAM write, per access");
+        assert_eq!(num(&write_base[2]), model.fram_write_base.time.as_micros());
+        assert_eq!(num(&write_base[3]), model.fram_write_base.energy.as_pico_joules());
+
+        let write_byte = cells("FRAM write, per byte");
+        assert_eq!(num(&write_byte[2]), model.fram_write_per_byte.time.as_micros());
+        assert_eq!(num(&write_byte[3]), model.fram_write_per_byte.energy.as_pico_joules());
+
+        let idle = cells("Idle (LPM3)");
+        assert_eq!(num(&idle[3]), model.idle_power_nanowatts, "idle power (nW)");
     }
 }

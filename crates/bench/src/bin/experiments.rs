@@ -10,11 +10,13 @@ use artemis_bench::Report;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|fleet|analyze|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|energy|fleet|analyze|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
          analyze  lint shipped specs/examples with the static analyser\n\
          \x20        (exits non-zero on any error-severity finding)\n\
          cache    shadow-cache FRAM-traffic comparison (cached vs uncached)\n\
+         energy   install-time energy feasibility verdicts vs measured\n\
+         \x20        forward progress across a capacitor sweep\n\
          fleet    full fleet-scale sharded simulation sweep (`all` includes a\n\
          \x20        small fleet_smoke run; FLEET_DEVICES / FLEET_SEED /\n\
          \x20        FLEET_WORKERS override the full sweep)\n\
@@ -33,8 +35,8 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--emit" => emit = true,
             "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "scaling" | "dispatch" | "delta" | "batch" | "cache" | "fleet" | "analyze"
-            | "all" => {
+            | "scaling" | "dispatch" | "delta" | "batch" | "cache" | "energy" | "fleet"
+            | "analyze" | "all" => {
                 which = Some(arg)
             }
             _ => return usage(),
@@ -63,6 +65,7 @@ fn main() -> ExitCode {
         "delta" => vec![experiments::delta()],
         "batch" => vec![experiments::batch()],
         "cache" => vec![experiments::cache()],
+        "energy" => vec![experiments::energy()],
         "fleet" => vec![experiments::fleet()],
         _ => experiments::all(),
     };

@@ -63,6 +63,18 @@ pub fn benchmark_device(harvester: Harvester) -> Device {
         .build()
 }
 
+/// [`benchmark_device`] with a caller-chosen capacitor budget, for the
+/// energy-feasibility sweep (`experiments::energy`): everything else —
+/// cost model, harvester plumbing, peripherals — matches the benchmark
+/// testbed, so the install-time analysis and the measured run price
+/// FRAM traffic identically.
+pub fn benchmark_device_with_budget(budget: Energy, harvester: Harvester) -> Device {
+    DeviceBuilder::msp430fr5994()
+        .capacitor(Capacitor::with_budget(budget))
+        .harvester(harvester)
+        .build()
+}
+
 /// [`benchmark_device`] with a bounded (ring-buffer) trace, for the
 /// open-ended DNF sweeps: a 6-hour non-terminating run appends trace
 /// records forever, so the sweeps keep only the most recent window.
@@ -85,8 +97,36 @@ pub fn nominal_minutes(n: u64) -> SimDuration {
     SimDuration::from_secs(n * 59)
 }
 
-/// The task graph of Figures 4 and 6.
+/// The task graph of Figures 4 and 6, with each task's body cost
+/// declared for the install-time energy feasibility analysis.
+///
+/// The declarations mirror the bodies in [`artemis_builder`] exactly:
+/// the same compute cycles and idle periods, plus the peripheral and
+/// radio draws priced from [`PeripheralBank::thunderboard_defaults`]
+/// (the single source of those constants). Channel FRAM traffic is
+/// deliberately left out: declarations are trusted as *lower* bounds
+/// on a successful execution, so omitting it keeps Infeasible verdicts
+/// sound while the analysis's own monitor/runtime allowances cover the
+/// protocol overhead.
 pub fn health_app() -> AppGraph {
+    use artemis_core::app::TaskCostDecl;
+    use intermittent_sim::peripherals::PeripheralBank;
+
+    let bank = PeripheralBank::thunderboard_defaults(0);
+    let cost = |compute_cycles: u64, idle_ms: u64, extras: &[intermittent_sim::mcu::Cost]| {
+        let extra_energy_pj = extras
+            .iter()
+            .map(|c| c.energy.as_pico_joules())
+            .sum::<u64>();
+        let extra_time_us = extras.iter().map(|c| c.time.as_micros()).sum::<u64>();
+        TaskCostDecl {
+            compute_cycles,
+            idle: SimDuration::from_millis(idle_ms),
+            extra_energy_pj,
+            extra_time_us,
+        }
+    };
+
     let mut b = AppGraphBuilder::new();
     let body_temp = b.task("bodyTemp");
     let calc_avg = b.task_with_var("calcAvg", "avgTemp");
@@ -96,6 +136,37 @@ pub fn health_app() -> AppGraph {
     let mic_sense = b.task("micSense");
     let filter = b.task("filter");
     let send = b.task("send");
+    b.task_cost(
+        body_temp,
+        cost(2_000, 300, &[bank.sample_cost(Peripheral::TemperatureAdc)]),
+    );
+    b.task_cost(calc_avg, cost(5_000, 0, &[]));
+    b.task_cost(heart_rate, cost(20_000, 500, &[]));
+    b.task_cost(
+        accel,
+        cost(
+            10_000,
+            2_000,
+            &[
+                bank.sample_cost(Peripheral::Accelerometer),
+                bank.sample_cost(Peripheral::Accelerometer),
+            ],
+        ),
+    );
+    b.task_cost(classify, cost(50_000, 500, &[]));
+    b.task_cost(
+        mic_sense,
+        cost(
+            10_000,
+            1_000,
+            &[
+                bank.sample_cost(Peripheral::Microphone),
+                bank.sample_cost(Peripheral::Microphone),
+            ],
+        ),
+    );
+    b.task_cost(filter, cost(30_000, 500, &[]));
+    b.task_cost(send, cost(2_000, 0, &[bank.tx_cost(32)]));
     b.path(&[body_temp, calc_avg, heart_rate, send]);
     b.path(&[accel, classify, send]);
     b.path(&[mic_sense, filter, send]);

@@ -12,6 +12,7 @@ use core::fmt;
 use std::collections::HashMap;
 
 use crate::error::BuildError;
+use crate::time::SimDuration;
 
 /// Index of a task within an [`AppGraph`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -56,6 +57,33 @@ impl fmt::Display for PathId {
     }
 }
 
+/// Declared energy-relevant cost of one task body execution.
+///
+/// Task bodies are opaque closures, so the static energy-feasibility
+/// analysis cannot derive their draw — applications *declare* it here
+/// instead. `compute_cycles` and `idle` are priced through the
+/// device's cost model; `extra_energy_pj`/`extra_time_us` carry
+/// everything the declarer prices themselves (peripheral samples,
+/// radio packets, channel FRAM traffic), already in picojoules and
+/// microseconds.
+///
+/// Semantics: the declaration should be the draw of one **successful**
+/// body execution. Used as a *lower* bound for the analysis's
+/// infeasibility floor (so understating extras keeps error verdicts
+/// sound) and, together with the analysis's runtime-overhead
+/// allowance, as the base of the warning ceiling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskCostDecl {
+    /// CPU cycles the body computes.
+    pub compute_cycles: u64,
+    /// Total low-power idle time the body waits.
+    pub idle: SimDuration,
+    /// Self-priced extra draw (peripherals, radio, channels), pJ.
+    pub extra_energy_pj: u64,
+    /// Self-priced extra time, µs.
+    pub extra_time_us: u64,
+}
+
 /// Static declaration of one task.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TaskDecl {
@@ -64,6 +92,10 @@ pub struct TaskDecl {
     /// Name of the monitored output variable, if the task declared one
     /// with the paper's `Task(name, var)` form (used by `dpData`).
     pub monitored_var: Option<String>,
+    /// Declared energy cost of one body execution (zero when the
+    /// application does not declare costs — the energy analysis then
+    /// bounds monitor overhead only).
+    pub cost: TaskCostDecl,
 }
 
 /// Static declaration of one path: an ordered task sequence.
@@ -133,6 +165,15 @@ impl AppGraph {
     /// Looks a task up by source name.
     pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
         self.by_name.get(name).copied()
+    }
+
+    /// Returns the declared body cost of `id` (zero if undeclared).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn task_cost(&self, id: TaskId) -> TaskCostDecl {
+        self.tasks[id.index()].cost
     }
 
     /// Returns the declaration of path `id`.
@@ -247,9 +288,21 @@ impl AppGraphBuilder {
         self.tasks.push(TaskDecl {
             name: name.to_string(),
             monitored_var: var,
+            cost: TaskCostDecl::default(),
         });
         self.by_name.insert(name.to_string(), id);
         id
+    }
+
+    /// Declares the energy cost of one execution of `task`'s body (see
+    /// [`TaskCostDecl`]). Overwrites any previous declaration.
+    pub fn task_cost(&mut self, task: TaskId, cost: TaskCostDecl) -> &mut Self {
+        if task.index() >= self.tasks.len() {
+            self.errors.push(BuildError::UnknownTaskId { id: task.0 });
+        } else {
+            self.tasks[task.index()].cost = cost;
+        }
+        self
     }
 
     /// Declares a path as an ordered task sequence; returns its id.
@@ -327,6 +380,33 @@ mod tests {
         assert_eq!(app.task_by_name("bodyTemp"), Some(TaskId(0)));
         assert_eq!(app.task_by_name("micSense"), Some(TaskId(4)));
         assert_eq!(app.task_by_name("nope"), None);
+    }
+
+    #[test]
+    fn task_cost_defaults_to_zero_and_round_trips() {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("a");
+        let c = b.task("c");
+        let decl = TaskCostDecl {
+            compute_cycles: 5_000,
+            idle: SimDuration::from_millis(300),
+            extra_energy_pj: 5_000_000,
+            extra_time_us: 1_000,
+        };
+        b.task_cost(a, decl);
+        b.path(&[a, c]);
+        let app = b.build().unwrap();
+        assert_eq!(app.task_cost(a), decl);
+        assert_eq!(app.task_cost(c), TaskCostDecl::default());
+    }
+
+    #[test]
+    fn task_cost_on_unknown_id_is_rejected() {
+        let mut b = AppGraphBuilder::new();
+        let a = b.task("a");
+        b.task_cost(TaskId(9), TaskCostDecl::default());
+        b.path(&[a]);
+        assert!(matches!(b.build(), Err(BuildError::UnknownTaskId { .. })));
     }
 
     #[test]

@@ -95,6 +95,17 @@ const U64_BYTES: usize = 8;
 const U32_BYTES: usize = 4;
 /// One verdict cell: `(u32, (u8, u32))`.
 const VERDICT_BYTES: usize = 9;
+/// Recovery flag (`bool`).
+const FLAG_BYTES: usize = 1;
+
+/// Engine cycle charges, mirroring `artemis-monitor`'s constants of the
+/// same names (pinned against the engine by the monitor crate's
+/// `bounds_model_matches_engine` energy tests).
+pub const ROUTING_LOOKUP_CYCLES: u64 = 12;
+/// Cycles per armed machine entered on the compiled dispatch path.
+pub const COMPILED_DISPATCH_CYCLES: u64 = 10;
+/// Cycles per dispatched transition evaluated.
+pub const STEP_PER_TRANSITION_CYCLES: u64 = 12;
 
 /// FRAM ops of an entry-list journal commit with `entries` entries.
 const fn commit_reads(entries: usize) -> usize {
@@ -102,6 +113,13 @@ const fn commit_reads(entries: usize) -> usize {
 }
 const fn commit_writes(entries: usize) -> usize {
     3 * entries + 3
+}
+
+/// Energy-billed write accesses of an entry-list commit: staging an
+/// entry is one billed base (header + payload in one access) though it
+/// counts as two op-counter writes.
+const fn commit_billed_writes(entries: usize) -> usize {
+    2 * entries + 3
 }
 
 /// FRAM writes of a sparse journal commit with `k` sub-writes (stage,
@@ -171,6 +189,31 @@ pub struct EventCost {
     pub cold_extra_reads: usize,
     /// Largest single journal commit, in payload bytes.
     pub commit_bytes: usize,
+    /// Worst-case FRAM bytes read (per-byte traffic priced on top of
+    /// the per-op base by the sim's cost model).
+    pub read_bytes: usize,
+    /// Worst-case FRAM bytes read with the shadow cache warm — only
+    /// the entry-list commit protocol re-reads of degraded machines.
+    pub cached_read_bytes: usize,
+    /// Worst-case FRAM bytes written (identical in both cache modes:
+    /// the shadow is write-through).
+    pub write_bytes: usize,
+    /// Worst-case FRAM write *accesses as billed by the energy meter*.
+    /// Differs from [`EventCost::writes`] only on entry-list commits:
+    /// staging one entry issues two op-counter writes (header, then
+    /// payload) but is billed as a single base-plus-bytes access, so a
+    /// degraded machine's `E`-entry commit bills `2E+3` accesses
+    /// against `3E+3` counted ops. Sparse commits bill 1:1.
+    pub billed_writes: usize,
+    /// Worst-case engine CPU cycles charged for the delivery (routing
+    /// lookup + per-machine dispatch + per-transition stepping).
+    pub cycles: u64,
+    /// FRAM write ops of the arming commit alone — a floor *every*
+    /// delivered event pays before any machine steps, in either cache
+    /// mode (the cache is write-through and never absorbs writes).
+    pub arming_writes: usize,
+    /// FRAM bytes the arming commit alone writes.
+    pub arming_write_bytes: usize,
 }
 
 impl EventCost {
@@ -228,19 +271,35 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
             // sparse commit. The byte bound covers both formats (the
             // sparse record is the entry-list image + its count word).
             let mut reads = 2;
+            let mut read_bytes = FLAG_BYTES + U64_BYTES;
             let mut writes = sparse_commit_writes(5);
             let arming_entry_bytes = entry_bytes(ENCODED_EVENT_BYTES)
                 + entry_bytes(U64_BYTES)
                 + entry_bytes(U32_BYTES)
                 + u16_list_entry_bytes(armed.len())
                 + entry_bytes(U64_BYTES);
+            // A sparse commit writes the staged record, the flag, each
+            // sub-write's payload, and the flag clear.
+            let arming_data_bytes =
+                ENCODED_EVENT_BYTES + U64_BYTES + U32_BYTES + (2 + 2 * armed.len()) + U64_BYTES;
+            let arming_write_bytes =
+                sparse_record_bytes(arming_entry_bytes) + arming_data_bytes + 2 * FLAG_BYTES;
+            let mut write_bytes = arming_write_bytes;
             let mut commit = sparse_record_bytes(arming_entry_bytes);
             reads += if armed.is_empty() { 2 } else { 4 };
+            read_bytes += if armed.is_empty() {
+                2 + U64_BYTES
+            } else {
+                2 + U64_BYTES + 2 * armed.len() + ENCODED_EVENT_BYTES
+            };
+            let mut cycles = ROUTING_LOOKUP_CYCLES;
+            let mut billed_writes = sparse_commit_writes(5);
 
             let mut emitters = 0;
             let mut delta_machines = 0;
             let mut degraded_machines = 0;
             let mut cached_reads = 0;
+            let mut cached_read_bytes = 0;
             for &mi in armed {
                 let m = &machines[mi as usize];
                 let emits = m
@@ -248,6 +307,8 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                     .iter()
                     .any(|&ti| m.transitions[ti as usize].emit.is_some());
                 let access = m.access(kind, probe);
+                cycles += COMPILED_DISPATCH_CYCLES
+                    + STEP_PER_TRANSITION_CYCLES * m.transition_list(kind, probe).len() as u64;
 
                 // Whole-block entry-list bytes: always part of the byte
                 // bound so a delta-disabled engine still fits.
@@ -261,30 +322,62 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                 if access.whole_block {
                     degraded_machines += 1;
                     let step_entries = if emits { 4 } else { 2 };
+                    // Entry payloads: block image + done bit (+ verdict
+                    // cell and count).
+                    let mut entry_data = block_bytes(m.var_count) + U64_BYTES;
+                    if emits {
+                        entry_data += VERDICT_BYTES + U32_BYTES;
+                    }
                     reads += 1 + commit_reads(step_entries) + usize::from(emits);
+                    // Block load + protocol re-reads (count word, each
+                    // entry header and payload) + verdict count.
+                    let protocol_bytes = 2 + ENTRY_HEADER * step_entries + entry_data;
+                    read_bytes += block_bytes(m.var_count)
+                        + protocol_bytes
+                        + if emits { U32_BYTES } else { 0 };
                     writes += commit_writes(step_entries);
+                    billed_writes += commit_billed_writes(step_entries);
+                    // Stage each entry, count word, flag, apply each
+                    // payload, flag clear.
+                    write_bytes += (ENTRY_HEADER * step_entries + entry_data)
+                        + 2
+                        + FLAG_BYTES
+                        + entry_data
+                        + FLAG_BYTES;
                     // The shadow serves the block load and the verdict
                     // count, but the entry-list commit's re-read-and-
                     // apply protocol reads are journal traffic the
                     // cache cannot touch.
                     cached_reads += commit_reads(step_entries);
+                    cached_read_bytes += protocol_bytes;
                     commit = commit.max(block_step_bytes);
                 } else {
                     delta_machines += 1;
                     // Covering-span read, verdict-count read if emitting.
                     reads += 1 + usize::from(emits);
+                    let span_bytes = STATE_WORD_BYTES
+                        + NV_VALUE_BYTES
+                            * access.max_touched_slot().map_or(0, |s| s as usize + 1);
+                    read_bytes += span_bytes + if emits { U32_BYTES } else { 0 };
                     // Sub-writes: state word + every write-set slot +
                     // done bit (+ verdict cell and count).
                     let mut k = 1 + access.writes.len() + 1;
                     let mut delta_entry_bytes = entry_bytes(STATE_WORD_BYTES)
                         + access.writes.len() * entry_bytes(NV_VALUE_BYTES)
                         + entry_bytes(U64_BYTES);
+                    let mut delta_data = STATE_WORD_BYTES
+                        + access.writes.len() * NV_VALUE_BYTES
+                        + U64_BYTES;
                     if emits {
                         k += 2;
                         delta_entry_bytes +=
                             entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
+                        delta_data += VERDICT_BYTES + U32_BYTES;
                     }
                     writes += sparse_commit_writes(k);
+                    billed_writes += sparse_commit_writes(k);
+                    write_bytes +=
+                        sparse_record_bytes(delta_entry_bytes) + delta_data + 2 * FLAG_BYTES;
                     commit = commit
                         .max(sparse_record_bytes(delta_entry_bytes))
                         .max(block_step_bytes);
@@ -293,6 +386,7 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
 
             // Verdict readback: count + one cell per possible emitter.
             reads += 1 + emitters;
+            read_bytes += U32_BYTES + VERDICT_BYTES * emitters;
 
             per_key.push(EventCost {
                 kind,
@@ -309,6 +403,13 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                 // pre-crash event is bounded by `reads`).
                 cold_extra_reads: 2 + armed.len(),
                 commit_bytes: commit,
+                read_bytes,
+                cached_read_bytes,
+                write_bytes,
+                billed_writes,
+                cycles,
+                arming_writes: sparse_commit_writes(5),
+                arming_write_bytes,
             });
         }
     }
@@ -393,6 +494,18 @@ pub struct BatchBounds {
     /// fill per armed machine. A resumed (pre-crash) batch is also
     /// bounded by the uncached [`BatchBounds::reads`].
     pub cold_extra_reads: usize,
+    /// Worst-case FRAM bytes read for one full batch.
+    pub read_bytes: usize,
+    /// Worst-case warm-cache FRAM bytes read — always `0`, mirroring
+    /// [`BatchBounds::cached_reads`].
+    pub cached_read_bytes: usize,
+    /// Worst-case FRAM bytes written for one full batch.
+    pub write_bytes: usize,
+    /// Worst-case engine CPU cycles for one full batch. Routing is
+    /// charged twice per event (lookup at arming, again when the batch
+    /// runs), then each machine pays dispatch + worst-key stepping per
+    /// event.
+    pub cycles: u64,
 }
 
 impl BatchBounds {
@@ -428,6 +541,7 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
 
     // Arming: flag + batch-seq reads, one 5-sub-write sparse commit.
     let mut reads = 2;
+    let mut read_bytes = FLAG_BYTES + U64_BYTES;
     let mut writes = sparse_commit_writes(5);
     let arming_entry_bytes = entry_bytes(2 + ENCODED_EVENT_BYTES * max_events)
         + entry_bytes(U64_BYTES)
@@ -435,17 +549,30 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         + u16_list_entry_bytes(machines.len())
         + entry_bytes(U64_BYTES);
     let arming_commit_bytes = sparse_record_bytes(arming_entry_bytes);
+    let arming_data_bytes = (2 + ENCODED_EVENT_BYTES * max_events)
+        + U64_BYTES
+        + U32_BYTES
+        + (2 + 2 * machines.len())
+        + U64_BYTES;
+    let mut write_bytes = arming_commit_bytes + arming_data_bytes + 2 * FLAG_BYTES;
     let mut commit = arming_commit_bytes;
+    // Routing is looked up per event at arming and again when the
+    // batch runs.
+    let mut cycles = 2 * ROUTING_LOOKUP_CYCLES * max_events as u64;
 
     // Batch setup: worklist count + done bitmap + items + events count
     // + events payload.
     reads += 5;
+    read_bytes +=
+        2 + U64_BYTES + 2 * machines.len() + 2 + ENCODED_EVENT_BYTES * max_events;
 
     let mut emitters = 0;
     for m in machines {
-        // Merged footprint over every key the machine can see.
+        // Merged footprint over every key the machine can see, plus
+        // the worst per-event dispatch length for the cycle bound.
         let mut access = crate::compile::AccessSet::default();
         let mut emits = false;
+        let mut worst_dispatch = 0usize;
         for kind in [EventKind::StartTask, EventKind::EndTask] {
             for key_task in 0..=task_count {
                 let probe = if key_task == task_count {
@@ -454,8 +581,9 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
                     key_task as u32
                 };
                 access.union_with(m.access(kind, probe));
-                emits |= m
-                    .transition_list(kind, probe)
+                let list = m.transition_list(kind, probe);
+                worst_dispatch = worst_dispatch.max(list.len());
+                emits |= list
                     .iter()
                     .any(|&ti| m.transitions[ti as usize].emit.is_some());
             }
@@ -463,9 +591,18 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         if emits {
             emitters += 1;
         }
+        cycles += max_events as u64
+            * (COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES * worst_dispatch as u64);
 
         // Span (or block) read + verdict-count read for emitters.
         reads += 1 + usize::from(emits);
+        let span_bytes = if access.whole_block {
+            block_bytes(m.var_count)
+        } else {
+            STATE_WORD_BYTES
+                + NV_VALUE_BYTES * access.max_touched_slot().map_or(0, |s| s as usize + 1)
+        };
+        read_bytes += span_bytes + if emits { U32_BYTES } else { 0 };
 
         let verdict_subs = if emits { max_events + 1 } else { 0 };
         let state_subs = if access.whole_block {
@@ -480,12 +617,34 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         } else {
             0
         };
+        let verdict_data = if emits {
+            max_events * VERDICT_BYTES + U32_BYTES
+        } else {
+            0
+        };
         let delta_entries = entry_bytes(STATE_WORD_BYTES)
             + access.writes.len() * entry_bytes(NV_VALUE_BYTES)
             + verdict_entry_bytes
             + entry_bytes(U64_BYTES);
         let block_entries =
             entry_bytes(block_bytes(m.var_count)) + verdict_entry_bytes + entry_bytes(U64_BYTES);
+        // Write bytes follow the format the engine actually uses for
+        // this machine (block image when the merged set degrades).
+        let (record_entries, commit_data) = if access.whole_block {
+            (
+                block_entries,
+                block_bytes(m.var_count) + verdict_data + U64_BYTES,
+            )
+        } else {
+            (
+                delta_entries,
+                STATE_WORD_BYTES
+                    + access.writes.len() * NV_VALUE_BYTES
+                    + verdict_data
+                    + U64_BYTES,
+            )
+        };
+        write_bytes += sparse_record_bytes(record_entries) + commit_data + 2 * FLAG_BYTES;
         commit = commit
             .max(sparse_record_bytes(delta_entries))
             .max(sparse_record_bytes(block_entries));
@@ -493,6 +652,7 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
 
     // Verdict readback: count + up to `max_events` cells per emitter.
     reads += 1 + emitters * max_events;
+    read_bytes += U32_BYTES + VERDICT_BYTES * emitters * max_events;
 
     // Reset surcharge: batch seq + cleared events count (a 2-byte raw
     // image) + empty merged worklist + done bitmap.
@@ -510,6 +670,10 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         writes,
         cached_reads: 0,
         cold_extra_reads: 2 + machines.len(),
+        read_bytes,
+        cached_read_bytes: 0,
+        write_bytes,
+        cycles,
     }
 }
 
@@ -604,6 +768,41 @@ mod tests {
         assert_eq!(start_a.cached_reads, commit_reads(4));
         assert_eq!(start_a.cold_extra_reads, 2 + 1);
         assert!(start_a.cached_reads < start_a.reads);
+        // Byte/cycle pins for the degraded emitting key (1-var block).
+        let entry_data = block_bytes(1) + U64_BYTES + VERDICT_BYTES + U32_BYTES;
+        let protocol = 2 + ENTRY_HEADER * 4 + entry_data;
+        assert_eq!(start_a.cached_read_bytes, protocol);
+        assert_eq!(
+            start_a.read_bytes,
+            // arming flag+seq, worklist setup, block load, protocol
+            // re-reads, verdict count, readback count + one cell.
+            (FLAG_BYTES + U64_BYTES)
+                + (2 + U64_BYTES + 2 + ENCODED_EVENT_BYTES)
+                + block_bytes(1)
+                + protocol
+                + U32_BYTES
+                + (U32_BYTES + VERDICT_BYTES)
+        );
+        assert_eq!(
+            start_a.write_bytes,
+            start_a.arming_write_bytes
+                + (ENTRY_HEADER * 4 + entry_data) + 2 + 1 + entry_data + 1
+        );
+        assert_eq!(start_a.arming_writes, sparse_commit_writes(5));
+        // The 4-entry degraded commit bills 4 fewer write bases than
+        // the op counter sees (one per staged entry).
+        assert_eq!(start_a.billed_writes, start_a.writes - 4);
+        // One armed machine; the maxTries lowering dispatches 3
+        // transitions on its task's start key.
+        assert_eq!(
+            start_a.cycles,
+            ROUTING_LOOKUP_CYCLES + COMPILED_DISPATCH_CYCLES + 3 * STEP_PER_TRANSITION_CYCLES
+        );
+        // An un-armed key still pays the routing lookup and arming
+        // commit, nothing else.
+        assert_eq!(wild.cycles, ROUTING_LOOKUP_CYCLES);
+        assert_eq!(wild.write_bytes, wild.arming_write_bytes);
+        assert_eq!(wild.cached_read_bytes, 0);
         assert!(b.worst_commit_bytes >= b.reset_commit_bytes);
         assert!(b.worst_event().unwrap().ops() >= start_a.ops());
     }
@@ -649,6 +848,30 @@ mod tests {
         assert_eq!(start_a.reads, 2 + 4 + 1 + 1);
         // Sparse arming (8) + sparse step of state+slot+done (6).
         assert_eq!(start_a.writes, 8 + 6);
+        // Byte pins: span covers state word + slot 0 only; the sparse
+        // step stages a 3-entry record then applies 21 payload bytes.
+        let span = STATE_WORD_BYTES + NV_VALUE_BYTES;
+        assert_eq!(
+            start_a.read_bytes,
+            (FLAG_BYTES + U64_BYTES)
+                + (2 + U64_BYTES + 2 + ENCODED_EVENT_BYTES)
+                + span
+                + U32_BYTES
+        );
+        let delta_entries =
+            entry_bytes(STATE_WORD_BYTES) + entry_bytes(NV_VALUE_BYTES) + entry_bytes(U64_BYTES);
+        let delta_data = STATE_WORD_BYTES + NV_VALUE_BYTES + U64_BYTES;
+        assert_eq!(
+            start_a.write_bytes,
+            start_a.arming_write_bytes + sparse_record_bytes(delta_entries) + delta_data + 2
+        );
+        assert_eq!(start_a.cached_read_bytes, 0);
+        // All-sparse commits bill 1:1 with the op counter.
+        assert_eq!(start_a.billed_writes, start_a.writes);
+        assert_eq!(
+            start_a.cycles,
+            ROUTING_LOOKUP_CYCLES + COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES
+        );
         // All-sparse key: a warm cache reads NOTHING from FRAM, and the
         // cold refill is flag + seq + one whole-block fill.
         assert_eq!(start_a.cached_reads, 0);
@@ -686,6 +909,13 @@ mod tests {
         assert_eq!(b4.cold_extra_reads, 2 + 2);
         assert_eq!(b4.cached_ops(), b4.writes);
         assert!(b4.cached_ops_per_event_ceil() <= b4.ops_per_event_ceil());
+        // Bytes and cycles grow with capacity; warm-cache byte traffic
+        // is zero (all commits sparse); routing + dispatch are charged
+        // per event, so the cycle bound scales exactly linearly.
+        assert_eq!(b4.cached_read_bytes, 0);
+        assert!(b4.read_bytes > b1.read_bytes);
+        assert!(b4.write_bytes > b1.write_bytes);
+        assert_eq!(b4.cycles, 4 * b1.cycles);
     }
 
     #[test]

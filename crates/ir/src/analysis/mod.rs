@@ -27,17 +27,27 @@
 //! 4. [`conflicts`] — event keys on which two machines can
 //!    simultaneously signal conflicting `onFail` actions, with the
 //!    arbitration order the runtime will apply.
+//! 5. [`energy`] — per-task worst-case attempt energy (declared body
+//!    cost + monitor overhead priced from the FRAM bounds through the
+//!    device cost model) against the capacitor's usable budget:
+//!    statically infeasible tasks reject the install before the
+//!    brown-out/replay loop can ever happen on-device.
 //!
 //! All passes report through the unified [`artemis_spec::Diagnostic`]
 //! type; errors reject the install, warnings surface on the trace.
 
 pub mod bounds;
 pub mod conflicts;
+pub mod energy;
 pub mod reachability;
 pub mod verifier;
 
 pub use bounds::{batch_bounds, check_bounds, suite_bounds, BatchBounds, EventCost, SuiteBounds};
 pub use conflicts::check_conflicts;
+pub use energy::{
+    arming_energy, batch_energy, batch_energy_cached, body_energy, check_energy, event_energy,
+    event_energy_cached, task_feasibility, TaskFeasibility, Verdict, RUNTIME_ATTEMPT_OVERHEAD,
+};
 pub use reachability::check_reachability;
 pub use verifier::{verify_machine, MachineEnv};
 

@@ -371,6 +371,17 @@ pub struct InstallOptions {
     /// [`InstallError::Analysis`] instead of faulting with
     /// `JournalOverflow` mid-run.
     pub journal_capacity: Option<usize>,
+    /// Device energy profile for the install-time feasibility gate.
+    /// `Some(profile)` runs `artemis_ir::analysis::energy` over every
+    /// task: a task whose statically under-approximated attempt energy
+    /// exceeds the profile's budget rejects the install with
+    /// [`InstallError::Analysis`] *before* any FRAM is allocated (the
+    /// device would otherwise brown-out/replay that task forever);
+    /// attempts within the profile's margin surface as
+    /// `InstallWarning` trace events. `None` (the default) skips the
+    /// pass. Obtain the device's own profile via
+    /// `Device::energy_profile()`.
+    pub energy: Option<intermittent_sim::EnergyProfile>,
 }
 
 /// Why the engine could not be installed.
@@ -393,8 +404,9 @@ pub enum InstallError {
     /// The suite failed ahead-of-time compilation to bytecode.
     Compile(CompileIssue),
     /// Install-time static analysis found an error: the bytecode
-    /// verifier, the resource-bound pass, or the cross-monitor conflict
-    /// pass rejected the suite. No FRAM was touched.
+    /// verifier, the resource-bound pass, the cross-monitor conflict
+    /// pass, or the energy feasibility pass rejected the suite. No
+    /// FRAM was touched.
     Analysis(artemis_spec::Diagnostic),
     /// Device-level failure (FRAM exhaustion) during installation.
     Device(Interrupt),
@@ -813,6 +825,7 @@ impl MonitorEngine {
             batch,
             cache,
             journal_capacity,
+            energy,
         } = opts;
 
         // The batch path only exists on the routed compiled path (its
@@ -880,6 +893,12 @@ impl MonitorEngine {
         // first (most severe) error rejects the install; warnings
         // surface on the trace.
         let mut diags = artemis_ir::analysis::analyze_suite(&suite, &compiled, Some(capacity));
+        if let Some(profile) = energy {
+            diags.extend(artemis_ir::analysis::check_energy(
+                &compiled, &bounds, app, &profile,
+            ));
+            artemis_spec::sort_diagnostics(&mut diags);
+        }
         if !diags.is_empty() && diags[0].is_error() {
             return Err(InstallError::Analysis(diags.swap_remove(0)));
         }
@@ -3213,6 +3232,242 @@ mod tests {
                 "delta write model drifted ({cache:?})"
             );
         }
+    }
+
+    /// Builds the dispatch-workload suite the bounds exactness tests
+    /// use: `machines` identical machines over 12 int vars, each
+    /// incrementing the first `writes` slots on `startTask(t0)`.
+    fn dispatch_suite(machines: usize, writes: usize) -> (MonitorSuite, AppGraph) {
+        use artemis_ir::expr::{BinOp, Expr, Value, VarType};
+        use artemis_ir::fsm::{StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+        const VARS: usize = 12;
+        let mut b = AppGraphBuilder::new();
+        let t0 = b.task("t0");
+        let t1 = b.task("t1");
+        b.path(&[t0, t1]);
+        let app = b.build().unwrap();
+
+        let mut suite = MonitorSuite::new();
+        for m in 0..machines {
+            let mut sm = StateMachine::new(&format!("m{m}"), "t0");
+            for v in 0..VARS {
+                sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+            }
+            sm.add_state("S");
+            sm.transitions.push(Transition {
+                from: 0,
+                to: 0,
+                trigger: Trigger::Start(TaskPat::named("t0")),
+                guard: None,
+                body: (0..writes)
+                    .map(|v| {
+                        Stmt::Assign(
+                            format!("v{v}"),
+                            Expr::bin(BinOp::Add, Expr::var(&format!("v{v}")), Expr::int(1)),
+                        )
+                    })
+                    .collect(),
+                emit: None,
+            });
+            suite.push(sm);
+        }
+        (suite, app)
+    }
+
+    /// The energy twin of [`bounds_model_matches_engine`]: per-event
+    /// predicted delivery energy (ops, bytes and cycles priced through
+    /// the device's cost model) must equal the simulator's measured
+    /// monitor-category draw exactly, in both cache modes, on both the
+    /// degraded (whole-block) and sparse (delta) workloads. This is
+    /// what lets the install-time feasibility analysis trust its
+    /// per-attempt numbers.
+    #[test]
+    fn energy_model_matches_engine() {
+        use artemis_ir::analysis::{event_energy, event_energy_cached};
+
+        const EVENTS: u64 = 20;
+
+        // writes=12 degrades every machine; writes=1 keeps all sparse.
+        for (label, writes) in [("degraded", 12), ("delta", 1)] {
+            let (suite, app) = dispatch_suite(8, writes);
+            let t0 = app.task_by_name("t0").unwrap();
+            let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+            let bounds = artemis_ir::suite_bounds(&compiled);
+            let key = bounds
+                .per_key
+                .iter()
+                .find(|c| c.kind == EventKind::StartTask && c.task == Some(0))
+                .unwrap();
+
+            for cache in [CacheMode::Disabled, CacheMode::Enabled] {
+                let mut dev = DeviceBuilder::msp430fr5994().build();
+                let model = *dev.cost_model();
+                let predicted = match cache {
+                    CacheMode::Disabled => event_energy(key, &model),
+                    CacheMode::Enabled => event_energy_cached(key, &model),
+                };
+                let engine = MonitorEngine::install_with(
+                    &mut dev,
+                    suite.clone(),
+                    &app,
+                    InstallOptions {
+                        cache,
+                        ..InstallOptions::default()
+                    },
+                )
+                .unwrap();
+                engine.reset_monitor(&mut dev).unwrap();
+
+                let spent0 = dev.stats().energy(CostCategory::Monitor);
+                for seq in 1..=EVENTS {
+                    engine
+                        .call_monitor(&mut dev, seq, &MonitorEvent::start(t0, t(seq)))
+                        .unwrap();
+                }
+                let spent = dev.stats().energy(CostCategory::Monitor) - spent0;
+                assert_eq!(
+                    spent,
+                    predicted.saturating_mul(EVENTS),
+                    "energy model drifted ({label}, {cache:?})"
+                );
+            }
+        }
+    }
+
+    /// Batched counterpart of [`energy_model_matches_engine`]: a full
+    /// batch on the sparse workload must draw exactly the static
+    /// [`artemis_ir::BatchBounds`] energy in both cache modes (warm
+    /// batches are write-only, so the cached prediction is writes +
+    /// cycles alone).
+    #[test]
+    fn batch_energy_model_matches_engine() {
+        use artemis_ir::analysis::{batch_energy, batch_energy_cached};
+
+        const BATCH: usize = 8;
+        const BATCHES: u64 = 5;
+
+        let (suite, app) = dispatch_suite(8, 1);
+        let t0 = app.task_by_name("t0").unwrap();
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let bound = artemis_ir::batch_bounds(&compiled, BATCH);
+
+        for cache in [CacheMode::Disabled, CacheMode::Enabled] {
+            let mut dev = DeviceBuilder::msp430fr5994().build();
+            let model = *dev.cost_model();
+            let predicted = match cache {
+                CacheMode::Disabled => batch_energy(&bound, &model),
+                CacheMode::Enabled => batch_energy_cached(&bound, &model),
+            };
+            let engine = MonitorEngine::install_with(
+                &mut dev,
+                suite.clone(),
+                &app,
+                InstallOptions {
+                    batch: BatchMode::Enabled { max_events: BATCH },
+                    cache,
+                    ..InstallOptions::default()
+                },
+            )
+            .unwrap();
+            engine.reset_monitor(&mut dev).unwrap();
+
+            let spent0 = dev.stats().energy(CostCategory::Monitor);
+            for batch in 0..BATCHES {
+                let first_seq = 1 + batch * BATCH as u64;
+                let events: Vec<MonitorEvent> = (0..BATCH)
+                    .map(|i| MonitorEvent::start(t0, t(first_seq + i as u64)))
+                    .collect();
+                engine.deliver_batch(&mut dev, first_seq, &events).unwrap();
+            }
+            let spent = dev.stats().energy(CostCategory::Monitor) - spent0;
+            assert_eq!(
+                spent,
+                predicted.saturating_mul(BATCHES),
+                "batch energy model drifted ({cache:?})"
+            );
+        }
+    }
+
+    /// A statically infeasible task rejects the install with a typed
+    /// `energy` diagnostic BEFORE any FRAM is allocated; a merely
+    /// marginal profile installs fine and surfaces the warning on the
+    /// trace.
+    #[test]
+    fn install_gates_on_energy_feasibility() {
+        use intermittent_sim::{Energy, EnergyProfile};
+
+        let (suite, app) = dispatch_suite(2, 1);
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+
+        // A 100 nJ capacitor cannot even buffer the two arming commits.
+        let starved = EnergyProfile::with_budget(Energy::from_nano_joules(100));
+        let before = dev.fram().used_by(MemOwner::Monitor);
+        let err = MonitorEngine::install_with(
+            &mut dev,
+            suite.clone(),
+            &app,
+            InstallOptions {
+                energy: Some(starved),
+                ..InstallOptions::default()
+            },
+        )
+        .err()
+        .expect("install must be rejected");
+        match err {
+            InstallError::Analysis(d) => {
+                assert!(d.is_error());
+                assert_eq!(d.pass, "energy");
+                assert!(d.message.contains("atomic attempt"), "{}", d.message);
+            }
+            other => panic!("expected an energy rejection, got {other}"),
+        }
+        assert_eq!(dev.fram().used_by(MemOwner::Monitor), before);
+
+        // The device's own (generous) profile: installs, no warnings.
+        let profile = dev.energy_profile();
+        let mut dev2 = DeviceBuilder::msp430fr5994().build();
+        MonitorEngine::install_with(
+            &mut dev2,
+            suite.clone(),
+            &app,
+            InstallOptions {
+                energy: Some(profile),
+                ..InstallOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            dev2.trace()
+                .count(|e| matches!(e, artemis_core::trace::TraceEvent::InstallWarning { .. })),
+            0
+        );
+
+        // A budget between floor and margin threshold: installs with an
+        // InstallWarning trace event.
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let b = artemis_ir::suite_bounds(&compiled);
+        let fs = artemis_ir::analysis::task_feasibility(&compiled, &b, &app, &profile);
+        let worst_ceiling = fs.iter().map(|f| f.ceiling).max().unwrap();
+        let marginal = EnergyProfile::with_budget(Energy::from_pico_joules(
+            worst_ceiling.as_pico_joules() + 1,
+        ));
+        let mut dev3 = DeviceBuilder::msp430fr5994().build();
+        MonitorEngine::install_with(
+            &mut dev3,
+            suite,
+            &app,
+            InstallOptions {
+                energy: Some(marginal),
+                ..InstallOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            dev3.trace()
+                .count(|e| matches!(e, artemis_core::trace::TraceEvent::InstallWarning { .. }))
+                > 0
+        );
     }
 
     /// The shadow cache is on by default on the routed compiled path

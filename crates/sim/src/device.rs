@@ -559,6 +559,17 @@ impl Device {
     pub fn cost_model(&self) -> &CostModel {
         &self.costs
     }
+
+    /// This device's energy profile for the install-time feasibility
+    /// analysis: its cost model, its capacitor's usable budget, and
+    /// the default warning margin.
+    pub fn energy_profile(&self) -> crate::mcu::EnergyProfile {
+        crate::mcu::EnergyProfile {
+            model: self.costs,
+            budget: self.energy_budget(),
+            margin_percent: crate::mcu::EnergyProfile::DEFAULT_MARGIN_PERCENT,
+        }
+    }
 }
 
 /// Builder for [`Device`].

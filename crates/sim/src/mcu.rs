@@ -62,7 +62,14 @@ impl Cost {
 }
 
 /// Per-operation prices for the simulated MCU.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// This struct is the **single source of truth** for every simulated
+/// time/energy figure: the device bills through it at runtime, the
+/// static energy-feasibility analysis (`artemis_ir::analysis::energy`)
+/// prices its worst-case bounds through the same instance, and the
+/// constants documented in EXPERIMENTS.md "Cost model constants" are
+/// pinned against [`CostModel::msp430fr5994`] by a bench test.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CostModel {
     /// Core clock frequency in Hz (cycles per second).
     pub clock_hz: u64,
@@ -152,6 +159,79 @@ impl CostModel {
             energy: Energy::from_power(self.idle_power_nanowatts, dt),
         }
     }
+
+    /// Energy of an aggregate FRAM traffic pattern plus compute:
+    /// `reads`/`writes` individual accesses totalling
+    /// `read_bytes`/`write_bytes`, and `cycles` CPU cycles.
+    ///
+    /// Because every access prices as `base + per_byte · len` (and the
+    /// engine never issues zero-byte accesses), summing per-op costs
+    /// factors exactly into `base · ops + per_byte · total_bytes` —
+    /// this is what lets the static analysis price a whole event
+    /// delivery from op and byte *totals* and still match the
+    /// simulator's per-op billing to the picojoule.
+    pub fn traffic_energy(
+        &self,
+        reads: usize,
+        read_bytes: usize,
+        writes: usize,
+        write_bytes: usize,
+        cycles: u64,
+    ) -> Energy {
+        self.fram_read_base
+            .energy
+            .saturating_mul(reads as u64)
+            .saturating_add(self.fram_read_per_byte.energy.saturating_mul(read_bytes as u64))
+            .saturating_add(self.fram_write_base.energy.saturating_mul(writes as u64))
+            .saturating_add(self.fram_write_per_byte.energy.saturating_mul(write_bytes as u64))
+            .saturating_add(self.energy_per_cycle.saturating_mul(cycles))
+    }
+}
+
+/// Device energy configuration handed to the install-time feasibility
+/// analysis: the cost model to price static bounds through, the
+/// per-charge-cycle energy budget (normally
+/// [`Capacitor::usable_budget`](crate::capacitor::Capacitor::usable_budget)),
+/// and the warning margin.
+///
+/// A task whose worst-case attempt *floor* exceeds `budget` can never
+/// complete on the device and is rejected at install; a task whose
+/// attempt *ceiling* lands within `margin_percent` of the budget gets
+/// an install warning (see `artemis_ir::analysis::energy` for the
+/// floor/ceiling semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EnergyProfile {
+    /// Prices for compute and FRAM traffic.
+    pub model: CostModel,
+    /// Usable energy of one full charge cycle.
+    pub budget: Energy,
+    /// Warning band: attempts whose ceiling exceeds
+    /// `budget · (100 - margin_percent) / 100` are flagged marginal.
+    /// The margin absorbs the costs the static model does not price
+    /// exactly (runtime dispatch, channel traffic); 10 covers them
+    /// comfortably for realistic budgets.
+    pub margin_percent: u8,
+}
+
+impl EnergyProfile {
+    /// Default warning margin (percent of the budget).
+    pub const DEFAULT_MARGIN_PERCENT: u8 = 10;
+
+    /// Profile with the default model and margin for a given budget.
+    pub fn with_budget(budget: Energy) -> Self {
+        EnergyProfile {
+            model: CostModel::msp430fr5994(),
+            budget,
+            margin_percent: Self::DEFAULT_MARGIN_PERCENT,
+        }
+    }
+
+    /// The feasibility threshold the warning band starts at:
+    /// `budget · (100 - margin_percent) / 100`.
+    pub fn margin_threshold(&self) -> Energy {
+        let pct = u64::from(100u8.saturating_sub(self.margin_percent));
+        Energy::from_pico_joules(self.budget.as_pico_joules() / 100 * pct)
+    }
 }
 
 impl Default for CostModel {
@@ -207,6 +287,32 @@ mod tests {
         let active = m.compute(1_000_000); // 1 s of compute
         let idle = m.idle(SimDuration::from_secs(1));
         assert!(idle.energy.as_pico_joules() * 50 < active.energy.as_pico_joules());
+    }
+
+    #[test]
+    fn traffic_energy_factors_per_op_costs_exactly() {
+        // k accesses of n bytes each must price identically whether
+        // summed per op or through the aggregate helper.
+        let m = CostModel::msp430fr5994();
+        let per_op = m
+            .fram_read(9)
+            .times(12)
+            .plus(m.fram_write(31).times(7))
+            .plus(m.compute(1234));
+        let agg = m.traffic_energy(12, 9 * 12, 7, 31 * 7, 1234);
+        assert_eq!(per_op.energy, agg);
+    }
+
+    #[test]
+    fn energy_profile_margin_threshold() {
+        let p = EnergyProfile::with_budget(Energy::from_micro_joules(800));
+        assert_eq!(p.margin_percent, EnergyProfile::DEFAULT_MARGIN_PERCENT);
+        assert_eq!(p.margin_threshold(), Energy::from_micro_joules(720));
+        let zero = EnergyProfile {
+            margin_percent: 0,
+            ..p
+        };
+        assert_eq!(zero.margin_threshold(), p.budget);
     }
 
     #[test]
