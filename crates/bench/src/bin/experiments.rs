@@ -10,11 +10,12 @@ use artemis_bench::Report;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|energy|fleet|analyze|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|bytes|energy|fleet|analyze|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
          analyze  lint shipped specs/examples with the static analyser\n\
          \x20        (exits non-zero on any error-severity finding)\n\
          cache    shadow-cache FRAM-traffic comparison (cached vs uncached)\n\
+         bytes    per-event FRAM bytes across the layout/commit lattice\n\
          energy   install-time energy feasibility verdicts vs measured\n\
          \x20        forward progress across a capacitor sweep\n\
          fleet    full fleet-scale sharded simulation sweep (`all` includes a\n\
@@ -35,7 +36,7 @@ fn main() -> ExitCode {
             "--json" => json = true,
             "--emit" => emit = true,
             "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "scaling" | "dispatch" | "delta" | "batch" | "cache" | "energy" | "fleet"
+            | "scaling" | "dispatch" | "delta" | "batch" | "cache" | "bytes" | "energy" | "fleet"
             | "analyze" | "all" => {
                 which = Some(arg)
             }
@@ -65,6 +66,7 @@ fn main() -> ExitCode {
         "delta" => vec![experiments::delta()],
         "batch" => vec![experiments::batch()],
         "cache" => vec![experiments::cache()],
+        "bytes" => vec![experiments::bytes()],
         "energy" => vec![experiments::energy()],
         "fleet" => vec![experiments::fleet()],
         _ => experiments::all(),

@@ -79,7 +79,7 @@
 use artemis_core::event::EventKind;
 use artemis_spec::Diagnostic;
 
-use crate::compile::CompiledSuite;
+use crate::compile::{CompiledMachine, CompiledSuite};
 
 /// Journal entry header bytes (`addr: u32` + `len: u16`).
 const ENTRY_HEADER: usize = 6;
@@ -149,6 +149,69 @@ const fn block_bytes(vars: usize) -> usize {
 /// Journal bytes of a `u16` list entry with `n` items.
 const fn u16_list_entry_bytes(n: usize) -> usize {
     entry_bytes(2 + 2 * n)
+}
+
+/// Which FRAM machine-image layout to model. Must match the engine's
+/// `LayoutMode`: the byte bounds are pinned exactly tight against the
+/// engine per layout (the op bounds are layout-independent — packing
+/// changes how many bytes each access moves, never how many accesses
+/// the engine makes).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LayoutKind {
+    /// Width-packed blocks ([`crate::layout::MachineLayout::packed`],
+    /// the engine default): narrow state word, interval-narrowed `Int`
+    /// slots, untagged payloads, bitmap done flags.
+    #[default]
+    Packed,
+    /// The legacy tagged geometry: 4-byte state word + 9 bytes per
+    /// slot, `u64` done cell.
+    Tagged,
+}
+
+impl LayoutKind {
+    /// Full block image bytes of one machine.
+    fn machine_block_bytes(self, m: &CompiledMachine) -> usize {
+        match self {
+            LayoutKind::Packed => m.layout().block_len,
+            LayoutKind::Tagged => block_bytes(m.var_count),
+        }
+    }
+
+    /// State-word bytes of one machine.
+    fn state_bytes(self, m: &CompiledMachine) -> usize {
+        match self {
+            LayoutKind::Packed => m.layout().state_bytes,
+            LayoutKind::Tagged => STATE_WORD_BYTES,
+        }
+    }
+
+    /// Bytes of the block prefix covering the state word and slots
+    /// `0..=max_slot` (the delta path's load span).
+    fn span_bytes(self, m: &CompiledMachine, max_slot: Option<u16>) -> usize {
+        match self {
+            LayoutKind::Packed => m.layout().span(max_slot),
+            LayoutKind::Tagged => {
+                STATE_WORD_BYTES + NV_VALUE_BYTES * max_slot.map_or(0, |s| s as usize + 1)
+            }
+        }
+    }
+
+    /// Encoded bytes of one variable slot.
+    fn slot_bytes(self, m: &CompiledMachine, slot: u16) -> usize {
+        match self {
+            LayoutKind::Packed => m.layout().slots[slot as usize].enc.width(),
+            LayoutKind::Tagged => NV_VALUE_BYTES,
+        }
+    }
+
+    /// Bytes of the per-engine completion bitmap for `machines`
+    /// installed machines.
+    fn done_bytes(self, machines: usize) -> usize {
+        match self {
+            LayoutKind::Packed => machines.div_ceil(8).max(1),
+            LayoutKind::Tagged => U64_BYTES,
+        }
+    }
 }
 
 /// Worst-case cost of delivering one event under a given key.
@@ -249,11 +312,19 @@ impl SuiteBounds {
     }
 }
 
-/// Computes the static resource bounds of a compiled suite by walking
-/// its routing index and dispatch tables.
+/// Computes the static resource bounds of a compiled suite under the
+/// engine's default packed layout. See [`suite_bounds_for`].
 pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
+    suite_bounds_for(compiled, LayoutKind::default())
+}
+
+/// Computes the static resource bounds of a compiled suite by walking
+/// its routing index and dispatch tables, modelling machine images
+/// under `layout`.
+pub fn suite_bounds_for(compiled: &CompiledSuite, layout: LayoutKind) -> SuiteBounds {
     let machines = compiled.machines();
     let task_count = compiled.task_count();
+    let done_b = layout.done_bytes(machines.len());
 
     let mut per_key = Vec::with_capacity(2 * (task_count + 1));
     for kind in [EventKind::StartTask, EventKind::EndTask] {
@@ -277,20 +348,20 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                 + entry_bytes(U64_BYTES)
                 + entry_bytes(U32_BYTES)
                 + u16_list_entry_bytes(armed.len())
-                + entry_bytes(U64_BYTES);
+                + entry_bytes(done_b);
             // A sparse commit writes the staged record, the flag, each
             // sub-write's payload, and the flag clear.
             let arming_data_bytes =
-                ENCODED_EVENT_BYTES + U64_BYTES + U32_BYTES + (2 + 2 * armed.len()) + U64_BYTES;
+                ENCODED_EVENT_BYTES + U64_BYTES + U32_BYTES + (2 + 2 * armed.len()) + done_b;
             let arming_write_bytes =
                 sparse_record_bytes(arming_entry_bytes) + arming_data_bytes + 2 * FLAG_BYTES;
             let mut write_bytes = arming_write_bytes;
             let mut commit = sparse_record_bytes(arming_entry_bytes);
             reads += if armed.is_empty() { 2 } else { 4 };
             read_bytes += if armed.is_empty() {
-                2 + U64_BYTES
+                2 + done_b
             } else {
-                2 + U64_BYTES + 2 * armed.len() + ENCODED_EVENT_BYTES
+                2 + done_b + 2 * armed.len() + ENCODED_EVENT_BYTES
             };
             let mut cycles = ROUTING_LOOKUP_CYCLES;
             let mut billed_writes = sparse_commit_writes(5);
@@ -309,11 +380,11 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                 let access = m.access(kind, probe);
                 cycles += COMPILED_DISPATCH_CYCLES
                     + STEP_PER_TRANSITION_CYCLES * m.transition_list(kind, probe).len() as u64;
+                let block_b = layout.machine_block_bytes(m);
 
                 // Whole-block entry-list bytes: always part of the byte
                 // bound so a delta-disabled engine still fits.
-                let mut block_step_bytes =
-                    entry_bytes(block_bytes(m.var_count)) + entry_bytes(U64_BYTES);
+                let mut block_step_bytes = entry_bytes(block_b) + entry_bytes(done_b);
                 if emits {
                     block_step_bytes += entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
                     emitters += 1;
@@ -324,7 +395,7 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                     let step_entries = if emits { 4 } else { 2 };
                     // Entry payloads: block image + done bit (+ verdict
                     // cell and count).
-                    let mut entry_data = block_bytes(m.var_count) + U64_BYTES;
+                    let mut entry_data = block_b + done_b;
                     if emits {
                         entry_data += VERDICT_BYTES + U32_BYTES;
                     }
@@ -332,9 +403,7 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                     // Block load + protocol re-reads (count word, each
                     // entry header and payload) + verdict count.
                     let protocol_bytes = 2 + ENTRY_HEADER * step_entries + entry_data;
-                    read_bytes += block_bytes(m.var_count)
-                        + protocol_bytes
-                        + if emits { U32_BYTES } else { 0 };
+                    read_bytes += block_b + protocol_bytes + if emits { U32_BYTES } else { 0 };
                     writes += commit_writes(step_entries);
                     billed_writes += commit_billed_writes(step_entries);
                     // Stage each entry, count word, flag, apply each
@@ -355,19 +424,32 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
                     delta_machines += 1;
                     // Covering-span read, verdict-count read if emitting.
                     reads += 1 + usize::from(emits);
-                    let span_bytes = STATE_WORD_BYTES
-                        + NV_VALUE_BYTES
-                            * access.max_touched_slot().map_or(0, |s| s as usize + 1);
+                    let span_bytes = layout.span_bytes(m, access.max_touched_slot());
                     read_bytes += span_bytes + if emits { U32_BYTES } else { 0 };
                     // Sub-writes: state word + every write-set slot +
-                    // done bit (+ verdict cell and count).
+                    // done bit (+ verdict cell and count). The diff
+                    // path (`DiffMode::Auto` + warm cache) only ever
+                    // commits fewer runs and fewer bytes: changed bytes
+                    // live inside the state word and write-set slots,
+                    // at most one run forms per field, and the gap-
+                    // merge rule only fires when the 6-byte header it
+                    // saves covers the gap bytes it adds — so this
+                    // slot-granular bound dominates both commit modes.
+                    let state_b = layout.state_bytes(m);
+                    let slots_b: usize = access
+                        .writes
+                        .iter()
+                        .map(|&s| layout.slot_bytes(m, s))
+                        .sum();
                     let mut k = 1 + access.writes.len() + 1;
-                    let mut delta_entry_bytes = entry_bytes(STATE_WORD_BYTES)
-                        + access.writes.len() * entry_bytes(NV_VALUE_BYTES)
-                        + entry_bytes(U64_BYTES);
-                    let mut delta_data = STATE_WORD_BYTES
-                        + access.writes.len() * NV_VALUE_BYTES
-                        + U64_BYTES;
+                    let mut delta_entry_bytes = entry_bytes(state_b)
+                        + access
+                            .writes
+                            .iter()
+                            .map(|&s| entry_bytes(layout.slot_bytes(m, s)))
+                            .sum::<usize>()
+                        + entry_bytes(done_b);
+                    let mut delta_data = state_b + slots_b + done_b;
                     if emits {
                         k += 2;
                         delta_entry_bytes +=
@@ -416,19 +498,45 @@ pub fn suite_bounds(compiled: &CompiledSuite) -> SuiteBounds {
 
     let reset_commit_bytes = machines
         .iter()
-        .map(|m| entry_bytes(block_bytes(m.var_count)))
+        .map(|m| entry_bytes(layout.machine_block_bytes(m)))
         .sum::<usize>()
         + entry_bytes(U32_BYTES) // verdict count
         + entry_bytes(U64_BYTES) // seq
         + u16_list_entry_bytes(0) // empty worklist
-        + entry_bytes(U64_BYTES); // done bitmap
+        + entry_bytes(done_b); // done bitmap
+
+    // The full-scan engine (`RoutingMode::FullScan`, or a suite too
+    // large to route) arms by staging the step routine's `pc` + `len`
+    // cells instead of the worklist + done bitmap, and each step
+    // completes through the routine's 4-byte `pc` rather than a done
+    // bit. Under the tagged layout the routed figures dominate both
+    // variants (the 8-byte done cell outweighs a u32); the packed
+    // bitmap can undercut them, so the scan-format commits join the
+    // capacity max explicitly.
+    let scan_arming_bytes = entry_bytes(ENCODED_EVENT_BYTES)
+        + entry_bytes(U64_BYTES)
+        + entry_bytes(U32_BYTES)
+        + 2 * entry_bytes(U32_BYTES);
+    let scan_step_bytes = machines
+        .iter()
+        .map(|m| {
+            let mut b = entry_bytes(layout.machine_block_bytes(m)) + entry_bytes(U32_BYTES);
+            if m.transitions.iter().any(|t| t.emit.is_some()) {
+                b += entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
+            }
+            b
+        })
+        .max()
+        .unwrap_or(0);
 
     let worst_commit_bytes = per_key
         .iter()
         .map(|c| c.commit_bytes)
         .max()
         .unwrap_or(0)
-        .max(reset_commit_bytes);
+        .max(reset_commit_bytes)
+        .max(scan_arming_bytes)
+        .max(scan_step_bytes);
 
     SuiteBounds {
         per_key,
@@ -533,11 +641,23 @@ impl BatchBounds {
     }
 }
 
-/// Computes the batch-path resource bound for batches of up to
-/// `max_events` events (see [`BatchBounds`]).
+/// Computes the batch-path resource bound under the engine's default
+/// packed layout. See [`batch_bounds_for`].
 pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds {
+    batch_bounds_for(compiled, max_events, LayoutKind::default())
+}
+
+/// Computes the batch-path resource bound for batches of up to
+/// `max_events` events (see [`BatchBounds`]), modelling machine images
+/// under `layout`.
+pub fn batch_bounds_for(
+    compiled: &CompiledSuite,
+    max_events: usize,
+    layout: LayoutKind,
+) -> BatchBounds {
     let machines = compiled.machines();
     let task_count = compiled.task_count();
+    let done_b = layout.done_bytes(machines.len());
 
     // Arming: flag + batch-seq reads, one 5-sub-write sparse commit.
     let mut reads = 2;
@@ -547,13 +667,13 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         + entry_bytes(U64_BYTES)
         + entry_bytes(U32_BYTES)
         + u16_list_entry_bytes(machines.len())
-        + entry_bytes(U64_BYTES);
+        + entry_bytes(done_b);
     let arming_commit_bytes = sparse_record_bytes(arming_entry_bytes);
     let arming_data_bytes = (2 + ENCODED_EVENT_BYTES * max_events)
         + U64_BYTES
         + U32_BYTES
         + (2 + 2 * machines.len())
-        + U64_BYTES;
+        + done_b;
     let mut write_bytes = arming_commit_bytes + arming_data_bytes + 2 * FLAG_BYTES;
     let mut commit = arming_commit_bytes;
     // Routing is looked up per event at arming and again when the
@@ -563,8 +683,7 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
     // Batch setup: worklist count + done bitmap + items + events count
     // + events payload.
     reads += 5;
-    read_bytes +=
-        2 + U64_BYTES + 2 * machines.len() + 2 + ENCODED_EVENT_BYTES * max_events;
+    read_bytes += 2 + done_b + 2 * machines.len() + 2 + ENCODED_EVENT_BYTES * max_events;
 
     let mut emitters = 0;
     for m in machines {
@@ -596,11 +715,11 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
 
         // Span (or block) read + verdict-count read for emitters.
         reads += 1 + usize::from(emits);
+        let block_b = layout.machine_block_bytes(m);
         let span_bytes = if access.whole_block {
-            block_bytes(m.var_count)
+            block_b
         } else {
-            STATE_WORD_BYTES
-                + NV_VALUE_BYTES * access.max_touched_slot().map_or(0, |s| s as usize + 1)
+            layout.span_bytes(m, access.max_touched_slot())
         };
         read_bytes += span_bytes + if emits { U32_BYTES } else { 0 };
 
@@ -622,27 +741,29 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
         } else {
             0
         };
-        let delta_entries = entry_bytes(STATE_WORD_BYTES)
-            + access.writes.len() * entry_bytes(NV_VALUE_BYTES)
+        let state_b = layout.state_bytes(m);
+        let slots_b: usize = access
+            .writes
+            .iter()
+            .map(|&s| layout.slot_bytes(m, s))
+            .sum();
+        let delta_entries = entry_bytes(state_b)
+            + access
+                .writes
+                .iter()
+                .map(|&s| entry_bytes(layout.slot_bytes(m, s)))
+                .sum::<usize>()
             + verdict_entry_bytes
-            + entry_bytes(U64_BYTES);
-        let block_entries =
-            entry_bytes(block_bytes(m.var_count)) + verdict_entry_bytes + entry_bytes(U64_BYTES);
+            + entry_bytes(done_b);
+        let block_entries = entry_bytes(block_b) + verdict_entry_bytes + entry_bytes(done_b);
         // Write bytes follow the format the engine actually uses for
-        // this machine (block image when the merged set degrades).
+        // this machine (block image when the merged set degrades); the
+        // diff path only ever commits fewer runs and fewer bytes (see
+        // `suite_bounds_for`), so the slot-granular figure dominates.
         let (record_entries, commit_data) = if access.whole_block {
-            (
-                block_entries,
-                block_bytes(m.var_count) + verdict_data + U64_BYTES,
-            )
+            (block_entries, block_b + verdict_data + done_b)
         } else {
-            (
-                delta_entries,
-                STATE_WORD_BYTES
-                    + access.writes.len() * NV_VALUE_BYTES
-                    + verdict_data
-                    + U64_BYTES,
-            )
+            (delta_entries, state_b + slots_b + verdict_data + done_b)
         };
         write_bytes += sparse_record_bytes(record_entries) + commit_data + 2 * FLAG_BYTES;
         commit = commit
@@ -659,7 +780,7 @@ pub fn batch_bounds(compiled: &CompiledSuite, max_events: usize) -> BatchBounds 
     let reset_extra_bytes = entry_bytes(U64_BYTES)
         + entry_bytes(2)
         + u16_list_entry_bytes(0)
-        + entry_bytes(U64_BYTES);
+        + entry_bytes(done_b);
 
     BatchBounds {
         max_events,
@@ -738,7 +859,9 @@ mod tests {
         )
         .unwrap();
         let cs = CompiledSuite::compile(&suite, &app).unwrap();
-        let b = suite_bounds(&cs);
+        // The byte pins below are the legacy tagged-geometry numbers;
+        // the packed layout only shrinks them (see the packed test).
+        let b = suite_bounds_for(&cs, LayoutKind::Tagged);
 
         // 2 tasks + wildcard, both kinds.
         assert_eq!(b.per_key.len(), 6);
@@ -834,7 +957,7 @@ mod tests {
         let mut suite = MonitorSuite::new();
         suite.push(sm);
         let cs = CompiledSuite::compile(&suite, &app).unwrap();
-        let b = suite_bounds(&cs);
+        let b = suite_bounds_for(&cs, LayoutKind::Tagged);
 
         let start_a = b
             .per_key
@@ -916,6 +1039,91 @@ mod tests {
         assert!(b4.read_bytes > b1.read_bytes);
         assert!(b4.write_bytes > b1.write_bytes);
         assert_eq!(b4.cycles, 4 * b1.cycles);
+    }
+
+    /// The packed layout changes bytes, never ops: every op bound is
+    /// identical across layouts, and every byte bound shrinks (or ties)
+    /// under packing. Pins the packed figures on the 12-slot sparse
+    /// machine whose counter the interval analysis narrows to 1 byte.
+    #[test]
+    fn packed_bounds_shrink_bytes_and_preserve_ops() {
+        use crate::expr::{BinOp, Expr, Value, VarType};
+        use crate::fsm::{MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+        let app = app();
+        let mut sm = StateMachine::new("sparse", "a");
+        for v in 0..12 {
+            sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+        }
+        sm.add_state("S");
+        sm.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("a")),
+            guard: None,
+            body: vec![Stmt::Assign(
+                "v0".into(),
+                Expr::bin(BinOp::Add, Expr::var("v0"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        let mut suite = MonitorSuite::new();
+        suite.push(sm);
+        let cs = CompiledSuite::compile(&suite, &app).unwrap();
+        let packed = suite_bounds_for(&cs, LayoutKind::Packed);
+        let tagged = suite_bounds_for(&cs, LayoutKind::Tagged);
+        assert_eq!(suite_bounds(&cs), packed, "packed is the default");
+
+        for (p, t) in packed.per_key.iter().zip(&tagged.per_key) {
+            assert_eq!((p.kind, p.task), (t.kind, t.task));
+            assert_eq!(p.reads, t.reads);
+            assert_eq!(p.writes, t.writes);
+            assert_eq!(p.cached_reads, t.cached_reads);
+            assert_eq!(p.cold_extra_reads, t.cold_extra_reads);
+            assert_eq!(p.billed_writes, t.billed_writes);
+            assert_eq!(p.cycles, t.cycles);
+            assert!(p.read_bytes <= t.read_bytes);
+            assert!(p.write_bytes <= t.write_bytes);
+            assert!(p.commit_bytes <= t.commit_bytes);
+        }
+        assert!(packed.worst_commit_bytes < tagged.worst_commit_bytes);
+        assert!(packed.reset_commit_bytes < tagged.reset_commit_bytes);
+
+        // v0's unguarded increment widens it to a full 8-byte slot, but
+        // state (1 state), done (1 machine) and the eleven untouched
+        // 1-byte counters all pack: span = 1 (state) + 8 (v0).
+        let start_a = packed
+            .per_key
+            .iter()
+            .find(|c| c.kind == EventKind::StartTask && c.task == Some(0))
+            .unwrap();
+        let m = &cs.machines()[0];
+        assert_eq!(m.layout().state_bytes, 1);
+        assert_eq!(m.layout().span(Some(0)), 1 + 8);
+        assert_eq!(m.layout().block_len, 1 + 8 + 11);
+        assert_eq!(
+            start_a.read_bytes,
+            (FLAG_BYTES + U64_BYTES)
+                + (2 + 1 + 2 + ENCODED_EVENT_BYTES) // 1-byte done bitmap
+                + (1 + 8)
+                + U32_BYTES
+        );
+        let delta_entries = entry_bytes(1) + entry_bytes(8) + entry_bytes(1);
+        let delta_data = 1 + 8 + 1;
+        assert_eq!(
+            start_a.write_bytes,
+            start_a.arming_write_bytes + sparse_record_bytes(delta_entries) + delta_data + 2
+        );
+
+        let bp = batch_bounds_for(&cs, 4, LayoutKind::Packed);
+        let bt = batch_bounds_for(&cs, 4, LayoutKind::Tagged);
+        assert_eq!(batch_bounds(&cs, 4), bp, "packed is the default");
+        assert_eq!(bp.reads, bt.reads);
+        assert_eq!(bp.writes, bt.writes);
+        assert_eq!(bp.cycles, bt.cycles);
+        assert!(bp.read_bytes < bt.read_bytes);
+        assert!(bp.write_bytes < bt.write_bytes);
+        assert!(bp.worst_commit_bytes <= bt.worst_commit_bytes);
     }
 
     #[test]

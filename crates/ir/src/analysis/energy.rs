@@ -379,4 +379,40 @@ mod tests {
         let b4 = crate::analysis::batch_bounds(&cs, 4);
         assert!(batch_energy_cached(&b4, &model) <= batch_energy(&b4, &model));
     }
+
+    /// The packed layout must strictly tighten every energy ceiling
+    /// the feasibility gate prices against the tagged baseline: fewer
+    /// journalled bytes per commit means a lower worst-case event cost
+    /// at the same op counts, and the task verdicts inherit the
+    /// tighter bound (the default [`suite_bounds`] is packed, so this
+    /// is the ceiling installs are actually gated on).
+    #[test]
+    fn packed_layout_tightens_the_ceilings() {
+        use crate::analysis::LayoutKind;
+        let app = app_with_costs(10_000);
+        let cs = compiled(&app);
+        let model = CostModel::msp430fr5994();
+        let packed = crate::analysis::suite_bounds_for(&cs, LayoutKind::Packed);
+        let tagged = crate::analysis::suite_bounds_for(&cs, LayoutKind::Tagged);
+        assert_eq!(packed.per_key.len(), tagged.per_key.len());
+        for (p, t) in packed.per_key.iter().zip(tagged.per_key.iter()) {
+            assert!(
+                event_energy(p, &model) < event_energy(t, &model),
+                "uncached ceiling must shrink: {p:?} vs {t:?}"
+            );
+            assert!(
+                event_energy_cached(p, &model) < event_energy_cached(t, &model),
+                "cached ceiling must shrink: {p:?} vs {t:?}"
+            );
+        }
+        // The install gate's per-task ceilings inherit the tightening,
+        // and the default bounds are the packed ones.
+        let profile = EnergyProfile::with_budget(Energy::from_micro_joules(800));
+        let fp = task_feasibility(&cs, &packed, &app, &profile);
+        let ft = task_feasibility(&cs, &tagged, &app, &profile);
+        for (p, t) in fp.iter().zip(ft.iter()) {
+            assert!(p.ceiling < t.ceiling, "{}: {:?} vs {:?}", p.name, p.ceiling, t.ceiling);
+        }
+        assert_eq!(crate::analysis::suite_bounds(&cs).per_key, packed.per_key);
+    }
 }

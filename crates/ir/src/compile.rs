@@ -32,6 +32,7 @@ use artemis_core::event::EventKind;
 use crate::exec::coerce;
 use crate::expr::{apply, BinOp, EvalError, EventCtx, Expr, Value};
 use crate::fsm::{EmitFail, MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
+use crate::layout::MachineLayout;
 
 /// One bytecode instruction. Operands name registers in the scratch
 /// file (`r`), slots in the machine's variable block (`slot`), entries
@@ -303,12 +304,19 @@ pub struct CompiledMachine {
     pub(crate) max_regs: usize,
     pub(crate) initial_state: u32,
     pub(crate) var_count: usize,
+    /// Initial variable values, in slot order. Pins each slot's
+    /// runtime type (assignment coercion never changes a slot's
+    /// variant) — the packed layout's type source of truth.
+    pub(crate) var_inits: Vec<Value>,
     /// `access[kind][task id]` → the key's static FRAM access set,
     /// mirroring `dispatch`. Derived from `code` (never serialised in
     /// [`RawMachine`]), so mutation can't make it lie.
     pub(crate) access: [Vec<AccessSet>; 2],
     /// Access sets of the wildcard lists, mirroring `wildcard`.
     pub(crate) wildcard_access: [AccessSet; 2],
+    /// Packed FRAM block layout. Derived from `code` + `var_inits`
+    /// (never serialised in [`RawMachine`]) like the access sets.
+    pub(crate) layout: MachineLayout,
 }
 
 /// The exploded parts of a [`CompiledMachine`].
@@ -339,6 +347,9 @@ pub struct RawMachine {
     pub initial_state: u32,
     /// Number of variable slots.
     pub var_count: usize,
+    /// Initial variable values, in slot order. Padded/truncated to
+    /// `var_count` on reassembly.
+    pub var_inits: Vec<Value>,
 }
 
 impl CompiledMachine {
@@ -370,6 +381,18 @@ impl CompiledMachine {
     /// Number of variable slots.
     pub fn var_count(&self) -> usize {
         self.var_count
+    }
+
+    /// Initial variable values, in slot order.
+    pub fn var_inits(&self) -> &[Value] {
+        &self.var_inits
+    }
+
+    /// The machine's packed FRAM block layout (see
+    /// [`crate::layout::MachineLayout`]). Derived data, recomputed
+    /// from the bytecode in [`CompiledMachine::from_raw`].
+    pub fn layout(&self) -> &MachineLayout {
+        &self.layout
     }
 
     /// Returns `true` when no transition of this machine can match the
@@ -407,13 +430,15 @@ impl CompiledMachine {
             max_regs: self.max_regs,
             initial_state: self.initial_state,
             var_count: self.var_count,
+            var_inits: self.var_inits.clone(),
         }
     }
 
     /// Reassembles a machine from raw parts **without any checking** —
-    /// see [`RawMachine`] for the safety contract. Access sets are
-    /// recomputed from the (possibly mutated) code, keeping derived
-    /// data consistent.
+    /// see [`RawMachine`] for the safety contract. Access sets and the
+    /// packed layout are recomputed from the (possibly mutated) code,
+    /// keeping derived data consistent; `var_inits` is padded with
+    /// `Int(0)` / truncated to `var_count`.
     pub fn from_raw(raw: RawMachine) -> Self {
         let (access, wildcard_access) = build_access_sets(
             &raw.code,
@@ -421,6 +446,15 @@ impl CompiledMachine {
             &raw.dispatch,
             &raw.wildcard,
             raw.var_count,
+        );
+        let mut var_inits = raw.var_inits;
+        var_inits.resize(raw.var_count, Value::Int(0));
+        let layout = MachineLayout::packed(
+            &var_inits,
+            &raw.code,
+            &raw.lits,
+            &raw.transitions,
+            raw.initial_state,
         );
         CompiledMachine {
             code: raw.code,
@@ -431,8 +465,10 @@ impl CompiledMachine {
             max_regs: raw.max_regs,
             initial_state: raw.initial_state,
             var_count: raw.var_count,
+            var_inits,
             access,
             wildcard_access,
+            layout,
         }
     }
 
@@ -634,6 +670,14 @@ impl<'a> Compiler<'a> {
             &wildcard,
             self.machine.vars.len(),
         );
+        let var_inits = self.machine.initial_vars();
+        let layout = MachineLayout::packed(
+            &var_inits,
+            &self.code,
+            &self.lits,
+            &transitions,
+            self.machine.initial,
+        );
         Ok(CompiledMachine {
             code: self.code,
             lits: self.lits,
@@ -643,8 +687,10 @@ impl<'a> Compiler<'a> {
             max_regs: self.max_regs,
             initial_state: self.machine.initial,
             var_count: self.machine.vars.len(),
+            var_inits,
             access,
             wildcard_access,
+            layout,
         })
     }
 

@@ -29,6 +29,7 @@ pub mod dot;
 pub mod exec;
 pub mod expr;
 pub mod fsm;
+pub mod layout;
 pub mod lower;
 pub mod parse;
 pub mod print;
@@ -37,12 +38,16 @@ pub mod validate;
 use artemis_core::app::AppGraph;
 use artemis_spec::SpecAst;
 
-pub use analysis::{analyze_suite, batch_bounds, suite_bounds, BatchBounds, SuiteBounds};
+pub use analysis::{
+    analyze_suite, batch_bounds, batch_bounds_for, suite_bounds, suite_bounds_for, BatchBounds,
+    LayoutKind, SuiteBounds,
+};
 pub use compile::{
     AccessSet, CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue, RawMachine,
 };
 pub use exec::{IrEvent, MachineState};
 pub use fsm::{MonitorSuite, StateMachine};
+pub use layout::{MachineLayout, SlotEnc, SlotLayout};
 pub use lower::lower_set;
 
 /// Everything that can go wrong when compiling a specification.

@@ -148,6 +148,7 @@ use artemis_ir::compile::{AccessSet, CompileIssue, CompiledEvent, CompiledMachin
 use artemis_ir::exec::{step, IrEvent, MachineState};
 use artemis_ir::expr::{EventCtx, Value};
 use artemis_ir::fsm::MonitorSuite;
+use artemis_ir::layout::{MachineLayout, NV_VALUE_BYTES};
 use artemis_ir::validate::{validate_strict, Issue};
 use immortal::Routine;
 use intermittent_sim::device::{CostCategory, Device, Interrupt, MemOwner};
@@ -313,6 +314,42 @@ pub enum BatchMode {
     },
 }
 
+/// How machine blocks (FSM state + variable slots) and per-event done
+/// flags are laid out in FRAM.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LayoutMode {
+    /// Packed layout: per-slot byte widths derived from verifier-known
+    /// value ranges ([`artemis_ir::MachineLayout::packed`]), 1/2/4-byte
+    /// state words, and done flags packed into a bitmap — the default.
+    /// Smaller cold fills, smaller journal records, tighter energy
+    /// ceilings.
+    #[default]
+    Packed,
+    /// The legacy layout: 4-byte state word + 9 tagged bytes per slot
+    /// and one `u64` done word. Kept as the differential oracle and
+    /// the bytes-bench baseline.
+    Tagged,
+}
+
+/// Whether commits on the cached delta/batch paths journal only the
+/// bytes that actually changed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DiffMode {
+    /// Diff the new image against the shadow cache's authoritative old
+    /// image and journal minimal `[addr][len][data]` runs (adjacent
+    /// runs merged when the gap is within the sub-write header, so
+    /// header overhead never exceeds the bytes saved) — the default.
+    /// Requires the shadow cache; with the cache off (or on the
+    /// uncached whole-block path) commits stay slot-granular, keeping
+    /// [`CacheMode::Disabled`] the differential oracle.
+    #[default]
+    Auto,
+    /// Always journal slot-granular records (the PR-4/PR-5 format even
+    /// when cached). Kept for benchmarking, differential testing and
+    /// the exactness pins of the static bounds model.
+    Disabled,
+}
+
 /// Whether the engine keeps a volatile shadow of the FRAM locations
 /// the hot path reads (see the module docs, "Volatile shadow cache").
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -362,6 +399,12 @@ pub struct InstallOptions {
     /// Volatile shadow cache for the hot-path FRAM reads (on by
     /// default; only takes effect on the routed compiled path).
     pub cache: CacheMode,
+    /// FRAM machine-block and done-flag layout (packed by default;
+    /// the interpreter's per-cell storage ignores it).
+    pub layout: LayoutMode,
+    /// Byte-granular dirty-diff commits on the cached delta/batch
+    /// paths (on by default; inert whenever the shadow cache is off).
+    pub diff: DiffMode,
     /// Journal capacity override in payload bytes. `None` derives the
     /// capacity from the static resource bounds: the worst-case single
     /// commit any event or reset can stage, across both commit formats
@@ -450,32 +493,51 @@ enum MachineStore {
         state_cell: NvCell<u32>,
         var_cells: Vec<NvCell<NvValue>>,
     },
-    /// One contiguous block: the state word (u32 LE) followed by one
-    /// 9-byte [`NvValue`] per slot — a single FRAM op to load and a
-    /// single journal entry to commit.
+    /// One contiguous block: the state field followed by the variable
+    /// slots, in the machine's [`MachineLayout`] (packed widths by
+    /// default, the legacy tagged image under [`LayoutMode::Tagged`])
+    /// — a single FRAM op to load and a single journal entry to
+    /// commit.
     Block { addr: usize, len: usize },
 }
 
-/// Serialises a machine snapshot into its block image.
-fn encode_block(state: u32, vars: &[Value], out: &mut Vec<u8>) {
-    out.clear();
-    out.extend_from_slice(&state.to_le_bytes());
-    let mut buf = [0u8; NvValue::SIZE];
-    for v in vars {
-        NvValue(*v).store(&mut buf);
-        out.extend_from_slice(&buf);
-    }
+/// A persistent completion bitmap: `len` little-endian mask bytes (8
+/// in the tagged layout, `ceil(machines / 8)` packed — the done-flag
+/// half of the packed layout). The mask value itself stays a `u64`
+/// everywhere in the engine; only its FRAM image shrinks.
+struct DoneCell {
+    addr: usize,
+    len: usize,
 }
 
-/// Inverse of [`encode_block`]; returns the state word.
-fn decode_block(bytes: &[u8], vars: &mut Vec<Value>) -> u32 {
-    let mut word = [0u8; 4];
-    word.copy_from_slice(&bytes[0..4]);
-    vars.clear();
-    for chunk in bytes[4..].chunks_exact(NvValue::SIZE) {
-        vars.push(NvValue::load(chunk).0);
+impl DoneCell {
+    /// The mask's FRAM image.
+    fn bytes(&self, mask: u64) -> Vec<u8> {
+        mask.to_le_bytes()[..self.len].to_vec()
     }
-    u32::from_le_bytes(word)
+
+    /// One-op billed read of the whole mask.
+    fn read(&self, dev: &mut Device) -> Result<u64, Interrupt> {
+        let b = dev.nv_read_raw(self.addr, self.len)?;
+        let mut w = [0u8; 8];
+        w[..b.len()].copy_from_slice(b);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    /// Stages the mask into an entry-list transaction.
+    fn stage(&self, tx: &mut TxWriter, mask: u64) {
+        tx.write_raw(self.addr, self.bytes(mask));
+    }
+
+    /// Stages the mask as one sparse sub-write.
+    fn push(&self, stx: &mut SparseTx, mask: u64) {
+        stx.push_raw(self.addr, self.bytes(mask));
+    }
+
+    /// Plain idempotent write (completion of an effectless step).
+    fn write(&self, dev: &mut Device, mask: u64) -> Result<(), Interrupt> {
+        dev.nv_write_raw(self.addr, &self.bytes(mask))
+    }
 }
 
 /// Stages a machine's re-initialisation into `tx`, honouring its
@@ -495,9 +557,42 @@ fn stage_machine_reset(tx: &mut TxWriter, lm: &LoadedMachine) {
     }
 }
 
+/// Sub-write header bytes of one [`SparseTx`] run — the diff-commit
+/// merge threshold: two changed runs separated by an unchanged gap of
+/// at most this many bytes are cheaper merged (the gap's idempotent
+/// re-write costs `gap` bytes, a separate run costs another header).
+const DIFF_MERGE_GAP: usize = 6;
+
+/// Byte-granular dirty diff: the changed runs of `new` vs `old` as
+/// `(start, end)` half-open ranges, adjacent runs merged when the
+/// unchanged gap between them is within [`DIFF_MERGE_GAP`]. Merged
+/// gap bytes re-write their old value — idempotent, so replaying the
+/// journal record after a power failure is safe. By the merge rule a
+/// diff record never exceeds the slot-granular record in bytes *or*
+/// sub-write count: every changed byte lies in the state field or a
+/// written slot (≤ 8 mutable bytes each, so at most one run apiece
+/// before merging), and each merge saves `header − gap ≥ 0` bytes.
+fn diff_runs(old: &[u8], new: &[u8]) -> Vec<(usize, usize)> {
+    debug_assert_eq!(old.len(), new.len());
+    let mut runs: Vec<(usize, usize)> = Vec::new();
+    for (i, (o, n)) in old.iter().zip(new).enumerate() {
+        if o == n {
+            continue;
+        }
+        match runs.last_mut() {
+            Some((_, end)) if i - *end <= DIFF_MERGE_GAP => *end = i + 1,
+            _ => runs.push((i, i + 1)),
+        }
+    }
+    runs
+}
+
 struct LoadedMachine {
     machine: artemis_ir::StateMachine,
     store: MachineStore,
+    /// FRAM image layout of the machine block (packed or tagged;
+    /// unused in cell mode).
+    layout: MachineLayout,
     /// Block image of the initial state, staged whole on resets (empty
     /// in cell mode).
     initial_image: Vec<u8>,
@@ -531,7 +626,7 @@ struct Scratch {
 /// bitmap, both committed atomically with the event they belong to.
 struct RoutedState {
     worklist_addr: usize,
-    done_cell: NvCell<u64>,
+    done: DoneCell,
 }
 
 /// Persistent state of the group-commit batch path, all fixed by one
@@ -546,7 +641,7 @@ struct BatchState {
     seq_cell: NvCell<u64>,
     events_addr: usize,
     worklist_addr: usize,
-    done_cell: NvCell<u64>,
+    done: DoneCell,
 }
 
 /// Bitmap with the low `count` bits set: "every worklist entry done".
@@ -705,6 +800,12 @@ pub struct MonitorEngine {
     /// `true` iff the routed compiled path commits sparse delta
     /// records ([`DeltaMode::Auto`] and the suite actually routes).
     delta_enabled: bool,
+    /// The block/done layout actually in force ([`LayoutMode::Packed`]
+    /// only takes effect in compiled mode).
+    layout_mode: LayoutMode,
+    /// `true` iff the cached delta/batch commits diff against the
+    /// shadow image ([`DiffMode::Auto`] and the cache took effect).
+    diff_enabled: bool,
     /// `Some` iff [`CacheMode::Enabled`] took effect (routed compiled
     /// path only): the volatile shadow of the hot path's FRAM reads.
     cache: Option<RefCell<ShadowCache>>,
@@ -824,9 +925,20 @@ impl MonitorEngine {
             delta,
             batch,
             cache,
+            layout,
+            diff,
             journal_capacity,
             energy,
         } = opts;
+
+        // The packed layout only exists in compiled mode (the
+        // interpreter stores one tagged cell per variable); requesting
+        // it there silently runs tagged, mirroring the other
+        // mode-lattice degrades.
+        let layout_mode = match mode {
+            ExecMode::Compiled => layout,
+            ExecMode::Interpreter => LayoutMode::Tagged,
+        };
 
         // The batch path only exists on the routed compiled path (its
         // completion bitmap and merged worklists reuse the routing
@@ -851,8 +963,13 @@ impl MonitorEngine {
         // batch arming record carries the whole event array). The
         // interpreter's per-cell layout stages one entry per variable,
         // so its reset commit is costed separately.
-        let bounds = artemis_ir::suite_bounds(&compiled);
-        let bbounds = batch_events.map(|n| artemis_ir::batch_bounds(&compiled, n));
+        let layout_kind = match layout_mode {
+            LayoutMode::Packed => artemis_ir::analysis::bounds::LayoutKind::Packed,
+            LayoutMode::Tagged => artemis_ir::analysis::bounds::LayoutKind::Tagged,
+        };
+        let bounds = artemis_ir::analysis::bounds::suite_bounds_for(&compiled, layout_kind);
+        let bbounds = batch_events
+            .map(|n| artemis_ir::analysis::bounds::batch_bounds_for(&compiled, n, layout_kind));
         // The batch cells ride along in the whole-suite reset commit,
         // so a batch-enabled engine's reset can outgrow both per-event
         // figures — it joins the max too.
@@ -885,6 +1002,19 @@ impl MonitorEngine {
                 format!(
                     "worst-case batch commit of {batch_floor} journal bytes \
                      exceeds the capacity of {capacity}"
+                ),
+            )));
+        }
+        // The analyzer's own capacity check prices the default packed
+        // layout; a tagged engine's commits are larger, so re-check the
+        // override against this engine's actual layout.
+        if mode == ExecMode::Compiled && bounds.worst_commit_bytes > capacity {
+            return Err(InstallError::Analysis(artemis_spec::Diagnostic::error(
+                "bounds",
+                "journal",
+                format!(
+                    "worst-case commit of {} journal bytes exceeds the capacity of {capacity}",
+                    bounds.worst_commit_bytes
                 ),
             )));
         }
@@ -925,19 +1055,27 @@ impl MonitorEngine {
                 .map_err(dev_err)?;
 
             // Routed dispatch: the armed-worklist region (count word +
-            // one u16 per machine) and the completion bitmap word,
-            // both zeroed, i.e. "no event pending".
+            // one u16 per machine) and the completion bitmap, both
+            // zeroed, i.e. "no event pending". The packed layout
+            // shrinks the bitmap to one byte per 8 machines.
+            let done_len = match layout_mode {
+                LayoutMode::Packed => suite.len().div_ceil(8).max(1),
+                LayoutMode::Tagged => 8,
+            };
             let routed = if routing == RoutingMode::Routed && suite.len() <= MAX_ROUTED_MACHINES
             {
                 let worklist_addr = dev
                     .nv_alloc_raw(u16_list_bytes(suite.len()), owner, "monitor.worklist")
                     .map_err(dev_err)?;
-                let done_cell = dev
-                    .nv_alloc(0u64, owner, "monitor.worklist.done")
+                let done_addr = dev
+                    .nv_alloc_raw(done_len, owner, "monitor.worklist.done")
                     .map_err(dev_err)?;
                 Some(RoutedState {
                     worklist_addr,
-                    done_cell,
+                    done: DoneCell {
+                        addr: done_addr,
+                        len: done_len,
+                    },
                 })
             } else {
                 None
@@ -962,15 +1100,18 @@ impl MonitorEngine {
                     let worklist_addr = dev
                         .nv_alloc_raw(u16_list_bytes(suite.len()), owner, "monitor.batch.worklist")
                         .map_err(dev_err)?;
-                    let done_cell = dev
-                        .nv_alloc(0u64, owner, "monitor.batch.done")
+                    let done_addr = dev
+                        .nv_alloc_raw(done_len, owner, "monitor.batch.done")
                         .map_err(dev_err)?;
                     Some(BatchState {
                         max_events,
                         seq_cell,
                         events_addr,
                         worklist_addr,
-                        done_cell,
+                        done: DoneCell {
+                            addr: done_addr,
+                            len: done_len,
+                        },
                     })
                 }
                 None => None,
@@ -993,13 +1134,24 @@ impl MonitorEngine {
             }
 
             let mut machines = Vec::with_capacity(suite.len());
-            for m in suite {
+            for (mi, m) in suite.into_iter().enumerate() {
+                // Compiled mode: the block geometry comes from the
+                // compiled machine (packed widths derived from its
+                // bytecode, or the legacy tagged image), and so does
+                // the initial snapshot — install_precompiled callers
+                // may hand-assemble machines, and the block must agree
+                // with the bytecode that steps it.
+                let cmach = &compiled.machines()[mi];
+                let mlayout = match layout_mode {
+                    LayoutMode::Packed => cmach.layout().clone(),
+                    LayoutMode::Tagged => MachineLayout::tagged(cmach.var_count()),
+                };
                 let (store, initial_image) = match mode {
                     ExecMode::Compiled => {
                         // One contiguous block per machine, pre-imaged
                         // with the initial snapshot.
-                        let mut image = Vec::with_capacity(4 + NvValue::SIZE * m.vars.len());
-                        encode_block(m.initial, &m.initial_vars(), &mut image);
+                        let mut image = Vec::with_capacity(mlayout.block_len);
+                        mlayout.encode(cmach.initial_state(), cmach.var_inits(), &mut image);
                         let addr = dev
                             .nv_alloc_raw(image.len(), owner, &format!("{}.block", m.name))
                             .map_err(dev_err)?;
@@ -1066,6 +1218,7 @@ impl MonitorEngine {
                 machines.push(LoadedMachine {
                     machine: m,
                     store,
+                    layout: mlayout,
                     initial_image,
                     observed,
                 });
@@ -1108,6 +1261,10 @@ impl MonitorEngine {
                     verdict_cells.len(),
                 ))
             });
+            // Dirty-diff commits need the shadow's authoritative old
+            // image; with the cache off the sparse paths stay
+            // slot-granular (the differential oracle).
+            let diff_enabled = diff == DiffMode::Auto && cache.is_some();
             Ok(MonitorEngine {
                 mode,
                 compiled,
@@ -1121,6 +1278,8 @@ impl MonitorEngine {
                 routed,
                 batch: batch_state,
                 delta_enabled,
+                layout_mode,
+                diff_enabled,
                 cache,
                 scratch,
             })
@@ -1153,6 +1312,24 @@ impl MonitorEngine {
             CacheMode::Enabled
         } else {
             CacheMode::Disabled
+        }
+    }
+
+    /// The block/done-flag layout the engine actually runs (a
+    /// requested [`LayoutMode::Packed`] degrades to tagged in
+    /// interpreter mode).
+    pub fn layout_mode(&self) -> LayoutMode {
+        self.layout_mode
+    }
+
+    /// The diff-commit mode the engine actually runs (a requested
+    /// [`DiffMode::Auto`] degrades to slot-granular whenever the
+    /// shadow cache is off).
+    pub fn diff_mode(&self) -> DiffMode {
+        if self.diff_enabled {
+            DiffMode::Auto
+        } else {
+            DiffMode::Disabled
         }
     }
 
@@ -1341,12 +1518,13 @@ impl MonitorEngine {
         span: usize,
         scratch: &mut Scratch,
     ) -> Result<(), Interrupt> {
+        let layout = &self.machines[i].layout;
         if let Some(cache) = &self.cache {
             let hit = {
                 let c = cache.borrow();
                 let ms = &c.machines[i];
                 if ms.gen == c.gen {
-                    encode_block(ms.state, &ms.vars, &mut scratch.block);
+                    layout.encode(ms.state, &ms.vars, &mut scratch.block);
                     scratch.block.truncate(span);
                     true
                 } else {
@@ -1365,7 +1543,7 @@ impl MonitorEngine {
             let mut c = cache.borrow_mut();
             let ShadowCache { gen, machines, .. } = &mut *c;
             let ms = &mut machines[i];
-            ms.state = decode_block(&scratch.block, &mut ms.vars);
+            layout.decode(&scratch.block, &mut ms.state, &mut ms.vars);
             ms.gen = *gen;
             c.stats.misses += 1;
             scratch.block.truncate(span);
@@ -1439,7 +1617,7 @@ impl MonitorEngine {
             dev,
             |c| c.done,
             |c, v| c.done = Some(*v),
-            |d| d.nv_read(&rs.done_cell),
+            |d| rs.done.read(d),
         )
     }
 
@@ -1449,7 +1627,7 @@ impl MonitorEngine {
             dev,
             |c| c.batch_done,
             |c, v| c.batch_done = Some(*v),
-            |d| d.nv_read(&bs.done_cell),
+            |d| bs.done.read(d),
         )
     }
 
@@ -1495,7 +1673,9 @@ impl MonitorEngine {
                 ),
                 MachineStore::Block { addr, len } => {
                     let mut vars = Vec::new();
-                    let state = decode_block(dev.peek_raw(*addr, *len), &mut vars);
+                    let mut state = 0u32;
+                    lm.layout
+                        .decode(dev.peek_raw(*addr, *len), &mut state, &mut vars);
                     (state, vars)
                 }
             })
@@ -1529,13 +1709,13 @@ impl MonitorEngine {
             if let Some(rs) = &self.routed {
                 // An empty worklist means "no event pending".
                 tx.write_u16_list(rs.worklist_addr, &[]);
-                tx.write(&rs.done_cell, 0u64);
+                rs.done.stage(&mut tx, 0);
             }
             if let Some(bs) = &self.batch {
                 tx.write(&bs.seq_cell, 0u64);
                 tx.write_raw(bs.events_addr, vec![0u8; 2]);
                 tx.write_u16_list(bs.worklist_addr, &[]);
-                tx.write(&bs.done_cell, 0u64);
+                bs.done.stage(&mut tx, 0);
             }
             dev.commit(&self.journal, &tx)?;
             // The reset commit just (re)wrote every location the cache
@@ -1557,7 +1737,8 @@ impl MonitorEngine {
                 }
                 let ShadowCache { gen, machines, .. } = &mut *c;
                 for (ms, lm) in machines.iter_mut().zip(&self.machines) {
-                    ms.state = decode_block(&lm.initial_image, &mut ms.vars);
+                    lm.layout
+                        .decode(&lm.initial_image, &mut ms.state, &mut ms.vars);
                     ms.gen = *gen;
                 }
             });
@@ -1662,7 +1843,7 @@ impl MonitorEngine {
                             let scratch = self.scratch.borrow();
                             stx.push_raw(rs.worklist_addr, encode_u16_list(&scratch.worklist));
                         }
-                        stx.push(&rs.done_cell, 0u64);
+                        rs.done.push(&mut stx, 0);
                         dev.commit_sparse(&self.journal, &stx)?;
                     }
                     _ => {
@@ -1781,7 +1962,7 @@ impl MonitorEngine {
                 stx.push(&bs.seq_cell, first_seq);
                 stx.push(&self.verdict_count, 0u32);
                 stx.push_raw(bs.worklist_addr, encode_u16_list(&merged));
-                stx.push(&bs.done_cell, 0u64);
+                bs.done.push(&mut stx, 0);
                 dev.commit_sparse(&self.journal, &stx)?;
                 // Shadow the whole armed batch: the window below runs
                 // without a single FRAM read.
@@ -1912,7 +2093,7 @@ impl MonitorEngine {
         dev.compute(cycles)?;
         if step_mask == 0 {
             // Every event dismissed: plain idempotent done-bit write.
-            dev.nv_write(&bs.done_cell, done)?;
+            bs.done.write(dev, done)?;
             self.cache_put(|c| c.batch_done = Some(done));
             return Ok(());
         }
@@ -1920,15 +2101,22 @@ impl MonitorEngine {
         // Degraded machines (and delta-disabled engines) load and
         // commit the full block image; sparse ones the covering span.
         let whole = access.whole_block || !self.delta_enabled;
+        let covered = if whole {
+            lm.layout.var_count()
+        } else {
+            access.max_touched_slot().map_or(0, |s| s as usize + 1)
+        };
         let span = if whole {
             len
         } else {
-            4 + NvValue::SIZE * access.max_touched_slot().map_or(0, |s| s as usize + 1)
+            lm.layout.span(access.max_touched_slot())
         };
 
         let scratch = &mut *self.scratch.borrow_mut();
         self.load_block_cached(dev, i as usize, addr, len, span, scratch)?;
-        let before_state = decode_block(&scratch.block, &mut scratch.vars);
+        let mut before_state = 0u32;
+        lm.layout
+            .decode_prefix(&scratch.block, covered, &mut before_state, &mut scratch.vars);
         scratch.vars.resize(cm.var_count(), Value::Int(0));
         let mut state = before_state;
 
@@ -1954,18 +2142,30 @@ impl MonitorEngine {
             }
         }
 
-        // Change detection over the merged written footprint.
-        let mut buf = [0u8; NvValue::SIZE];
+        // Change detection over the merged written footprint. In diff
+        // mode the re-encoded prefix is diffed byte-for-byte against
+        // the authoritative old image (canonical encoding makes the
+        // comparison exact); otherwise the static write set is checked
+        // slot by slot.
+        let mut buf = [0u8; NV_VALUE_BYTES];
+        let mut runs: Vec<(usize, usize)> = Vec::new();
         let changed = if whole {
-            encode_block(state, &scratch.vars, &mut scratch.block_new);
+            lm.layout.encode(state, &scratch.vars, &mut scratch.block_new);
             scratch.block_new != scratch.block
+        } else if self.diff_enabled {
+            lm.layout
+                .encode_prefix(state, &scratch.vars, covered, &mut scratch.block_new);
+            runs = diff_runs(&scratch.block, &scratch.block_new);
+            !runs.is_empty()
         } else {
             let mut c = state != before_state;
             if !c {
                 for &slot in &access.writes {
-                    let off = 4 + NvValue::SIZE * slot as usize;
-                    NvValue(scratch.vars[slot as usize]).store(&mut buf);
-                    if scratch.block[off..off + NvValue::SIZE] != buf {
+                    let off = lm.layout.slots[slot as usize].offset;
+                    let w =
+                        lm.layout
+                            .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                    if scratch.block[off..off + w] != buf[..w] {
                         c = true;
                         break;
                     }
@@ -1974,7 +2174,7 @@ impl MonitorEngine {
             c
         };
         if emits.is_empty() && !changed {
-            dev.nv_write(&bs.done_cell, done)?;
+            bs.done.write(dev, done)?;
             self.cache_put(|c| c.batch_done = Some(done));
             return Ok(());
         }
@@ -1982,11 +2182,18 @@ impl MonitorEngine {
         let mut stx = SparseTx::new();
         if whole {
             stx.push_raw(addr, scratch.block_new.clone());
+        } else if self.diff_enabled {
+            for &(s, e) in &runs {
+                stx.push_raw(addr + s, scratch.block_new[s..e].to_vec());
+            }
         } else {
-            stx.push_raw(addr, state.to_le_bytes().to_vec());
+            stx.push_raw(addr, lm.layout.encode_state(state));
             for &slot in &access.writes {
-                NvValue(scratch.vars[slot as usize]).store(&mut buf);
-                stx.push_raw(addr + 4 + NvValue::SIZE * slot as usize, buf.to_vec());
+                let off = lm.layout.slots[slot as usize].offset;
+                let w = lm
+                    .layout
+                    .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                stx.push_raw(addr + off, buf[..w].to_vec());
             }
         }
         let mut count = 0;
@@ -2000,7 +2207,7 @@ impl MonitorEngine {
             }
             stx.push(&self.verdict_count, count + emits.len() as u32);
         }
-        stx.push(&bs.done_cell, done);
+        bs.done.push(&mut stx, done);
         dev.commit_sparse(&self.journal, &stx)?;
         self.shadow_machine_update(
             i as usize,
@@ -2098,7 +2305,8 @@ impl MonitorEngine {
                 let ShadowCache { gen, machines, .. } = &mut *c;
                 for (ms, lm) in machines.iter_mut().zip(&self.machines) {
                     if lm.machine.reset_on_path_restart && lm.machine.path == Some(path.number()) {
-                        ms.state = decode_block(&lm.initial_image, &mut ms.vars);
+                        lm.layout
+                            .decode(&lm.initial_image, &mut ms.state, &mut ms.vars);
                         ms.gen = *gen;
                     }
                 }
@@ -2152,7 +2360,7 @@ impl MonitorEngine {
         self.compute_worklist(encoded);
         let scratch = self.scratch.borrow();
         tx.write_u16_list(rs.worklist_addr, &scratch.worklist);
-        tx.write(&rs.done_cell, 0u64);
+        rs.done.stage(tx, 0);
     }
 
     /// The armed worklist's entry count (0 = nothing pending).
@@ -2221,7 +2429,7 @@ impl MonitorEngine {
             Completion::Step(i) => self.routine.complete_step(dev, i),
             Completion::Bit(done) => {
                 let rs = self.routed.as_ref().expect("bitmap completion without routed state");
-                dev.nv_write(&rs.done_cell, done)?;
+                rs.done.write(dev, done)?;
                 self.cache_put(|c| c.done = Some(done));
                 Ok(())
             }
@@ -2240,7 +2448,7 @@ impl MonitorEngine {
             Completion::Step(i) => self.routine.atomic_step(dev, &self.journal, i, tx),
             Completion::Bit(done) => {
                 let rs = self.routed.as_ref().expect("bitmap completion without routed state");
-                tx.write(&rs.done_cell, done);
+                rs.done.stage(tx, done);
                 dev.commit(&self.journal, tx)?;
                 self.cache_put(|c| {
                     c.journal_clean = true;
@@ -2328,7 +2536,9 @@ impl MonitorEngine {
 
         let scratch = &mut *self.scratch.borrow_mut();
         self.load_block_cached(dev, i as usize, addr, len, len, scratch)?;
-        let before_state = decode_block(&scratch.block, &mut scratch.vars);
+        let mut before_state = 0u32;
+        lm.layout
+            .decode(&scratch.block, &mut before_state, &mut scratch.vars);
         let mut state = before_state;
 
         let event = CompiledEvent {
@@ -2350,7 +2560,7 @@ impl MonitorEngine {
             .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
             .unwrap_or(None);
 
-        encode_block(state, &scratch.vars, &mut scratch.block_new);
+        lm.layout.encode(state, &scratch.vars, &mut scratch.block_new);
         if emit.is_none() && scratch.block_new == scratch.block {
             return self.finish_plain(dev, completion);
         }
@@ -2404,14 +2614,16 @@ impl MonitorEngine {
         done: u64,
     ) -> Result<(), Interrupt> {
         let covered = access.max_touched_slot().map_or(0, |s| s as usize + 1);
-        let span = 4 + NvValue::SIZE * covered;
+        let span = lm.layout.span(access.max_touched_slot());
         let MachineStore::Block { len, .. } = lm.store else {
             unreachable!("compiled mode allocates block storage");
         };
 
         let scratch = &mut *self.scratch.borrow_mut();
         self.load_block_cached(dev, i as usize, addr, len, span, scratch)?;
-        let before_state = decode_block(&scratch.block, &mut scratch.vars);
+        let mut before_state = 0u32;
+        lm.layout
+            .decode_prefix(&scratch.block, covered, &mut before_state, &mut scratch.vars);
         scratch.vars.resize(cm.var_count(), Value::Int(0));
         let mut state = before_state;
 
@@ -2430,27 +2642,50 @@ impl MonitorEngine {
 
         // Change detection over the written footprint only (byte-level,
         // like the whole-block path): anything else cannot have moved.
-        let mut buf = [0u8; NvValue::SIZE];
-        let mut changed = state != before_state;
-        if !changed {
-            for &slot in &access.writes {
-                let off = 4 + NvValue::SIZE * slot as usize;
-                NvValue(scratch.vars[slot as usize]).store(&mut buf);
-                if scratch.block[off..off + NvValue::SIZE] != buf {
-                    changed = true;
-                    break;
+        // In diff mode the re-encoded prefix is diffed against the
+        // authoritative old image and only the changed runs are staged;
+        // otherwise the state word plus every write-set slot commit.
+        let mut buf = [0u8; NV_VALUE_BYTES];
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let changed = if self.diff_enabled {
+            lm.layout
+                .encode_prefix(state, &scratch.vars, covered, &mut scratch.block_new);
+            runs = diff_runs(&scratch.block, &scratch.block_new);
+            !runs.is_empty()
+        } else {
+            let mut c = state != before_state;
+            if !c {
+                for &slot in &access.writes {
+                    let off = lm.layout.slots[slot as usize].offset;
+                    let w =
+                        lm.layout
+                            .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                    if scratch.block[off..off + w] != buf[..w] {
+                        c = true;
+                        break;
+                    }
                 }
             }
-        }
+            c
+        };
         if emit.is_none() && !changed {
             return self.finish_plain(dev, Completion::Bit(done));
         }
 
         let mut stx = SparseTx::new();
-        stx.push_raw(addr, state.to_le_bytes().to_vec());
-        for &slot in &access.writes {
-            NvValue(scratch.vars[slot as usize]).store(&mut buf);
-            stx.push_raw(addr + 4 + NvValue::SIZE * slot as usize, buf.to_vec());
+        if self.diff_enabled {
+            for &(s, e) in &runs {
+                stx.push_raw(addr + s, scratch.block_new[s..e].to_vec());
+            }
+        } else {
+            stx.push_raw(addr, lm.layout.encode_state(state));
+            for &slot in &access.writes {
+                let off = lm.layout.slots[slot as usize].offset;
+                let w = lm
+                    .layout
+                    .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                stx.push_raw(addr + off, buf[..w].to_vec());
+            }
         }
         let mut staged = None;
         if let Some(fail) = emit {
@@ -2464,7 +2699,7 @@ impl MonitorEngine {
             .routed
             .as_ref()
             .expect("delta step without routed state");
-        stx.push(&rs.done_cell, done);
+        rs.done.push(&mut stx, done);
         dev.commit_sparse(&self.journal, &stx)?;
         self.shadow_machine_update(i as usize, state, &scratch.vars, Some(&access.writes));
         self.cache_put(|c| {
@@ -3195,6 +3430,9 @@ mod tests {
         assert_eq!(key.cold_extra_reads, 2 + MACHINES);
         assert_eq!(key.cached_ops(), key.writes);
 
+        // `DiffMode::Disabled` pins the slot-granular commit format the
+        // static model prices; the dirty-diff default can only shave
+        // sub-writes off it (see `diff_commits_undercut_the_model`).
         for (cache, model_reads) in [
             (CacheMode::Disabled, key.reads),
             (CacheMode::Enabled, key.cached_reads),
@@ -3206,6 +3444,7 @@ mod tests {
                 &app,
                 InstallOptions {
                     cache,
+                    diff: DiffMode::Disabled,
                     ..InstallOptions::default()
                 },
             )
@@ -3232,6 +3471,95 @@ mod tests {
                 "delta write model drifted ({cache:?})"
             );
         }
+    }
+
+    /// The dirty-diff default commits strictly less than the
+    /// slot-granular format the static model prices, and stays under
+    /// the model: on the sparse increment workload the state word never
+    /// changes and only the counter's low byte does, so each machine's
+    /// commit shrinks from 3 sub-writes (state + slot + done) to 2
+    /// (one 1-byte run + done).
+    #[test]
+    fn diff_commits_undercut_the_model() {
+        use artemis_ir::expr::{BinOp, Expr, Value, VarType};
+        use artemis_ir::fsm::{StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+        const MACHINES: usize = 8;
+        const VARS: usize = 12;
+        const EVENTS: u64 = 20;
+
+        let mut b = AppGraphBuilder::new();
+        let t0 = b.task("t0");
+        let t1 = b.task("t1");
+        b.path(&[t0, t1]);
+        let app = b.build().unwrap();
+
+        let mut suite = MonitorSuite::new();
+        for m in 0..MACHINES {
+            let mut sm = StateMachine::new(&format!("m{m}"), "t0");
+            for v in 0..VARS {
+                sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+            }
+            sm.add_state("S");
+            sm.transitions.push(Transition {
+                from: 0,
+                to: 0,
+                trigger: Trigger::Start(TaskPat::named("t0")),
+                guard: None,
+                body: vec![Stmt::Assign(
+                    "v0".into(),
+                    Expr::bin(BinOp::Add, Expr::var("v0"), Expr::int(1)),
+                )],
+                emit: None,
+            });
+            suite.push(sm);
+        }
+
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let bounds = artemis_ir::suite_bounds(&compiled);
+        let key = bounds
+            .per_key
+            .iter()
+            .find(|c| c.kind == EventKind::StartTask && c.task == Some(0))
+            .unwrap();
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let engine = MonitorEngine::install_with(
+            &mut dev,
+            suite.clone(),
+            &app,
+            InstallOptions {
+                cache: CacheMode::Enabled,
+                ..InstallOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(engine.diff_mode(), DiffMode::Auto);
+        engine.reset_monitor(&mut dev).unwrap();
+
+        let reads0 = dev.fram().read_ops();
+        let writes0 = dev.fram().write_ops();
+        let bytes0 = dev.fram().write_bytes();
+        for seq in 1..=EVENTS {
+            engine
+                .call_monitor(&mut dev, seq, &MonitorEvent::start(t0, t(seq)))
+                .unwrap();
+        }
+        let reads = (dev.fram().read_ops() - reads0) as usize;
+        let writes = (dev.fram().write_ops() - writes0) as usize;
+        let write_bytes = (dev.fram().write_bytes() - bytes0) as usize;
+
+        // Warm deliveries stay write-only, each machine commit drops
+        // one sub-write (5 instead of 6 FRAM writes), and both figures
+        // stay under the slot-granular static model.
+        assert_eq!(reads, 0, "diff path must stay write-only when warm");
+        assert_eq!(writes, (8 + MACHINES * 5) * EVENTS as usize);
+        assert!(writes < key.writes * EVENTS as usize);
+        assert!(
+            write_bytes <= key.write_bytes * EVENTS as usize,
+            "diff write bytes {write_bytes} must stay under the model {}",
+            key.write_bytes * EVENTS as usize
+        );
     }
 
     /// Builds the dispatch-workload suite the bounds exactness tests
@@ -3307,12 +3635,15 @@ mod tests {
                     CacheMode::Disabled => event_energy(key, &model),
                     CacheMode::Enabled => event_energy_cached(key, &model),
                 };
+                // Slot-granular commits: the energy model prices that
+                // format; the diff default only ever draws less.
                 let engine = MonitorEngine::install_with(
                     &mut dev,
                     suite.clone(),
                     &app,
                     InstallOptions {
                         cache,
+                        diff: DiffMode::Disabled,
                         ..InstallOptions::default()
                     },
                 )
@@ -3366,6 +3697,7 @@ mod tests {
                 InstallOptions {
                     batch: BatchMode::Enabled { max_events: BATCH },
                     cache,
+                    diff: DiffMode::Disabled,
                     ..InstallOptions::default()
                 },
             )

@@ -11,8 +11,8 @@ use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
 use artemis_ir::expr::Value;
 use artemis_monitor::{
-    BatchMode, CacheMode, DeltaMode, ExecMode, InstallOptions, MonitorEngine, MonitorVerdict,
-    RoutingMode,
+    BatchMode, CacheMode, DeltaMode, DiffMode, ExecMode, InstallOptions, MonitorEngine,
+    MonitorVerdict, RoutingMode,
 };
 use intermittent_sim::capacitor::Capacitor;
 use intermittent_sim::device::{Device, DeviceBuilder};
@@ -580,6 +580,66 @@ proptest! {
         prop_assert_eq!(sd, sw, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
     }
 
+    /// Byte-granular dirty-diff commits vs slot-granular commits vs the
+    /// tree-walking interpreter, continuous power: journalling only the
+    /// changed bytes of a machine image must be observationally
+    /// invisible on every random spec and stream. (CI reruns the file
+    /// with `ARTEMIS_CACHE_MODE=disabled`, where `DiffMode::Auto`
+    /// degrades to slot-granular and this becomes a pure oracle run.)
+    #[test]
+    fn diff_equals_slot_granular_and_interpreter_on_random_specs(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+    ) {
+        let app = rich_app();
+        let mut dev_d = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_s = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vd, sd) = engine_run_opts(
+            &app, &spec, &events, &mut dev_d,
+            InstallOptions { diff: DiffMode::Auto, ..base_opts() });
+        let (vs, ss) = engine_run_opts(
+            &app, &spec, &events, &mut dev_s,
+            InstallOptions { diff: DiffMode::Disabled, ..base_opts() });
+        let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
+        prop_assert_eq!(&vd, &vs, "diff vs slot-granular verdicts, spec: {}", spec);
+        prop_assert_eq!(&sd, &ss, "diff vs slot-granular state, spec: {}", spec);
+        prop_assert_eq!(&vd, &vi, "diff vs interpreter verdicts, spec: {}", spec);
+        prop_assert_eq!(&sd, &si, "diff vs interpreter state, spec: {}", spec);
+    }
+
+    /// Dirty-diff commits on an intermittent device vs slot-granular
+    /// commits and the interpreter on continuous power: a reboot can
+    /// land between any two diff-run applications, and replaying the
+    /// minimal `[addr][len][data]` records must reconstruct exactly the
+    /// image slot-granular replay would have.
+    #[test]
+    fn diff_equals_slot_granular_and_interpreter_under_random_power_failures(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_d = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_s = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vd, sd) = engine_run_opts(
+            &app, &spec, &events, &mut dev_d,
+            InstallOptions { diff: DiffMode::Auto, ..base_opts() });
+        let (vs, ss) = engine_run_opts(
+            &app, &spec, &events, &mut dev_s,
+            InstallOptions { diff: DiffMode::Disabled, ..base_opts() });
+        let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
+        prop_assert_eq!(&vd, &vs, "diff vs slot-granular verdicts, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(&sd, &ss, "diff vs slot-granular state, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(&vd, &vi, "diff vs interpreter verdicts, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(&sd, &si, "diff vs interpreter state, budget {} nJ, spec: {}", budget_nj, spec);
+    }
+
     /// Group-commit batch delivery vs the per-event delta path vs the
     /// tree-walking interpreter, on burst-shaped streams: all three
     /// must agree on every verdict and on the final FRAM-visible
@@ -890,6 +950,128 @@ fn sparse_delta_commit_crash_windows_never_tear() {
         total_reboots > 100,
         "sweep too gentle to hit the sparse commit windows ({total_reboots} reboots)"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Dirty-diff commit crash windows (deterministic).
+//
+// The diff-commit transaction journals minimal `[addr][len][data]` runs
+// computed against the shadow cache's old image instead of whole slots.
+// Its crash windows are a superset of the sparse path's: a reboot can
+// land after the diff record is staged but before the flag flips,
+// between two run applications during replay, or after a wipe that
+// cold-refills the shadows mid-stream (a stale old image would make the
+// next diff silently wrong). The twin-counter machine makes any torn or
+// misdiffed application observable as `a != b` at the next recovery
+// point. The sweep runs in both cache modes: with the cache enabled the
+// diff path is genuinely active (guarded below), with it disabled
+// `DiffMode::Auto` must degrade to slot-granular and stay equivalent.
+// ---------------------------------------------------------------------------
+
+/// Budget sweep landing brown-outs in every window of the diff-commit
+/// transaction (>100 reboots per cache mode): the correlated counters
+/// must be equal at every recovery point, and the final image must
+/// match a continuous-power slot-granular run.
+#[test]
+fn diff_commit_crash_windows_never_tear() {
+    const EVENTS: u64 = 30;
+    let app = rich_app();
+
+    // Continuous-power slot-granular reference image.
+    let reference = {
+        let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let suite = artemis_ir::parse::parse_suite(TWIN_IR).unwrap();
+        let engine = MonitorEngine::install_with(
+            &mut dev,
+            suite,
+            &app,
+            InstallOptions {
+                diff: DiffMode::Disabled,
+                ..InstallOptions::default()
+            },
+        )
+        .unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+        for seq in 1..=EVENTS {
+            engine
+                .call_monitor(
+                    &mut dev,
+                    seq,
+                    &MonitorEvent::start(TaskId(0), SimInstant::from_micros(seq * 1_000)),
+                )
+                .unwrap();
+        }
+        engine.snapshot(&dev)
+    };
+
+    let twins = |snap: &[(u32, Vec<Value>)]| (snap[0].1[0], snap[0].1[1]);
+
+    for cache in [CacheMode::Enabled, CacheMode::Disabled] {
+        let mut total_reboots = 0u64;
+        for budget_nj in (700..3_000).step_by(25) {
+            let mut dev = DeviceBuilder::msp430fr5994()
+                .trace_disabled()
+                .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+                .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+                .build();
+            let suite = artemis_ir::parse::parse_suite(TWIN_IR).unwrap();
+            let engine = MonitorEngine::install_with(
+                &mut dev,
+                suite,
+                &app,
+                InstallOptions {
+                    cache,
+                    diff: DiffMode::Auto,
+                    ..InstallOptions::default()
+                },
+            )
+            .unwrap();
+            // Guard the premise: with the cache on, the diff path must
+            // actually be live; with it off, Auto must have degraded.
+            let want = match cache {
+                CacheMode::Enabled => DiffMode::Auto,
+                CacheMode::Disabled => DiffMode::Disabled,
+            };
+            assert_eq!(engine.diff_mode(), want, "cache {cache:?}");
+            let done = dev
+                .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
+                .unwrap();
+            let sim = Simulator::new(RunLimit::reboots(100_000));
+            let outcome = sim.run(&mut dev, &mut |dev: &mut Device| {
+                engine.monitor_finalize(dev)?;
+                // Every reboot is a recovery point: a torn or misdiffed
+                // commit surfaces here as a half-applied increment.
+                let (a, b) = twins(&engine.snapshot(dev));
+                assert_eq!(a, b, "torn diff commit at budget {budget_nj} nJ ({cache:?})");
+                loop {
+                    let idx = dev.nv_read(&done)? as usize;
+                    if idx as u64 >= EVENTS {
+                        return Ok(());
+                    }
+                    let seq = idx as u64 + 1;
+                    engine.call_monitor(
+                        dev,
+                        seq,
+                        &MonitorEvent::start(TaskId(0), SimInstant::from_micros(seq * 1_000)),
+                    )?;
+                    let (a, b) = twins(&engine.snapshot(dev));
+                    assert_eq!(a, b, "torn diff commit at budget {budget_nj} nJ ({cache:?})");
+                    dev.nv_write(&done, (idx + 1) as u32)?;
+                }
+            });
+            assert!(outcome.is_completed(), "stream never finished");
+            assert_eq!(
+                engine.snapshot(&dev),
+                reference,
+                "final image diverged at budget {budget_nj} nJ ({cache:?})"
+            );
+            total_reboots += dev.reboots();
+        }
+        assert!(
+            total_reboots > 100,
+            "sweep too gentle to hit the diff commit windows ({total_reboots} reboots, {cache:?})"
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------

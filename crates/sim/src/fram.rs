@@ -381,6 +381,18 @@ impl Fram {
         self.read_ops
     }
 
+    /// Total bytes written since construction — [`Fram::bytes_written`]
+    /// under the name the benchmarks pair with [`Fram::write_ops`].
+    pub fn write_bytes(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read since construction — [`Fram::bytes_read`]
+    /// under the name the benchmarks pair with [`Fram::read_ops`].
+    pub fn read_bytes(&self) -> u64 {
+        self.bytes_read
+    }
+
     /// All allocation records, in allocation order.
     pub fn allocations(&self) -> &[AllocRecord] {
         &self.allocs

@@ -49,6 +49,15 @@ fn install(dev: &mut Device, graph: &AppGraph) -> ArtemisRuntime {
 fn result_of(rt: &ArtemisRuntime, dev: &mut Device) -> Vec<f64> {
     let ch = rt.channel("result").unwrap();
     let tx = artemis::sim::journal::TxWriter::new();
+    // A run can complete with the capacitor nearly drained, so the
+    // post-run readback may brown out; recharge and retry like any
+    // reboot would (the read is side-effect free).
+    for _ in 0..3 {
+        if let Ok(v) = ch.read_all(dev, &tx) {
+            return v;
+        }
+        dev.power_cycle();
+    }
     ch.read_all(dev, &tx).unwrap()
 }
 
