@@ -175,9 +175,13 @@ pub fn analyze_all() -> (Report, usize) {
     let target = "examples/custom_monitor.rs";
     match first_raw_string(CUSTOM_MONITOR_SRC) {
         Some(ir) => match artemis_ir::parse::parse_suite(ir) {
-            Ok(suite) => {
-                lint_suite(target, &suite, &custom_monitor_app(), &mut findings, &mut verdicts)
-            }
+            Ok(suite) => lint_suite(
+                target,
+                &suite,
+                &custom_monitor_app(),
+                &mut findings,
+                &mut verdicts,
+            ),
             Err(e) => findings.push((
                 target.to_string(),
                 Diagnostic::error("parse", target.to_string(), e.to_string()),
@@ -326,26 +330,69 @@ mod tests {
         };
 
         let cycle = cells("CPU cycle");
-        assert_eq!(num(&cycle[2]), 1_000_000 / model.clock_hz, "cycle time (µs)");
-        assert_eq!(num(&cycle[3]), model.energy_per_cycle.as_pico_joules(), "cycle energy (pJ)");
+        assert_eq!(
+            num(&cycle[2]),
+            1_000_000 / model.clock_hz,
+            "cycle time (µs)"
+        );
+        assert_eq!(
+            num(&cycle[3]),
+            model.energy_per_cycle.as_pico_joules(),
+            "cycle energy (pJ)"
+        );
 
         let read_base = cells("FRAM read, per access");
         assert_eq!(num(&read_base[2]), model.fram_read_base.time.as_micros());
-        assert_eq!(num(&read_base[3]), model.fram_read_base.energy.as_pico_joules());
+        assert_eq!(
+            num(&read_base[3]),
+            model.fram_read_base.energy.as_pico_joules()
+        );
 
         let read_byte = cells("FRAM read, per byte");
-        assert_eq!(num(&read_byte[2]), model.fram_read_per_byte.time.as_micros());
-        assert_eq!(num(&read_byte[3]), model.fram_read_per_byte.energy.as_pico_joules());
+        assert_eq!(
+            num(&read_byte[2]),
+            model.fram_read_per_byte.time.as_micros()
+        );
+        assert_eq!(
+            num(&read_byte[3]),
+            model.fram_read_per_byte.energy.as_pico_joules()
+        );
 
         let write_base = cells("FRAM write, per access");
         assert_eq!(num(&write_base[2]), model.fram_write_base.time.as_micros());
-        assert_eq!(num(&write_base[3]), model.fram_write_base.energy.as_pico_joules());
+        assert_eq!(
+            num(&write_base[3]),
+            model.fram_write_base.energy.as_pico_joules()
+        );
 
         let write_byte = cells("FRAM write, per byte");
-        assert_eq!(num(&write_byte[2]), model.fram_write_per_byte.time.as_micros());
-        assert_eq!(num(&write_byte[3]), model.fram_write_per_byte.energy.as_pico_joules());
+        assert_eq!(
+            num(&write_byte[2]),
+            model.fram_write_per_byte.time.as_micros()
+        );
+        assert_eq!(
+            num(&write_byte[3]),
+            model.fram_write_per_byte.energy.as_pico_joules()
+        );
 
         let idle = cells("Idle (LPM3)");
         assert_eq!(num(&idle[3]), model.idle_power_nanowatts, "idle power (nW)");
+
+        // The per-opcode cycle table of the same section is pinned
+        // against `OpCycles` the same way.
+        let oc = model.op_cycles;
+        for (label, cycles) in [
+            ("load_imm", oc.load_imm),
+            ("load_slot", oc.load_slot),
+            ("alu", oc.alu),
+            ("branch", oc.branch),
+            ("store_slot", oc.store_slot),
+            ("cmp_branch", oc.cmp_branch),
+            ("load_cmp_branch", oc.load_cmp_branch),
+            ("const_store", oc.const_store),
+            ("transition_scan", oc.transition_scan),
+        ] {
+            assert_eq!(num(&cells(label)[2]), cycles, "op cycle row `{label}`");
+        }
     }
 }

@@ -4,13 +4,13 @@ use std::env;
 use std::fs;
 use std::process::ExitCode;
 
-use artemis_bench::{analyze, experiments};
 use artemis_bench::Report;
+use artemis_bench::{analyze, experiments};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: experiments [--json] [--emit] \
-         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|bytes|energy|fleet|analyze|all>\n\
+         <fig12|fig13|fig14|fig15|fig16|table2|ablation|scaling|dispatch|delta|batch|cache|bytes|energy|opt|fleet|analyze|all>\n\
          Regenerates the evaluation figures/tables of the ARTEMIS paper.\n\
          analyze  lint shipped specs/examples with the static analyser\n\
          \x20        (exits non-zero on any error-severity finding)\n\
@@ -18,6 +18,8 @@ fn usage() -> ExitCode {
          bytes    per-event FRAM bytes across the layout/commit lattice\n\
          energy   install-time energy feasibility verdicts vs measured\n\
          \x20        forward progress across a capacitor sweep\n\
+         opt      bytecode optimizer sweep: executed instructions/event and\n\
+         \x20        fleet events/sec across OptLevel none/full\n\
          fleet    full fleet-scale sharded simulation sweep (`all` includes a\n\
          \x20        small fleet_smoke run; FLEET_DEVICES / FLEET_SEED /\n\
          \x20        FLEET_WORKERS override the full sweep)\n\
@@ -35,11 +37,9 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--emit" => emit = true,
-            "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation"
-            | "scaling" | "dispatch" | "delta" | "batch" | "cache" | "bytes" | "energy" | "fleet"
-            | "analyze" | "all" => {
-                which = Some(arg)
-            }
+            "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "table2" | "ablation" | "scaling"
+            | "dispatch" | "delta" | "batch" | "cache" | "bytes" | "energy" | "opt" | "fleet"
+            | "analyze" | "all" => which = Some(arg),
             _ => return usage(),
         }
     }
@@ -68,6 +68,7 @@ fn main() -> ExitCode {
         "cache" => vec![experiments::cache()],
         "bytes" => vec![experiments::bytes()],
         "energy" => vec![experiments::energy()],
+        "opt" => vec![experiments::opt()],
         "fleet" => vec![experiments::fleet()],
         _ => experiments::all(),
     };

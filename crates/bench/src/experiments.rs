@@ -257,7 +257,13 @@ pub fn fig14() -> Report {
     let mut r = Report::new(
         "fig14",
         "execution time and overheads on continuous power (seconds)",
-        &["system", "app (s)", "runtime (s)", "monitor (s)", "total (s)"],
+        &[
+            "system",
+            "app (s)",
+            "runtime (s)",
+            "monitor (s)",
+            "total (s)",
+        ],
     );
     for (name, s) in [("ARTEMIS", &artemis), ("Mayfly", &mayfly)] {
         r.row(vec![
@@ -279,7 +285,12 @@ pub fn fig15() -> Report {
     let mut r = Report::new(
         "fig15",
         "overhead detail on continuous power (milliseconds)",
-        &["system", "runtime (ms)", "monitor (ms)", "overhead total (ms)"],
+        &[
+            "system",
+            "runtime (ms)",
+            "monitor (ms)",
+            "overhead total (ms)",
+        ],
     );
     for (name, s) in [("ARTEMIS", &artemis), ("Mayfly", &mayfly)] {
         r.row(vec![
@@ -305,7 +316,12 @@ pub fn fig16() -> Report {
     let mut r = Report::new(
         "fig16",
         "energy consumption per completed run (mJ)",
-        &["supply", "ARTEMIS (mJ)", "Mayfly (mJ)", "analysis (ARTEMIS)"],
+        &[
+            "supply",
+            "ARTEMIS (mJ)",
+            "Mayfly (mJ)",
+            "analysis (ARTEMIS)",
+        ],
     );
     let verdict = health_worst_verdict();
     let scenarios: Vec<(String, Harvester)> = vec![
@@ -447,9 +463,7 @@ pub fn ablation_deployment() -> Report {
     use artemis_monitor::{Monitoring, NoMonitoring, RemoteMonitorEngine};
 
     fn measure<M: Monitoring>(
-        install: impl FnOnce(
-            &mut intermittent_sim::Device,
-        ) -> artemis_runtime::ArtemisRuntime<M>,
+        install: impl FnOnce(&mut intermittent_sim::Device) -> artemis_runtime::ArtemisRuntime<M>,
     ) -> (SimDuration, intermittent_sim::Energy, usize) {
         let mut dev = benchmark_device(Harvester::Continuous);
         let mut rt = install(&mut dev);
@@ -532,8 +546,12 @@ pub fn ablation_scalability() -> Report {
         b.path(&tasks);
         let app = b.build().expect("graph");
         let spec: String = (0..n_props)
-            .map(|i| format!("t{i} {{ maxTries: 1000 onFail: skipPath; }}
-"))
+            .map(|i| {
+                format!(
+                    "t{i} {{ maxTries: 1000 onFail: skipPath; }}
+"
+                )
+            })
             .collect();
         let suite = artemis_ir::compile(&spec, &app).expect("spec");
 
@@ -545,10 +563,7 @@ pub fn ablation_scalability() -> Report {
         let before_e = dev.stats().energy(CostCategory::Monitor);
         let events = 200u64;
         for seq in 1..=events {
-            let ev = MonitorEvent::start(
-                tasks[0],
-                artemis_core::SimInstant::from_micros(seq),
-            );
+            let ev = MonitorEvent::start(tasks[0], artemis_core::SimInstant::from_micros(seq));
             engine.call_monitor(&mut dev, seq, &ev).expect("event");
         }
         let dt = dev.stats().time(CostCategory::Monitor) - before_t;
@@ -559,7 +574,9 @@ pub fn ablation_scalability() -> Report {
             format!("{:.1}", de.as_joules_f64() * 1e9 / events as f64),
         ]);
     }
-    r.note("events all target one task; the other properties are dismissed by the trigger pre-filter");
+    r.note(
+        "events all target one task; the other properties are dismissed by the trigger pre-filter",
+    );
     r
 }
 
@@ -621,10 +638,7 @@ pub fn scaling() -> Report {
             let before_t = dev.stats().time(CostCategory::Monitor);
             let before_e = dev.stats().energy(CostCategory::Monitor);
             for seq in 1..=EVENTS {
-                let ev = MonitorEvent::start(
-                    tasks[0],
-                    artemis_core::SimInstant::from_micros(seq),
-                );
+                let ev = MonitorEvent::start(tasks[0], artemis_core::SimInstant::from_micros(seq));
                 engine.call_monitor(&mut dev, seq, &ev).expect("event");
             }
             let dt = dev.stats().time(CostCategory::Monitor) - before_t;
@@ -691,11 +705,7 @@ pub(crate) fn dispatch_suite() -> (
                 .map(|v| {
                     Stmt::Assign(
                         format!("v{v}"),
-                        Expr::bin(
-                            BinOp::Add,
-                            Expr::var(&format!("v{v}")),
-                            Expr::int(1),
-                        ),
+                        Expr::bin(BinOp::Add, Expr::var(&format!("v{v}")), Expr::int(1)),
                     )
                 })
                 .collect(),
@@ -736,6 +746,58 @@ pub(crate) fn sparse_dispatch_suite() -> (
             to: 0,
             trigger: Trigger::Start(TaskPat::named("t0")),
             guard: None,
+            body: vec![Stmt::Assign(
+                "v0".to_string(),
+                Expr::bin(BinOp::Add, Expr::var("v0"), Expr::int(1)),
+            )],
+            emit: None,
+        });
+        suite.push(sm);
+    }
+    (suite, app, t0)
+}
+
+/// Guarded variant of the sparse dispatch suite, built for the
+/// optimizer benchmark: every `start(t0)` transition carries the guard
+/// `v0 < 1000000 && v0 >= 0` in front of the single `v0 := v0 + 1`
+/// increment. Unoptimized, the short-circuit `&&` lowers to two full
+/// compare/branch ladders plus an `AssertBool`; the optimizer fuses
+/// each comparison into one superinstruction and threads the jumps, so
+/// the same semantics execute in a fraction of the instructions. The
+/// guard is always true for the benchmark's event counts, which keeps
+/// every event on the same straight-line path — executed instructions
+/// equal the static [`artemis_ir::StepCost`] ceiling exactly, at both
+/// optimization levels.
+pub(crate) fn guarded_sparse_suite() -> (
+    artemis_ir::fsm::MonitorSuite,
+    artemis_core::app::AppGraph,
+    artemis_core::app::TaskId,
+) {
+    use artemis_ir::expr::{BinOp, Expr, Value, VarType};
+    use artemis_ir::fsm::{MonitorSuite, StateMachine, Stmt, TaskPat, Transition, Trigger};
+
+    let mut b = artemis_core::app::AppGraphBuilder::new();
+    let t0 = b.task("t0");
+    let t1 = b.task("t1");
+    b.path(&[t0, t1]);
+    let app = b.build().expect("graph");
+
+    let mut suite = MonitorSuite::new();
+    for m in 0..DISPATCH_MACHINES {
+        let mut sm = StateMachine::new(&format!("m{m}"), "t0");
+        for v in 0..DISPATCH_VARS {
+            sm.add_var(&format!("v{v}"), VarType::Int, Value::Int(0));
+        }
+        sm.add_state("S");
+        sm.transitions.push(Transition {
+            from: 0,
+            to: 0,
+            trigger: Trigger::Start(TaskPat::named("t0")),
+            guard: Some(Expr::bin(
+                BinOp::And,
+                Expr::bin(BinOp::Lt, Expr::var("v0"), Expr::int(1_000_000)),
+                Expr::bin(BinOp::Ge, Expr::var("v0"), Expr::int(0)),
+            )),
             body: vec![Stmt::Assign(
                 "v0".to_string(),
                 Expr::bin(BinOp::Add, Expr::var("v0"), Expr::int(1)),
@@ -903,11 +965,11 @@ pub fn delta() -> Report {
     // Surface the compile-time per-key degrade decision for each
     // dispatch-shaped workload (the scaling suite's blocks are
     // single-variable, so they always degrade).
-    for (workload, (suite, app, _)) in
-        [("dispatch", sparse_dispatch_suite()), ("dispatch-dense", dispatch_suite())]
-    {
-        let compiled =
-            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+    for (workload, (suite, app, _)) in [
+        ("dispatch", sparse_dispatch_suite()),
+        ("dispatch-dense", dispatch_suite()),
+    ] {
+        let compiled = artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
         let bounds = artemis_ir::suite_bounds(&compiled);
         let key = bounds.worst_event().expect("has event keys");
         r.note(format!(
@@ -968,21 +1030,21 @@ pub fn batch() -> Report {
             ..InstallOptions::default()
         };
         let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
-        let engine = MonitorEngine::install_with(&mut dev, suite.clone(), &app, opts)
-            .expect("installs");
+        let engine =
+            MonitorEngine::install_with(&mut dev, suite.clone(), &app, opts).expect("installs");
         engine.reset_monitor(&mut dev).expect("reset");
         let reads0 = dev.fram().read_ops();
         let writes0 = dev.fram().write_ops();
         let rbytes0 = dev.fram().read_bytes();
         let wbytes0 = dev.fram().write_bytes();
         let time0 = dev.stats().time(CostCategory::Monitor);
-        let event = |seq: u64| {
-            MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq))
-        };
+        let event = |seq: u64| MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq));
         match batch {
             None => {
                 for seq in 1..=EVENTS {
-                    engine.call_monitor(&mut dev, seq, &event(seq)).expect("event");
+                    engine
+                        .call_monitor(&mut dev, seq, &event(seq))
+                        .expect("event");
                 }
             }
             Some(b) => {
@@ -1042,7 +1104,12 @@ pub fn batch() -> Report {
     }
 
     let at = |b: usize| -> f64 {
-        samples.iter().find(|(sb, _)| *sb == b).expect("swept size").1.ops_per_event()
+        samples
+            .iter()
+            .find(|(sb, _)| *sb == b)
+            .expect("swept size")
+            .1
+            .ops_per_event()
     };
     r.note(format!(
         "batch-4 vs per-event delta FRAM op reduction: {:.2}x \
@@ -1221,12 +1288,13 @@ pub fn cache() -> Report {
         let rbytes0 = dev.fram().read_bytes();
         let wbytes0 = dev.fram().write_bytes();
         let time0 = dev.stats().time(CostCategory::Monitor);
-        let event =
-            |seq: u64| MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq));
+        let event = |seq: u64| MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq));
         match batch {
             None => {
                 for seq in 1..=EVENTS {
-                    engine.call_monitor(&mut dev, seq, &event(seq)).expect("event");
+                    engine
+                        .call_monitor(&mut dev, seq, &event(seq))
+                        .expect("event");
                 }
             }
             Some(b) => {
@@ -1448,55 +1516,57 @@ pub fn bytes() -> Report {
 
     let (suite, app, t0) = sparse_dispatch_suite();
 
-    let run = |layout: LayoutMode, cache: CacheMode, diff: DiffMode, batch: Option<usize>|
-     -> Sample {
-        let opts = InstallOptions {
-            layout,
-            cache,
-            diff,
-            batch: match batch {
-                Some(b) => BatchMode::Enabled { max_events: b },
-                None => BatchMode::Disabled,
-            },
-            ..InstallOptions::default()
+    let run =
+        |layout: LayoutMode, cache: CacheMode, diff: DiffMode, batch: Option<usize>| -> Sample {
+            let opts = InstallOptions {
+                layout,
+                cache,
+                diff,
+                batch: match batch {
+                    Some(b) => BatchMode::Enabled { max_events: b },
+                    None => BatchMode::Disabled,
+                },
+                ..InstallOptions::default()
+            };
+            let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+            let engine =
+                MonitorEngine::install_with(&mut dev, suite.clone(), &app, opts).expect("installs");
+            engine.reset_monitor(&mut dev).expect("reset");
+            let reads0 = dev.fram().read_ops();
+            let writes0 = dev.fram().write_ops();
+            let rbytes0 = dev.fram().read_bytes();
+            let wbytes0 = dev.fram().write_bytes();
+            let time0 = dev.stats().time(CostCategory::Monitor);
+            let energy0 = dev.stats().energy(CostCategory::Monitor);
+            let event =
+                |seq: u64| MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq));
+            match batch {
+                None => {
+                    for seq in 1..=EVENTS {
+                        engine
+                            .call_monitor(&mut dev, seq, &event(seq))
+                            .expect("event");
+                    }
+                }
+                Some(b) => {
+                    let mut seq = 1;
+                    while seq <= EVENTS {
+                        let n = (b as u64).min(EVENTS - seq + 1);
+                        let chunk: Vec<MonitorEvent> = (0..n).map(|i| event(seq + i)).collect();
+                        engine.deliver_batch(&mut dev, seq, &chunk).expect("batch");
+                        seq += n;
+                    }
+                }
+            }
+            Sample {
+                reads: dev.fram().read_ops() - reads0,
+                writes: dev.fram().write_ops() - writes0,
+                read_bytes: dev.fram().read_bytes() - rbytes0,
+                write_bytes: dev.fram().write_bytes() - wbytes0,
+                time: dev.stats().time(CostCategory::Monitor) - time0,
+                energy: dev.stats().energy(CostCategory::Monitor) - energy0,
+            }
         };
-        let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
-        let engine =
-            MonitorEngine::install_with(&mut dev, suite.clone(), &app, opts).expect("installs");
-        engine.reset_monitor(&mut dev).expect("reset");
-        let reads0 = dev.fram().read_ops();
-        let writes0 = dev.fram().write_ops();
-        let rbytes0 = dev.fram().read_bytes();
-        let wbytes0 = dev.fram().write_bytes();
-        let time0 = dev.stats().time(CostCategory::Monitor);
-        let energy0 = dev.stats().energy(CostCategory::Monitor);
-        let event =
-            |seq: u64| MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq));
-        match batch {
-            None => {
-                for seq in 1..=EVENTS {
-                    engine.call_monitor(&mut dev, seq, &event(seq)).expect("event");
-                }
-            }
-            Some(b) => {
-                let mut seq = 1;
-                while seq <= EVENTS {
-                    let n = (b as u64).min(EVENTS - seq + 1);
-                    let chunk: Vec<MonitorEvent> = (0..n).map(|i| event(seq + i)).collect();
-                    engine.deliver_batch(&mut dev, seq, &chunk).expect("batch");
-                    seq += n;
-                }
-            }
-        }
-        Sample {
-            reads: dev.fram().read_ops() - reads0,
-            writes: dev.fram().write_ops() - writes0,
-            read_bytes: dev.fram().read_bytes() - rbytes0,
-            write_bytes: dev.fram().write_bytes() - wbytes0,
-            time: dev.stats().time(CostCategory::Monitor) - time0,
-            energy: dev.stats().energy(CostCategory::Monitor) - energy0,
-        }
-    };
 
     let mut r = Report::new(
         "bytes",
@@ -1526,14 +1596,70 @@ pub fn bytes() -> Report {
     let configs: [BytesConfig; 7] = [
         // The pre-packing engine format, cache off: the differential
         // oracle and the headline baseline.
-        ("tagged", "slot", "off", LayoutMode::Tagged, CacheMode::Disabled, DiffMode::Disabled, None),
-        ("tagged", "slot", "warm", LayoutMode::Tagged, CacheMode::Enabled, DiffMode::Disabled, None),
-        ("packed", "slot", "off", LayoutMode::Packed, CacheMode::Disabled, DiffMode::Disabled, None),
-        ("packed", "slot", "warm", LayoutMode::Packed, CacheMode::Enabled, DiffMode::Disabled, None),
+        (
+            "tagged",
+            "slot",
+            "off",
+            LayoutMode::Tagged,
+            CacheMode::Disabled,
+            DiffMode::Disabled,
+            None,
+        ),
+        (
+            "tagged",
+            "slot",
+            "warm",
+            LayoutMode::Tagged,
+            CacheMode::Enabled,
+            DiffMode::Disabled,
+            None,
+        ),
+        (
+            "packed",
+            "slot",
+            "off",
+            LayoutMode::Packed,
+            CacheMode::Disabled,
+            DiffMode::Disabled,
+            None,
+        ),
+        (
+            "packed",
+            "slot",
+            "warm",
+            LayoutMode::Packed,
+            CacheMode::Enabled,
+            DiffMode::Disabled,
+            None,
+        ),
         // The default engine configuration and headline row.
-        ("packed", "diff", "warm", LayoutMode::Packed, CacheMode::Enabled, DiffMode::Auto, None),
-        ("packed", "slot", "warm batch-8", LayoutMode::Packed, CacheMode::Enabled, DiffMode::Disabled, Some(8)),
-        ("packed", "diff", "warm batch-8", LayoutMode::Packed, CacheMode::Enabled, DiffMode::Auto, Some(8)),
+        (
+            "packed",
+            "diff",
+            "warm",
+            LayoutMode::Packed,
+            CacheMode::Enabled,
+            DiffMode::Auto,
+            None,
+        ),
+        (
+            "packed",
+            "slot",
+            "warm batch-8",
+            LayoutMode::Packed,
+            CacheMode::Enabled,
+            DiffMode::Disabled,
+            Some(8),
+        ),
+        (
+            "packed",
+            "diff",
+            "warm batch-8",
+            LayoutMode::Packed,
+            CacheMode::Enabled,
+            DiffMode::Auto,
+            Some(8),
+        ),
     ];
 
     let mut samples = Vec::new();
@@ -1930,7 +2056,194 @@ pub fn fleet_smoke() -> Report {
          (shadow cache enabled); merged FleetStats asserted bit-identical across the \
          1-vs-2 worker sweep"
     ));
-    r.note("full 100k-device sweep: `experiments -- fleet` (FLEET_DEVICES/FLEET_WORKERS override)".to_string());
+    r.note(
+        "full 100k-device sweep: `experiments -- fleet` (FLEET_DEVICES/FLEET_WORKERS override)"
+            .to_string(),
+    );
+    r
+}
+
+/// One optimizer-benchmark micro measurement: the guarded sparse
+/// dispatch suite installed at one [`artemis_ir::OptLevel`], a burst
+/// of `start(t0)` events delivered, and the engine's volatile
+/// executed-instruction counters read back next to the static
+/// [`artemis_ir::StepCost`] ceiling priced from the same compiled
+/// suite.
+pub(crate) struct OptMicro {
+    /// Total bytecode length of the compiled suite (all machines).
+    pub bytecode_ops: usize,
+    /// Events delivered.
+    pub events: u64,
+    /// Measured executed instructions per event (engine counters).
+    pub instructions_per_event: f64,
+    /// Static per-event instruction ceiling: sum of
+    /// `step_cost(StartTask, t0)` over every machine.
+    pub ceiling_per_event: u64,
+    /// Static per-event compute-cycle ceiling (same sum, cycles).
+    pub ceiling_cycles_per_event: u64,
+    /// Monitor-category device time per event, microseconds.
+    pub time_per_event_us: f64,
+}
+
+/// Runs the optimizer micro benchmark at `level`. The guard in
+/// [`guarded_sparse_suite`] stays true for every delivered event, so
+/// each event walks the one straight-line path the static ceiling
+/// prices — measured instructions/event must equal the ceiling
+/// exactly, at both levels (asserted here; the bench doubles as an
+/// end-to-end pin of the cost model).
+pub(crate) fn opt_micro(level: artemis_ir::OptLevel) -> OptMicro {
+    use artemis_core::event::MonitorEvent;
+    use artemis_core::EventKind;
+    use artemis_monitor::{CacheMode, InstallOptions, MonitorEngine};
+    use intermittent_sim::DeviceBuilder;
+
+    const EVENTS: u64 = 200;
+
+    let (suite, app, t0) = guarded_sparse_suite();
+    let compiled = artemis_ir::compile::CompiledSuite::compile_with(&suite, &app, level)
+        .expect("benchmark suite compiles");
+    let bytecode_ops: usize = compiled
+        .machines()
+        .iter()
+        .map(|m| m.to_raw().code.len())
+        .sum();
+    let ceiling: artemis_ir::StepCost = compiled
+        .machines()
+        .iter()
+        .map(|m| m.step_cost(EventKind::StartTask, t0.0))
+        .fold(artemis_ir::StepCost::default(), |acc, c| {
+            artemis_ir::StepCost {
+                cycles: acc.cycles + c.cycles,
+                instructions: acc.instructions + c.instructions,
+            }
+        });
+
+    let mut dev = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    // Cache pinned off: like `dispatch`, this is the uncached baseline.
+    let opts = InstallOptions {
+        opt: level,
+        cache: CacheMode::Disabled,
+        ..InstallOptions::default()
+    };
+    let engine = MonitorEngine::install_with(&mut dev, suite, &app, opts).expect("installs");
+    engine.reset_monitor(&mut dev).expect("reset");
+
+    let time0 = dev.stats().time(CostCategory::Monitor);
+    let exec0 = engine.exec_stats();
+    for seq in 1..=EVENTS {
+        let ev = MonitorEvent::start(t0, artemis_core::SimInstant::from_micros(seq));
+        engine.call_monitor(&mut dev, seq, &ev).expect("event");
+    }
+    let exec = engine.exec_stats();
+    let dt = dev.stats().time(CostCategory::Monitor) - time0;
+
+    let executed = exec.instructions - exec0.instructions;
+    let per_event = executed as f64 / EVENTS as f64;
+    assert_eq!(
+        executed,
+        EVENTS * ceiling.instructions,
+        "always-true guard: executed instructions must hit the static ceiling exactly"
+    );
+
+    OptMicro {
+        bytecode_ops,
+        events: EVENTS,
+        instructions_per_event: per_event,
+        ceiling_per_event: ceiling.instructions,
+        ceiling_cycles_per_event: ceiling.cycles,
+        time_per_event_us: dt.as_secs_f64() * 1e6 / EVENTS as f64,
+    }
+}
+
+/// **Optimizer benchmark (beyond the paper's figures)** — what the
+/// bytecode optimizer pipeline (constant folding, jump threading,
+/// fused superinstructions; `crates/ir/src/opt.rs`) buys at runtime.
+/// Two parts: a micro sweep on the guarded sparse dispatch suite
+/// comparing executed instructions/event and monitor time/event across
+/// `OptLevel::{None, Full}` (the static `StepCost` ceiling is asserted
+/// exactly tight on every row), and a fleet sweep running the wearable
+/// benchmark across many devices at both levels, sharing one compiled
+/// suite per level via `fleet_factory_opt`.
+///
+/// Env overrides (for CI smoke runs): `FLEET_DEVICES`, `FLEET_SEED`,
+/// `FLEET_WORKERS` (the largest sweep entry is used).
+pub fn opt() -> Report {
+    use artemis_fleet::{run_fleet, FleetConfig};
+    use artemis_ir::OptLevel;
+    use std::time::Instant;
+
+    let mut r = Report::new(
+        "opt",
+        "bytecode optimizer: executed instructions and fleet throughput vs OptLevel",
+        &[
+            "workload",
+            "opt",
+            "bytecode ops",
+            "instructions/event",
+            "static ceiling",
+            "tightness",
+            "cycles/event",
+            "time/event (us)",
+            "events/sec",
+        ],
+    );
+
+    let mut micro = Vec::new();
+    for (name, level) in [("none", OptLevel::None), ("full", OptLevel::Full)] {
+        let m = opt_micro(level);
+        r.row(vec![
+            "sparse-guard".to_string(),
+            name.to_string(),
+            m.bytecode_ops.to_string(),
+            format!("{:.1}", m.instructions_per_event),
+            m.ceiling_per_event.to_string(),
+            "exact".to_string(),
+            m.ceiling_cycles_per_event.to_string(),
+            format!("{:.2}", m.time_per_event_us),
+            "-".to_string(),
+        ]);
+        micro.push(m);
+    }
+
+    let devices = env_u64("FLEET_DEVICES", 100_000);
+    let seed = env_u64("FLEET_SEED", 0xA27E_F1EE);
+    let workers = fleet_worker_sweep().into_iter().max().unwrap_or(8);
+    for (name, level) in [("none", OptLevel::None), ("full", OptLevel::Full)] {
+        let factory = crate::health::fleet_factory_opt(level);
+        let cfg = FleetConfig::new(devices, workers, seed);
+        let t0 = Instant::now();
+        let stats = run_fleet(&cfg, &factory);
+        let wall = t0.elapsed().as_secs_f64();
+        r.row(vec![
+            format!("fleet x{workers}w"),
+            name.to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            format!("{:.0}", stats.events as f64 / wall),
+        ]);
+    }
+
+    let reduction = micro[0].instructions_per_event / micro[1].instructions_per_event;
+    r.note(format!(
+        "{DISPATCH_MACHINES} machines x {DISPATCH_VARS} vars, guard `v0 < 1000000 && v0 >= 0` \
+         ahead of a single increment, {} events per micro row; executed-instruction \
+         reduction: {reduction:.2}x (acceptance target: >= 1.4x)",
+        micro[0].events
+    ));
+    r.note(
+        "tightness: measured instructions/event equals the static per-event \
+         `step_cost` ceiling on every micro row (asserted, run would abort otherwise) \
+         — the always-true guard keeps every event on the one priced path",
+    );
+    r.note(format!(
+        "fleet rows: wearable benchmark, {devices} devices, seed {seed:#x}, {workers} \
+         worker(s); each level compiles its suite once and shares it across the fleet \
+         (`fleet_factory_opt`)"
+    ));
     r
 }
 
@@ -1970,7 +2283,10 @@ mod tests {
             if n <= 5 {
                 assert_ne!(row[3], "DNF", "Mayfly must complete at {n} nominal minutes");
             } else {
-                assert_eq!(row[3], "DNF", "Mayfly must NOT complete at {n} nominal minutes");
+                assert_eq!(
+                    row[3], "DNF",
+                    "Mayfly must NOT complete at {n} nominal minutes"
+                );
             }
             assert!(
                 !row[5].contains("MISS"),
@@ -2044,7 +2360,10 @@ mod tests {
         let artemis_app: f64 = r.rows[0][1].parse().unwrap();
         let artemis_overhead: f64 =
             r.rows[0][2].parse::<f64>().unwrap() + r.rows[0][3].parse::<f64>().unwrap();
-        assert!(artemis_overhead < artemis_app * 0.1, "overheads must be minor");
+        assert!(
+            artemis_overhead < artemis_app * 0.1,
+            "overheads must be minor"
+        );
     }
 
     #[test]
@@ -2081,7 +2400,10 @@ mod tests {
         assert!(!six[1].contains("unbounded"), "{six:?}");
         assert!(six[2].contains("unbounded"), "{six:?}");
         for row in &r.rows {
-            assert!(!row[3].contains("MISS"), "analysis must agree per point: {row:?}");
+            assert!(
+                !row[3].contains("MISS"),
+                "analysis must agree per point: {row:?}"
+            );
         }
     }
 
@@ -2253,11 +2575,14 @@ mod tests {
 
         // The cache-aware static bound is exactly the warm cost.
         let (suite, app, _t0) = sparse_dispatch_suite();
-        let compiled =
-            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+        let compiled = artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
         let bounds = artemis_ir::suite_bounds(&compiled);
         let key = bounds.worst_event().expect("has event keys");
-        assert_eq!(key.cached_ops() as f64, b1_on, "warm bound must be exactly tight");
+        assert_eq!(
+            key.cached_ops() as f64,
+            b1_on,
+            "warm bound must be exactly tight"
+        );
         let b8_bound = artemis_ir::batch_bounds(&compiled, 8);
         assert!(
             b8_bound.cached_ops_per_event_ceil() as f64 >= b8_on,
@@ -2324,8 +2649,7 @@ mod tests {
         // layouts: cold rows measure bound reads + writes, warm rows
         // are write-only at exactly the bound's write bytes.
         let (suite, app, _t0) = sparse_dispatch_suite();
-        let compiled =
-            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+        let compiled = artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
         for (layout, kind) in [
             ("tagged", artemis_ir::LayoutKind::Tagged),
             ("packed", artemis_ir::LayoutKind::Packed),
@@ -2360,9 +2684,7 @@ mod tests {
         assert!(total("packed", "slot", "off") < total("tagged", "slot", "off"));
         assert!(total("packed", "slot", "warm") < total("tagged", "slot", "warm"));
         assert!(total("packed", "diff", "warm") < total("packed", "slot", "warm"));
-        assert!(
-            total("packed", "diff", "warm batch-8") <= total("packed", "slot", "warm batch-8")
-        );
+        assert!(total("packed", "diff", "warm batch-8") <= total("packed", "slot", "warm batch-8"));
 
         // Time and energy track the byte mix through the cost model:
         // every FRAM access pays 25 us + 1 us/B, so per-event time must
@@ -2389,8 +2711,7 @@ mod tests {
     fn batch_static_bound_dominates_measured() {
         let r = batch();
         let (suite, app, _t0) = sparse_dispatch_suite();
-        let compiled =
-            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+        let compiled = artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
         for row in r.rows.iter().filter(|row| row[0].starts_with("batch-")) {
             let b: usize = row[0]["batch-".len()..].parse().unwrap();
             let measured: f64 = row[4].parse().unwrap();
@@ -2412,8 +2733,7 @@ mod tests {
         let measured: f64 = r.rows[1][5].parse().unwrap();
 
         let (suite, app, _t0) = dispatch_suite();
-        let compiled =
-            artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
+        let compiled = artemis_ir::compile::CompiledSuite::compile(&suite, &app).expect("compiles");
         let bounds = artemis_ir::suite_bounds(&compiled);
         let key = bounds.worst_event().expect("has event keys");
         assert!(
@@ -2435,5 +2755,34 @@ mod tests {
             "ARTEMIS runtime FRAM ({artemis_rt_fram}) must undercut Mayfly ({mayfly_fram})"
         );
         assert!(monitor_fram > 0, "monitors must cost FRAM");
+    }
+
+    #[test]
+    fn optimizer_micro_meets_reduction_target_with_exact_ceilings() {
+        // `opt_micro` itself asserts measured executed instructions ==
+        // EVENTS * static ceiling, so getting two results back already
+        // proves ceiling exactness at both levels.
+        let none = opt_micro(artemis_ir::OptLevel::None);
+        let full = opt_micro(artemis_ir::OptLevel::Full);
+        assert_eq!(none.instructions_per_event, none.ceiling_per_event as f64);
+        assert_eq!(full.instructions_per_event, full.ceiling_per_event as f64);
+        let reduction = none.instructions_per_event / full.instructions_per_event;
+        assert!(
+            reduction >= 1.4,
+            "executed-instruction reduction {reduction:.2}x must meet the 1.4x target \
+             ({} -> {} instructions/event)",
+            none.ceiling_per_event,
+            full.ceiling_per_event
+        );
+        assert!(
+            full.bytecode_ops < none.bytecode_ops,
+            "optimization must shrink the suite's bytecode ({} vs {})",
+            full.bytecode_ops,
+            none.bytecode_ops
+        );
+        assert!(
+            full.ceiling_cycles_per_event < none.ceiling_cycles_per_event,
+            "the static cycle ceiling must tighten with optimization"
+        );
     }
 }

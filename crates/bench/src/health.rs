@@ -272,8 +272,22 @@ pub fn artemis_builder(app: AppGraph) -> ArtemisRuntimeBuilder {
 /// Traces are bounded (ring buffer) so a 100k-device fleet holds one
 /// 256-record window per *live* device, not an unbounded history.
 pub fn fleet_factory() -> impl Fn(u64, u64) -> FleetDevice + Sync {
+    fleet_factory_opt(artemis_ir::OptLevel::from_env())
+}
+
+/// [`fleet_factory`] at an explicit bytecode optimization level (the
+/// `opt` bench sweeps both). The suite is compiled to bytecode **once**
+/// and shared across all devices through an [`std::sync::Arc`] — a
+/// 100k-device fleet holds one copy of the immutable
+/// [`artemis_ir::CompiledSuite`], not 100k; only the per-device FRAM
+/// image, journal, and caches are private.
+pub fn fleet_factory_opt(opt: artemis_ir::OptLevel) -> impl Fn(u64, u64) -> FleetDevice + Sync {
     let app = health_app();
     let suite = artemis_ir::compile(HEALTH_SPEC, &app).expect("benchmark spec compiles");
+    let compiled = std::sync::Arc::new(
+        artemis_ir::CompiledSuite::compile_with(&suite, &app, opt)
+            .expect("benchmark spec compiles to bytecode"),
+    );
     move |_index, seed| {
         let mut rng = StdRng::seed_from_u64(seed);
         let harvester = match rng.random_range(0..10u32) {
@@ -286,8 +300,16 @@ pub fn fleet_factory() -> impl Fn(u64, u64) -> FleetDevice + Sync {
             ),
         };
         let mut dev = benchmark_device_bounded(harvester, 256);
+        let engine = artemis_monitor::MonitorEngine::install_precompiled_shared(
+            &mut dev,
+            suite.clone(),
+            std::sync::Arc::clone(&compiled),
+            &app,
+            artemis_monitor::InstallOptions::default(),
+        )
+        .expect("benchmark installs");
         let rt = artemis_builder(app.clone())
-            .install(&mut dev, suite.clone())
+            .install_with(&mut dev, engine)
             .expect("benchmark installs");
         FleetDevice {
             dev,

@@ -94,7 +94,10 @@ impl Report {
         let mut out = String::from("{");
         out.push_str(&format!("\"id\":{}", json_string(&self.id)));
         out.push_str(&format!(",\"title\":{}", json_string(&self.title)));
-        out.push_str(&format!(",\"columns\":{}", json_string_array(&self.columns)));
+        out.push_str(&format!(
+            ",\"columns\":{}",
+            json_string_array(&self.columns)
+        ));
         out.push_str(",\"rows\":[");
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -114,7 +117,10 @@ impl Report {
         if reports.is_empty() {
             return "[]".to_string();
         }
-        let items: Vec<String> = reports.iter().map(|r| format!("  {}", r.to_json())).collect();
+        let items: Vec<String> = reports
+            .iter()
+            .map(|r| format!("  {}", r.to_json()))
+            .collect();
         format!("[\n{}\n]", items.join(",\n"))
     }
 }
@@ -177,7 +183,10 @@ mod tests {
 
     #[test]
     fn json_strings_escape_control_and_quote_chars() {
-        assert_eq!(json_string("a\"b\\c\nd\te\u{1}"), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(
+            json_string("a\"b\\c\nd\te\u{1}"),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
         let arr = Report::json_array_pretty(&[Report::new("x", "y", &[])]);
         assert!(arr.starts_with("[\n  {"));
         assert!(arr.ends_with("}\n]"));

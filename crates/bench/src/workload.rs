@@ -48,7 +48,10 @@ pub fn generate(seed: u64) -> Workload {
             ids.push(b.task(&name));
             path_names.push(name);
             // Bodies: 1–4 bursts of 1k–8k cycles (≤ ~12 µJ total).
-            bodies.push((rng.random_range(1..=4u32), rng.random_range(1_000..=8_000u64)));
+            bodies.push((
+                rng.random_range(1..=4u32),
+                rng.random_range(1_000..=8_000u64),
+            ));
         }
         b.path(&ids);
         names.push(path_names);
@@ -102,8 +105,8 @@ pub fn generate(seed: u64) -> Workload {
 impl Workload {
     /// Installs the workload on a device under the ARTEMIS runtime.
     pub fn install(&self, dev: &mut Device) -> Result<ArtemisRuntime, String> {
-        let suite =
-            artemis_ir::compile(&self.spec, &self.app).map_err(|e| format!("{e}\n{}", self.spec))?;
+        let suite = artemis_ir::compile(&self.spec, &self.app)
+            .map_err(|e| format!("{e}\n{}", self.spec))?;
         let mut rb = ArtemisRuntimeBuilder::new(self.app.clone());
         rb.channel("out");
         for (i, decl) in self.app.tasks().iter().enumerate() {
@@ -168,8 +171,7 @@ mod tests {
 
             let run = |dev: &mut intermittent_sim::Device| -> Option<usize> {
                 let mut rt = w.install(dev).unwrap();
-                let out =
-                    rt.run_once(dev, RunLimit::sim_time(SimDuration::from_hours(2)));
+                let out = rt.run_once(dev, RunLimit::sim_time(SimDuration::from_hours(2)));
                 if !out.is_completed() {
                     return None;
                 }
@@ -180,15 +182,16 @@ mod tests {
 
             let mut cont = DeviceBuilder::msp430fr5994().trace_disabled().build();
             let expected = run(&mut cont).unwrap_or_else(|| {
-                panic!("seed {seed} did not complete on continuous power:\n{}", w.spec)
+                panic!(
+                    "seed {seed} did not complete on continuous power:\n{}",
+                    w.spec
+                )
             });
 
             for budget_uj in [20u64, 40, 90] {
                 let mut dev = DeviceBuilder::msp430fr5994()
                     .trace_disabled()
-                    .capacitor(Capacitor::with_budget(Energy::from_micro_joules(
-                        budget_uj,
-                    )))
+                    .capacitor(Capacitor::with_budget(Energy::from_micro_joules(budget_uj)))
                     .harvester(Harvester::stochastic(
                         SimDuration::from_millis(100),
                         SimDuration::from_secs(10),
@@ -196,10 +199,7 @@ mod tests {
                     ))
                     .build();
                 let got = run(&mut dev).unwrap_or_else(|| {
-                    panic!(
-                        "seed {seed}, {budget_uj} µJ: did not complete\n{}",
-                        w.spec
-                    )
+                    panic!("seed {seed}, {budget_uj} µJ: did not complete\n{}", w.spec)
                 });
                 // skipTask/skipPath reactions may legitimately shed
                 // work under duress; they can never *add* commits.

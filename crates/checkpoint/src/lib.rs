@@ -350,8 +350,7 @@ mod tests {
                 .capacitor(Capacitor::with_budget(Energy::from_micro_joules(budget_uj)))
                 .harvester(Harvester::FixedDelay(SimDuration::from_secs(1)))
                 .build();
-            let mut rt =
-                CheckpointRuntime::install(&mut dev, counting_program(16, 2)).unwrap();
+            let mut rt = CheckpointRuntime::install(&mut dev, counting_program(16, 2)).unwrap();
             let regs = rt
                 .run_once(&mut dev, RunLimit::reboots(100_000))
                 .completed()
@@ -367,8 +366,7 @@ mod tests {
                 .capacitor(Capacitor::with_budget(Energy::from_micro_joules(10)))
                 .harvester(Harvester::FixedDelay(SimDuration::from_secs(1)))
                 .build();
-            let mut rt =
-                CheckpointRuntime::install(&mut dev, counting_program(24, every)).unwrap();
+            let mut rt = CheckpointRuntime::install(&mut dev, counting_program(24, every)).unwrap();
             rt.run_once(&mut dev, RunLimit::reboots(100_000))
                 .completed()
                 .unwrap();
@@ -415,8 +413,7 @@ mod tests {
                 .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
                 .harvester(Harvester::FixedDelay(SimDuration::from_millis(200)))
                 .build();
-            let mut rt =
-                CheckpointRuntime::install(&mut dev, counting_program(12, 2)).unwrap();
+            let mut rt = CheckpointRuntime::install(&mut dev, counting_program(12, 2)).unwrap();
             match rt.run_once(&mut dev, RunLimit::reboots(1_000_000)) {
                 SimOutcome::Completed(regs) => {
                     assert_eq!((regs[0], regs[1]), (r0, r1), "budget {budget_nj} nJ");

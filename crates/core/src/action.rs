@@ -66,11 +66,7 @@ impl Action {
     /// assert_eq!(winner, Some(Action::SkipPath(PathId(1))));
     /// ```
     pub fn arbitrate(proposals: &[Action]) -> Option<Action> {
-        proposals
-            .iter()
-            .copied()
-            .rev()
-            .max_by_key(|a| a.severity())
+        proposals.iter().copied().rev().max_by_key(|a| a.severity())
     }
 
     /// Returns the path this action is directed at, if any.
@@ -142,7 +138,12 @@ mod tests {
             Action::CompletePath(p),
         ];
         for w in ordered.windows(2) {
-            assert!(w[0].severity() < w[1].severity(), "{:?} !< {:?}", w[0], w[1]);
+            assert!(
+                w[0].severity() < w[1].severity(),
+                "{:?} !< {:?}",
+                w[0],
+                w[1]
+            );
         }
     }
 

@@ -354,7 +354,9 @@ mod tests {
                 OnFail::SkipPath,
                 None
             ),
-            Err(CoreError::ZeroBound { construct: "maxTries" })
+            Err(CoreError::ZeroBound {
+                construct: "maxTries"
+            })
         ));
         assert!(matches!(
             set.add(
@@ -367,7 +369,9 @@ mod tests {
                 OnFail::RestartPath,
                 None
             ),
-            Err(CoreError::ZeroBound { construct: "collect" })
+            Err(CoreError::ZeroBound {
+                construct: "collect"
+            })
         ));
         assert!(matches!(
             set.add(

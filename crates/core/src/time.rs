@@ -27,9 +27,7 @@ use core::ops::{Add, AddAssign, Sub, SubAssign};
 /// assert_eq!(d.as_micros(), 1_500);
 /// assert_eq!(format!("{d}"), "1.500ms");
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimDuration(u64);
 
 impl SimDuration {
@@ -188,9 +186,7 @@ impl fmt::Debug for SimDuration {
 /// assert_eq!(t1 - t0, SimDuration::from_secs(2));
 /// assert!(t1 > t0);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimInstant(u64);
 
 impl SimInstant {
@@ -280,7 +276,10 @@ mod tests {
     fn duration_arithmetic_saturates() {
         let max = SimDuration::MAX;
         assert_eq!(max + SimDuration::from_secs(1), SimDuration::MAX);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_secs(1), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_secs(1),
+            SimDuration::ZERO
+        );
         assert_eq!(max.saturating_mul(2), SimDuration::MAX);
     }
 

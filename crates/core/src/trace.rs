@@ -293,10 +293,16 @@ mod tests {
         let mut t = Trace::new();
         let task = TaskId(4);
         t.push(SimInstant::EPOCH, TraceEvent::Boot { reboot: 0 });
-        t.push(SimInstant::EPOCH, TraceEvent::TaskStart { task, attempt: 1 });
+        t.push(
+            SimInstant::EPOCH,
+            TraceEvent::TaskStart { task, attempt: 1 },
+        );
         t.push(SimInstant::EPOCH, TraceEvent::PowerFailure);
         t.push(SimInstant::EPOCH, TraceEvent::Boot { reboot: 1 });
-        t.push(SimInstant::EPOCH, TraceEvent::TaskStart { task, attempt: 2 });
+        t.push(
+            SimInstant::EPOCH,
+            TraceEvent::TaskStart { task, attempt: 2 },
+        );
         t.push(SimInstant::EPOCH, TraceEvent::TaskEnd { task });
         assert_eq!(t.attempts_of(task), 2);
         assert_eq!(t.completions_of(task), 1);

@@ -174,12 +174,7 @@ pub struct PersistentVar<T: NvData> {
 
 impl<T: NvData> PersistentVar<T> {
     /// Allocates the variable with an initial value.
-    pub fn new(
-        dev: &mut Device,
-        init: T,
-        owner: MemOwner,
-        label: &str,
-    ) -> Result<Self, Interrupt> {
+    pub fn new(dev: &mut Device, init: T, owner: MemOwner, label: &str) -> Result<Self, Interrupt> {
         Ok(PersistentVar {
             cell: dev.nv_alloc(init, owner, label)?,
         })

@@ -378,8 +378,10 @@ pub fn suite_bounds_for(compiled: &CompiledSuite, layout: LayoutKind) -> SuiteBo
                     .iter()
                     .any(|&ti| m.transitions[ti as usize].emit.is_some());
                 let access = m.access(kind, probe);
-                cycles += COMPILED_DISPATCH_CYCLES
-                    + STEP_PER_TRANSITION_CYCLES * m.transition_list(kind, probe).len() as u64;
+                // The engine bills the key's static step ceiling (the
+                // cycle-priced worst path through its dispatched
+                // transitions) — identical table, so the bound is exact.
+                cycles += COMPILED_DISPATCH_CYCLES + m.step_cost(kind, probe).cycles;
                 let block_b = layout.machine_block_bytes(m);
 
                 // Whole-block entry-list bytes: always part of the byte
@@ -436,11 +438,8 @@ pub fn suite_bounds_for(compiled: &CompiledSuite, layout: LayoutKind) -> SuiteBo
                     // saves covers the gap bytes it adds — so this
                     // slot-granular bound dominates both commit modes.
                     let state_b = layout.state_bytes(m);
-                    let slots_b: usize = access
-                        .writes
-                        .iter()
-                        .map(|&s| layout.slot_bytes(m, s))
-                        .sum();
+                    let slots_b: usize =
+                        access.writes.iter().map(|&s| layout.slot_bytes(m, s)).sum();
                     let mut k = 1 + access.writes.len() + 1;
                     let mut delta_entry_bytes = entry_bytes(state_b)
                         + access
@@ -452,8 +451,7 @@ pub fn suite_bounds_for(compiled: &CompiledSuite, layout: LayoutKind) -> SuiteBo
                     let mut delta_data = state_b + slots_b + done_b;
                     if emits {
                         k += 2;
-                        delta_entry_bytes +=
-                            entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
+                        delta_entry_bytes += entry_bytes(VERDICT_BYTES) + entry_bytes(U32_BYTES);
                         delta_data += VERDICT_BYTES + U32_BYTES;
                     }
                     writes += sparse_commit_writes(k);
@@ -691,7 +689,7 @@ pub fn batch_bounds_for(
         // the worst per-event dispatch length for the cycle bound.
         let mut access = crate::compile::AccessSet::default();
         let mut emits = false;
-        let mut worst_dispatch = 0usize;
+        let mut worst_step_cycles = 0u64;
         for kind in [EventKind::StartTask, EventKind::EndTask] {
             for key_task in 0..=task_count {
                 let probe = if key_task == task_count {
@@ -701,7 +699,7 @@ pub fn batch_bounds_for(
                 };
                 access.union_with(m.access(kind, probe));
                 let list = m.transition_list(kind, probe);
-                worst_dispatch = worst_dispatch.max(list.len());
+                worst_step_cycles = worst_step_cycles.max(m.step_cost(kind, probe).cycles);
                 emits |= list
                     .iter()
                     .any(|&ti| m.transitions[ti as usize].emit.is_some());
@@ -710,8 +708,10 @@ pub fn batch_bounds_for(
         if emits {
             emitters += 1;
         }
-        cycles += max_events as u64
-            * (COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES * worst_dispatch as u64);
+        // Worst static step ceiling over every key the machine can see
+        // — the engine bills the actual key's ceiling per event, so
+        // the batch bound stays sound for any event mix.
+        cycles += max_events as u64 * (COMPILED_DISPATCH_CYCLES + worst_step_cycles);
 
         // Span (or block) read + verdict-count read for emitters.
         reads += 1 + usize::from(emits);
@@ -742,11 +742,7 @@ pub fn batch_bounds_for(
             0
         };
         let state_b = layout.state_bytes(m);
-        let slots_b: usize = access
-            .writes
-            .iter()
-            .map(|&s| layout.slot_bytes(m, s))
-            .sum();
+        let slots_b: usize = access.writes.iter().map(|&s| layout.slot_bytes(m, s)).sum();
         let delta_entries = entry_bytes(state_b)
             + access
                 .writes
@@ -777,10 +773,8 @@ pub fn batch_bounds_for(
 
     // Reset surcharge: batch seq + cleared events count (a 2-byte raw
     // image) + empty merged worklist + done bitmap.
-    let reset_extra_bytes = entry_bytes(U64_BYTES)
-        + entry_bytes(2)
-        + u16_list_entry_bytes(0)
-        + entry_bytes(done_b);
+    let reset_extra_bytes =
+        entry_bytes(U64_BYTES) + entry_bytes(2) + u16_list_entry_bytes(0) + entry_bytes(done_b);
 
     BatchBounds {
         max_events,
@@ -908,18 +902,23 @@ mod tests {
         );
         assert_eq!(
             start_a.write_bytes,
-            start_a.arming_write_bytes
-                + (ENTRY_HEADER * 4 + entry_data) + 2 + 1 + entry_data + 1
+            start_a.arming_write_bytes + (ENTRY_HEADER * 4 + entry_data) + 2 + 1 + entry_data + 1
         );
         assert_eq!(start_a.arming_writes, sparse_commit_writes(5));
         // The 4-entry degraded commit bills 4 fewer write bases than
         // the op counter sees (one per staged entry).
         assert_eq!(start_a.billed_writes, start_a.writes - 4);
-        // One armed machine; the maxTries lowering dispatches 3
-        // transitions on its task's start key.
+        // One armed machine billing its key's static step ceiling.
+        // The maxTries lowering dispatches 3 transitions on its task's
+        // start key; optimized (fused guards), the cycle-priced worst
+        // path plus the 3 scan tests pins at 20 — tighter than the old
+        // 12-cycles-per-transition flat rate.
+        let sc = cs.machines()[0].step_cost(EventKind::StartTask, 0);
+        assert_eq!(sc.cycles, 20);
+        assert!(sc.cycles < 3 * STEP_PER_TRANSITION_CYCLES);
         assert_eq!(
             start_a.cycles,
-            ROUTING_LOOKUP_CYCLES + COMPILED_DISPATCH_CYCLES + 3 * STEP_PER_TRANSITION_CYCLES
+            ROUTING_LOOKUP_CYCLES + COMPILED_DISPATCH_CYCLES + sc.cycles
         );
         // An un-armed key still pays the routing lookup and arming
         // commit, nothing else.
@@ -976,10 +975,7 @@ mod tests {
         let span = STATE_WORD_BYTES + NV_VALUE_BYTES;
         assert_eq!(
             start_a.read_bytes,
-            (FLAG_BYTES + U64_BYTES)
-                + (2 + U64_BYTES + 2 + ENCODED_EVENT_BYTES)
-                + span
-                + U32_BYTES
+            (FLAG_BYTES + U64_BYTES) + (2 + U64_BYTES + 2 + ENCODED_EVENT_BYTES) + span + U32_BYTES
         );
         let delta_entries =
             entry_bytes(STATE_WORD_BYTES) + entry_bytes(NV_VALUE_BYTES) + entry_bytes(U64_BYTES);

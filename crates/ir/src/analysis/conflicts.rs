@@ -80,7 +80,10 @@ pub fn check_conflicts(suite: &MonitorSuite, compiled: &CompiledSuite) -> Vec<Di
             let (probe, task_label) = if key_task == task_count {
                 (u32::MAX, "<any>".to_string())
             } else {
-                (key_task as u32, compiled.task_name(key_task as u32).to_string())
+                (
+                    key_task as u32,
+                    compiled.task_name(key_task as u32).to_string(),
+                )
             };
             let armed = compiled.routing().interested(kind, probe);
             if armed.len() < 2 {
@@ -184,11 +187,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn machine_with_emit(
-        name: &str,
-        guarded: bool,
-        action: OnFail,
-    ) -> crate::fsm::StateMachine {
+    fn machine_with_emit(name: &str, guarded: bool, action: OnFail) -> crate::fsm::StateMachine {
         use crate::expr::{Expr, Value, VarType};
         use crate::fsm::{EmitFail, StateMachine, TaskPat, Transition, Trigger};
         let mut m = StateMachine::new(name, "a");
@@ -198,9 +197,7 @@ mod tests {
             from: 0,
             to: 0,
             trigger: Trigger::Start(TaskPat::named("a")),
-            guard: guarded.then(|| {
-                Expr::bin(crate::expr::BinOp::Gt, Expr::var("i"), Expr::int(3))
-            }),
+            guard: guarded.then(|| Expr::bin(crate::expr::BinOp::Gt, Expr::var("i"), Expr::int(3))),
             body: vec![],
             emit: Some(EmitFail { action, path: None }),
         });
@@ -228,7 +225,11 @@ mod tests {
         assert!(diags[0].message.contains("skipTask"));
         assert!(diags[0].message.contains("restartTask"));
         // skipTask outranks restartTask in arbitration.
-        assert!(diags[0].message.contains("applies `skips`"), "{}", diags[0].message);
+        assert!(
+            diags[0].message.contains("applies `skips`"),
+            "{}",
+            diags[0].message
+        );
     }
 
     #[test]

@@ -411,8 +411,71 @@ mod tests {
         let fp = task_feasibility(&cs, &packed, &app, &profile);
         let ft = task_feasibility(&cs, &tagged, &app, &profile);
         for (p, t) in fp.iter().zip(ft.iter()) {
-            assert!(p.ceiling < t.ceiling, "{}: {:?} vs {:?}", p.name, p.ceiling, t.ceiling);
+            assert!(
+                p.ceiling < t.ceiling,
+                "{}: {:?} vs {:?}",
+                p.name,
+                p.ceiling,
+                t.ceiling
+            );
         }
         assert_eq!(crate::analysis::suite_bounds(&cs).per_key, packed.per_key);
+    }
+
+    /// The bytecode optimizer must strictly tighten the energy
+    /// ceilings wherever it shrinks a key's static step cost — and can
+    /// never loosen any ceiling. Fused guards on the `maxTries` start
+    /// key lower the cycle bound, so the feasibility gate prices a
+    /// genuinely smaller worst case under `OptLevel::Full`, with zero
+    /// risk: the unoptimized oracle's ceilings stay an upper bound.
+    #[test]
+    fn optimizer_tightens_the_ceilings() {
+        use crate::opt::OptLevel;
+        let app = app_with_costs(10_000);
+        let suite = crate::compile("a { maxTries: 2 onFail: skipPath; }", &app).unwrap();
+        let full = CompiledSuite::compile_with(&suite, &app, OptLevel::Full).unwrap();
+        let none = CompiledSuite::compile_with(&suite, &app, OptLevel::None).unwrap();
+        let model = CostModel::msp430fr5994();
+        let bf = crate::analysis::suite_bounds(&full);
+        let bn = crate::analysis::suite_bounds(&none);
+        assert_eq!(bf.per_key.len(), bn.per_key.len());
+        let mut strictly_tighter = 0usize;
+        for (f, n) in bf.per_key.iter().zip(bn.per_key.iter()) {
+            assert_eq!((f.kind, f.task), (n.kind, n.task));
+            assert!(
+                event_energy(f, &model) <= event_energy(n, &model),
+                "optimization loosened a ceiling: {f:?} vs {n:?}"
+            );
+            assert!(event_energy_cached(f, &model) <= event_energy_cached(n, &model));
+            // Keys that dispatch the guard-bearing transitions must
+            // price strictly below the unoptimized oracle.
+            if full.machines()[0].dispatch_len(f.kind, f.task.unwrap_or(u32::MAX)) > 0 {
+                assert!(
+                    event_energy(f, &model) < event_energy(n, &model),
+                    "dispatching key did not tighten: {f:?} vs {n:?}"
+                );
+                strictly_tighter += 1;
+            }
+        }
+        assert!(strictly_tighter > 0, "no key tightened at all");
+        // The install gate's per-task ceilings inherit the tightening.
+        let profile = EnergyProfile::with_budget(Energy::from_micro_joules(800));
+        let ff = task_feasibility(&full, &bf, &app, &profile);
+        let fn_ = task_feasibility(&none, &bn, &app, &profile);
+        for (f, n) in ff.iter().zip(fn_.iter()) {
+            assert!(
+                f.ceiling <= n.ceiling,
+                "{}: {:?} vs {:?}",
+                f.name,
+                f.ceiling,
+                n.ceiling
+            );
+        }
+        let fa = ff.iter().find(|f| f.name == "a").unwrap();
+        let na = fn_.iter().find(|f| f.name == "a").unwrap();
+        assert!(
+            fa.ceiling < na.ceiling,
+            "task a's ceiling must strictly tighten"
+        );
     }
 }

@@ -129,7 +129,9 @@ mod tests {
         let c = crate::CompiledMachine::compile(&m, &app()).unwrap();
         let diags = check_reachability(&c, &m.name, &m.states);
         assert!(
-            diags.iter().any(|d| d.message.contains("`Orphan` is unreachable")),
+            diags
+                .iter()
+                .any(|d| d.message.contains("`Orphan` is unreachable")),
             "{diags:?}"
         );
         assert!(

@@ -245,7 +245,10 @@ fn verify_range(
         };
 
         // Records a branch state arriving at `target`.
-        let branch = |target: u32, state: &[AbsTy], incoming: &mut Vec<Option<Vec<AbsTy>>>| -> Result<(), String> {
+        let branch = |target: u32,
+                      state: &[AbsTy],
+                      incoming: &mut Vec<Option<Vec<AbsTy>>>|
+         -> Result<(), String> {
             let t = target as usize;
             if t <= pc || t > end {
                 return Err(format!(
@@ -328,6 +331,58 @@ fn verify_range(
                     ));
                 }
                 reg(src)?;
+            }
+            Op::CmpBranch {
+                dst, a, b, target, ..
+            } => {
+                // A non-bool result errors out at runtime (regardless
+                // of the operator), so every surviving path — branch
+                // taken or not — leaves a boolean in `dst`, exactly as
+                // for `Not`/`AssertBool`.
+                reg(a)?;
+                reg(b)?;
+                st[reg(dst)?] = AbsTy::Known(VarType::Bool);
+                branch(target, &st, &mut incoming)?;
+            }
+            Op::LoadCmpBranch {
+                dst,
+                slot,
+                lit,
+                target,
+                ..
+            } => {
+                let s = slot as usize;
+                if s >= m.var_count {
+                    return Err(format!(
+                        "op {pc}: variable slot {slot} out of range ({} slots)",
+                        m.var_count
+                    ));
+                }
+                let l = lit as usize;
+                if l >= m.lits.len() {
+                    return Err(format!(
+                        "op {pc}: literal #{lit} out of range ({} literals)",
+                        m.lits.len()
+                    ));
+                }
+                st[reg(dst)?] = AbsTy::Known(VarType::Bool);
+                branch(target, &st, &mut incoming)?;
+            }
+            Op::ConstStore { slot, lit } => {
+                let s = slot as usize;
+                if s >= m.var_count {
+                    return Err(format!(
+                        "op {pc}: variable slot {slot} out of range ({} slots)",
+                        m.var_count
+                    ));
+                }
+                let l = lit as usize;
+                if l >= m.lits.len() {
+                    return Err(format!(
+                        "op {pc}: literal #{lit} out of range ({} literals)",
+                        m.lits.len()
+                    ));
+                }
             }
         }
         cur = fallthrough.then_some(st);
@@ -492,7 +547,10 @@ mod tests {
                 mutated = true;
             }
         }
-        assert!(mutated, "compiled guard should contain a short-circuit jump");
+        assert!(
+            mutated,
+            "compiled guard should contain a short-circuit jump"
+        );
         let diags = verify_raw(&m, raw);
         assert!(
             diags.iter().any(|d| d.message.contains("forward")),
@@ -537,7 +595,12 @@ mod tests {
             body: vec![],
             emit: None,
         });
-        let (mut raw, _) = verify(&m);
+        // Compile unoptimized so the comparison stays a plain `Bin`
+        // (the optimizer would fuse it into a `LoadCmpBranch`, whose
+        // result register is boolean by construction).
+        let c =
+            crate::CompiledMachine::compile_with(&m, &app(), crate::opt::OptLevel::None).unwrap();
+        let mut raw = c.to_raw();
         // Rewrite the guard's comparison into an addition: register 0
         // now holds an int at guard exit.
         for op in raw.code.iter_mut() {

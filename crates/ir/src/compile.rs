@@ -28,6 +28,7 @@ use core::ops::Range;
 
 use artemis_core::app::AppGraph;
 use artemis_core::event::EventKind;
+use intermittent_sim::OpCycles;
 
 use crate::exec::coerce;
 use crate::expr::{apply, BinOp, EvalError, EventCtx, Expr, Value};
@@ -63,6 +64,56 @@ pub enum Op {
     Jump { target: u32 },
     /// `vars[slot] = coerce(r[src], vars[slot])`.
     StoreVar { slot: u16, src: u16 },
+    /// Fused compare + conditional branch (optimizer-emitted):
+    /// `r[dst] = r[a] op r[b]`, then `pc = target` when the result,
+    /// read as a bool, equals `when`. Errors on a non-bool result, so
+    /// past this instruction `r[dst]` is provably `Bool` on every
+    /// surviving path. The optimizer only emits comparison operators
+    /// here; the polarity flag (instead of operator negation) keeps
+    /// float comparisons NaN-exact.
+    CmpBranch {
+        /// Comparison operator.
+        op: BinOp,
+        /// Result register (register 0 for guard tails).
+        dst: u16,
+        /// Left operand register.
+        a: u16,
+        /// Right operand register.
+        b: u16,
+        /// Branch target when the result equals `when`.
+        target: u32,
+        /// Branch polarity.
+        when: bool,
+    },
+    /// Fused slot load + literal compare + conditional branch — the
+    /// dominant guard shape `var cmp lit` (optimizer-emitted):
+    /// `r[dst] = vars[slot] op lits[lit]`, then `pc = target` when the
+    /// result equals `when`. Same error/typing contract as
+    /// [`Op::CmpBranch`]. Unconditional guard tails use a fall-through
+    /// `target` (the next instruction), making both paths identical.
+    LoadCmpBranch {
+        /// Comparison operator (slot value on the left).
+        op: BinOp,
+        /// Result register (register 0 for guard tails).
+        dst: u16,
+        /// Slot providing the left operand.
+        slot: u16,
+        /// Literal providing the right operand.
+        lit: u16,
+        /// Branch target when the result equals `when`.
+        target: u32,
+        /// Branch polarity.
+        when: bool,
+    },
+    /// Fused literal store (optimizer-emitted):
+    /// `vars[slot] = coerce(lits[lit], vars[slot])` — same coercion
+    /// (and `TypeMismatch` surface) as `Const` + `StoreVar`.
+    ConstStore {
+        /// Destination slot.
+        slot: u16,
+        /// Literal pool entry stored.
+        lit: u16,
+    },
 }
 
 /// Why a machine could not be compiled. Machines that pass
@@ -234,6 +285,16 @@ fn access_for_list(
                         *w = true;
                     }
                 }
+                Op::LoadCmpBranch { slot, .. } => {
+                    if let Some(r) = read.get_mut(*slot as usize) {
+                        *r = true;
+                    }
+                }
+                Op::ConstStore { slot, .. } => {
+                    if let Some(w) = written.get_mut(*slot as usize) {
+                        *w = true;
+                    }
+                }
                 _ => {}
             }
         }
@@ -285,6 +346,171 @@ fn build_access_sets(
     ([per_kind(0), per_kind(1)], [wc(0), wc(1)])
 }
 
+/// The statically-derived worst-case compute cost of delivering one
+/// event to one `(event kind, task)` dispatch key: a CPU-cycle ceiling
+/// (priced through [`OpCycles`], including the per-transition dispatch
+/// scan) and an executed-bytecode-instruction ceiling (fused
+/// superinstructions count as one). Sound for verified machines — the
+/// maximum over every reachable stop point of the first-match scan in
+/// [`CompiledMachine::step`], with each guard/body range priced by its
+/// longest path through the forward-jump DAG.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StepCost {
+    /// Worst-case CPU cycles one `step` of this key can execute.
+    pub cycles: u64,
+    /// Worst-case bytecode instructions one `step` can execute.
+    pub instructions: u64,
+}
+
+/// Cycle price of one instruction under `c`.
+fn op_price(op: &Op, c: &OpCycles) -> u64 {
+    match op {
+        Op::Const { .. } | Op::LoadEventTime { .. } | Op::LoadEnergy { .. } => c.load_imm,
+        Op::LoadVar { .. } | Op::LoadDepData { .. } => c.load_slot,
+        Op::Bin { .. } | Op::Not { .. } | Op::AssertBool { .. } => c.alu,
+        Op::Jump { .. } | Op::JumpIfFalse { .. } | Op::JumpIfTrue { .. } => c.branch,
+        Op::StoreVar { .. } => c.store_slot,
+        Op::CmpBranch { .. } => c.cmp_branch,
+        Op::LoadCmpBranch { .. } => c.load_cmp_branch,
+        Op::ConstStore { .. } => c.const_store,
+    }
+}
+
+/// Worst-path cost of one instruction range: a longest-path DP over
+/// the forward-jump DAG (exact for straight-line code, the maximising
+/// branch side otherwise). Backward or out-of-range targets — which
+/// the verifier rejects, so they never reach the engine — degrade to
+/// the sum of every instruction in the range.
+fn range_cost(code: &[Op], range: &Range<u32>, prices: &OpCycles) -> StepCost {
+    let start = range.start as usize;
+    let end = (range.end as usize).min(code.len());
+    if start >= end {
+        return StepCost::default();
+    }
+    let n = end - start;
+    let mut cyc = vec![0u64; n + 1];
+    let mut ins = vec![0u64; n + 1];
+    for i in (0..n).rev() {
+        let op = &code[start + i];
+        // Local successor of a branch target; `None` marks a target the
+        // verifier would reject (backward or outside the range).
+        let local = |t: u32| {
+            let t = t as usize;
+            (t > start + i && t <= end).then(|| t - start)
+        };
+        let succs: (usize, Option<usize>) = match op {
+            Op::Jump { target } => match local(*target) {
+                Some(t) => (t, None),
+                None => {
+                    return sum_cost(&code[start..end], prices);
+                }
+            },
+            Op::JumpIfFalse { target, .. }
+            | Op::JumpIfTrue { target, .. }
+            | Op::CmpBranch { target, .. }
+            | Op::LoadCmpBranch { target, .. } => match local(*target) {
+                Some(t) => (i + 1, Some(t)),
+                None => {
+                    return sum_cost(&code[start..end], prices);
+                }
+            },
+            _ => (i + 1, None),
+        };
+        let (s0, s1) = succs;
+        let max2 = |v: &[u64]| v[s0].max(s1.map_or(0, |s| v[s]));
+        cyc[i] = op_price(op, prices).saturating_add(max2(&cyc));
+        ins[i] = 1 + max2(&ins);
+    }
+    StepCost {
+        cycles: cyc[0],
+        instructions: ins[0],
+    }
+}
+
+/// Conservative fallback for ranges the DP cannot order: every
+/// instruction priced once.
+fn sum_cost(ops: &[Op], prices: &OpCycles) -> StepCost {
+    StepCost {
+        cycles: ops.iter().map(|op| op_price(op, prices)).sum(),
+        instructions: ops.len() as u64,
+    }
+}
+
+/// Worst-case cost of one `step` over `list`: the dispatch scan price
+/// for every listed transition, plus — maximised over every state the
+/// listed transitions fire from — the worst stop point of the
+/// first-match scan (guards of every earlier same-state transition,
+/// then either a taken transition's body or no match at all).
+fn list_step_cost(
+    code: &[Op],
+    transitions: &[CompiledTransition],
+    list: &[u16],
+    prices: &OpCycles,
+) -> StepCost {
+    let cost_of =
+        |r: Option<&Range<u32>>| r.map_or(StepCost::default(), |r| range_cost(code, r, prices));
+    let mut states: Vec<u32> = list
+        .iter()
+        .filter_map(|&ti| transitions.get(ti as usize).map(|t| t.from))
+        .collect();
+    states.sort_unstable();
+    states.dedup();
+    let mut best = StepCost::default();
+    for s in states {
+        let mut run = StepCost::default();
+        let mut worst = StepCost::default();
+        for &ti in list {
+            let Some(t) = transitions.get(ti as usize) else {
+                continue;
+            };
+            if t.from != s {
+                continue;
+            }
+            let guard = cost_of(t.guard.as_ref());
+            run.cycles = run.cycles.saturating_add(guard.cycles);
+            run.instructions = run.instructions.saturating_add(guard.instructions);
+            let body = cost_of(Some(&t.body));
+            worst.cycles = worst.cycles.max(run.cycles.saturating_add(body.cycles));
+            worst.instructions = worst
+                .instructions
+                .max(run.instructions.saturating_add(body.instructions));
+        }
+        // No transition matched: every same-state guard still ran.
+        worst.cycles = worst.cycles.max(run.cycles);
+        worst.instructions = worst.instructions.max(run.instructions);
+        best.cycles = best.cycles.max(worst.cycles);
+        best.instructions = best.instructions.max(worst.instructions);
+    }
+    StepCost {
+        cycles: best
+            .cycles
+            .saturating_add(prices.transition_scan.saturating_mul(list.len() as u64)),
+        instructions: best.instructions,
+    }
+}
+
+/// Derives per-key step-cost ceilings for a machine's dispatch tables,
+/// mirroring [`build_access_sets`]: recomputed from the code in both
+/// the compiler and [`CompiledMachine::from_raw`], so optimized or
+/// mutated programs always carry costs consistent with what they
+/// execute.
+fn build_step_costs(
+    code: &[Op],
+    transitions: &[CompiledTransition],
+    dispatch: &[Vec<Vec<u16>>; 2],
+    wildcard: &[Vec<u16>; 2],
+) -> ([Vec<StepCost>; 2], [StepCost; 2]) {
+    let prices = OpCycles::default();
+    let per_kind = |k: usize| {
+        dispatch[k]
+            .iter()
+            .map(|list| list_step_cost(code, transitions, list, &prices))
+            .collect::<Vec<_>>()
+    };
+    let wc = |k: usize| list_step_cost(code, transitions, &wildcard[k], &prices);
+    ([per_kind(0), per_kind(1)], [wc(0), wc(1)])
+}
+
 /// One monitor compiled to bytecode plus dispatch tables.
 #[derive(Clone, Debug)]
 pub struct CompiledMachine {
@@ -317,6 +543,12 @@ pub struct CompiledMachine {
     /// Packed FRAM block layout. Derived from `code` + `var_inits`
     /// (never serialised in [`RawMachine`]) like the access sets.
     pub(crate) layout: MachineLayout,
+    /// `step_cost[kind][task id]` → the key's static compute ceiling,
+    /// mirroring `dispatch`. Derived from `code` (never serialised in
+    /// [`RawMachine`]) like the access sets.
+    pub(crate) step_cost: [Vec<StepCost>; 2],
+    /// Step costs of the wildcard lists, mirroring `wildcard`.
+    pub(crate) wildcard_step_cost: [StepCost; 2],
 }
 
 /// The exploded parts of a [`CompiledMachine`].
@@ -353,9 +585,27 @@ pub struct RawMachine {
 }
 
 impl CompiledMachine {
-    /// Compiles one machine against the application graph.
+    /// Compiles one machine against the application graph at the
+    /// default optimization level ([`OptLevel::Full`]).
     pub fn compile(machine: &StateMachine, app: &AppGraph) -> Result<Self, CompileIssue> {
-        Compiler::new(machine, app).run()
+        Self::compile_with(machine, app, crate::opt::OptLevel::default())
+    }
+
+    /// Compiles one machine at an explicit optimization level.
+    /// [`OptLevel::None`](crate::opt::OptLevel::None) ships the
+    /// straight-from-lowering bytecode and serves as the differential
+    /// oracle for the optimizer, exactly as `ExecMode::Interpreter`
+    /// does for the compiler.
+    pub fn compile_with(
+        machine: &StateMachine,
+        app: &AppGraph,
+        opt: crate::opt::OptLevel,
+    ) -> Result<Self, CompileIssue> {
+        let compiled = Compiler::new(machine, app).run()?;
+        Ok(match opt {
+            crate::opt::OptLevel::None => compiled,
+            crate::opt::OptLevel::Full => crate::opt::optimize_machine(&compiled),
+        })
     }
 
     /// Registers [`CompiledMachine::step`] requires in its scratch file.
@@ -447,6 +697,8 @@ impl CompiledMachine {
             &raw.wildcard,
             raw.var_count,
         );
+        let (step_cost, wildcard_step_cost) =
+            build_step_costs(&raw.code, &raw.transitions, &raw.dispatch, &raw.wildcard);
         let mut var_inits = raw.var_inits;
         var_inits.resize(raw.var_count, Value::Int(0));
         let layout = MachineLayout::packed(
@@ -469,6 +721,8 @@ impl CompiledMachine {
             access,
             wildcard_access,
             layout,
+            step_cost,
+            wildcard_step_cost,
         }
     }
 
@@ -489,6 +743,20 @@ impl CompiledMachine {
             .unwrap_or(&self.wildcard_access[k])
     }
 
+    /// The static compute ceiling of one `step` for `(kind, task)` —
+    /// same fallback rule as [`CompiledMachine::transition_list`]. The
+    /// engine bills exactly this many cycles per delivered event
+    /// (static and state-independent, so billing never leaks machine
+    /// state), and the bounds/energy passes price through the same
+    /// table.
+    pub fn step_cost(&self, kind: EventKind, task: u32) -> StepCost {
+        let k = kind_index(kind);
+        self.step_cost[k]
+            .get(task as usize)
+            .copied()
+            .unwrap_or(self.wildcard_step_cost[k])
+    }
+
     /// Feeds one event to the machine: the bytecode counterpart of
     /// [`crate::exec::step`], operating on a caller-owned `(state,
     /// vars)` snapshot and `regs` scratch file (at least
@@ -504,6 +772,23 @@ impl CompiledMachine {
         event: &CompiledEvent,
         regs: &mut [Value],
     ) -> Result<Option<&EmitFail>, EvalError> {
+        self.step_counting(state, vars, event, regs, &mut 0)
+    }
+
+    /// [`CompiledMachine::step`] plus an executed-instruction counter:
+    /// `executed` grows by the number of bytecode instructions this
+    /// delivery actually ran (fused superinstructions count as one),
+    /// including the guards of transitions that did not fire. The
+    /// engine accumulates these to pin the static
+    /// [`StepCost::instructions`] ceiling against reality.
+    pub fn step_counting(
+        &self,
+        state: &mut u32,
+        vars: &mut [Value],
+        event: &CompiledEvent,
+        regs: &mut [Value],
+        executed: &mut u64,
+    ) -> Result<Option<&EmitFail>, EvalError> {
         debug_assert!(regs.len() >= self.max_regs);
         debug_assert_eq!(vars.len(), self.var_count);
 
@@ -516,7 +801,7 @@ impl CompiledMachine {
             let enabled = match &t.guard {
                 None => true,
                 Some(range) => {
-                    self.exec(range.clone(), vars, &event.ctx, regs)?;
+                    self.exec(range.clone(), vars, &event.ctx, regs, executed)?;
                     matches!(regs[0], Value::Bool(true))
                 }
             };
@@ -531,23 +816,25 @@ impl CompiledMachine {
             return Ok(None);
         };
 
-        self.exec(transition.body.clone(), vars, &event.ctx, regs)?;
+        self.exec(transition.body.clone(), vars, &event.ctx, regs, executed)?;
         *state = transition.to;
         Ok(transition.emit.as_ref())
     }
 
     /// Runs one instruction range. Guards never touch `vars`; bodies
-    /// mutate them through `StoreVar`.
+    /// mutate them through `StoreVar`/`ConstStore`.
     fn exec(
         &self,
         range: Range<u32>,
         vars: &mut [Value],
         ctx: &EventCtx,
         regs: &mut [Value],
+        executed: &mut u64,
     ) -> Result<(), EvalError> {
         let mut pc = range.start as usize;
         let end = range.end as usize;
         while pc < end {
+            *executed += 1;
             match self.code[pc] {
                 Op::Const { dst, lit } => regs[dst as usize] = self.lits[lit as usize],
                 Op::LoadVar { dst, slot } => regs[dst as usize] = vars[slot as usize],
@@ -587,6 +874,39 @@ impl CompiledMachine {
                 }
                 Op::StoreVar { slot, src } => {
                     vars[slot as usize] = coerce(regs[src as usize], vars[slot as usize])?
+                }
+                Op::CmpBranch {
+                    op,
+                    dst,
+                    a,
+                    b,
+                    target,
+                    when,
+                } => {
+                    let v = apply(op, regs[a as usize], regs[b as usize])?;
+                    regs[dst as usize] = v;
+                    if v.as_bool()? == when {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::LoadCmpBranch {
+                    op,
+                    dst,
+                    slot,
+                    lit,
+                    target,
+                    when,
+                } => {
+                    let v = apply(op, vars[slot as usize], self.lits[lit as usize])?;
+                    regs[dst as usize] = v;
+                    if v.as_bool()? == when {
+                        pc = target as usize;
+                        continue;
+                    }
+                }
+                Op::ConstStore { slot, lit } => {
+                    vars[slot as usize] = coerce(self.lits[lit as usize], vars[slot as usize])?
                 }
             }
             pc += 1;
@@ -653,9 +973,10 @@ impl<'a> Compiler<'a> {
                     }
                 }
                 TaskPat::Named(name) => {
-                    let id = self.app.task_by_name(name).ok_or(CompileIssue::UnknownTask {
-                        task: name.clone(),
-                    })?;
+                    let id = self
+                        .app
+                        .task_by_name(name)
+                        .ok_or(CompileIssue::UnknownTask { task: name.clone() })?;
                     for &k in kinds {
                         dispatch[k][id.0 as usize].push(ti);
                     }
@@ -670,6 +991,8 @@ impl<'a> Compiler<'a> {
             &wildcard,
             self.machine.vars.len(),
         );
+        let (step_cost, wildcard_step_cost) =
+            build_step_costs(&self.code, &transitions, &dispatch, &wildcard);
         let var_inits = self.machine.initial_vars();
         let layout = MachineLayout::packed(
             &var_inits,
@@ -691,6 +1014,8 @@ impl<'a> Compiler<'a> {
             access,
             wildcard_access,
             layout,
+            step_cost,
+            wildcard_step_cost,
         })
     }
 
@@ -726,7 +1051,14 @@ impl<'a> Compiler<'a> {
                     self.compile_expr(cond, 0)?;
                     let to_else = self.emit_placeholder();
                     self.compile_body(then_body)?;
-                    let to_end = self.emit_placeholder();
+                    // An empty else arm needs no jump over it — emitting
+                    // one would produce a self-fall-through
+                    // `Jump { target: pc + 1 }`.
+                    let to_end = if else_body.is_empty() {
+                        None
+                    } else {
+                        Some(self.emit_placeholder())
+                    };
                     let else_start = self.here()?;
                     self.code[to_else] = Op::JumpIfFalse {
                         src: 0,
@@ -734,7 +1066,9 @@ impl<'a> Compiler<'a> {
                     };
                     self.compile_body(else_body)?;
                     let end = self.here()?;
-                    self.code[to_end] = Op::Jump { target: end };
+                    if let Some(to_end) = to_end {
+                        self.code[to_end] = Op::Jump { target: end };
+                    }
                 }
             }
         }
@@ -855,7 +1189,10 @@ impl RoutingIndex {
         let mut wildcard = [Vec::new(), Vec::new()];
         for (mi, m) in machines.iter().enumerate() {
             let mi = mi as u16;
-            for (k, kind) in [EventKind::StartTask, EventKind::EndTask].into_iter().enumerate() {
+            for (k, kind) in [EventKind::StartTask, EventKind::EndTask]
+                .into_iter()
+                .enumerate()
+            {
                 for (task, list) in interested[k].iter_mut().enumerate() {
                     if !m.dismisses(kind, task as u32) {
                         list.push(mi);
@@ -902,18 +1239,33 @@ pub struct CompiledSuite {
 }
 
 impl CompiledSuite {
-    /// Compiles every machine of `suite` against `app` and builds the
-    /// global routing index.
+    /// Compiles every machine of `suite` against `app` at the default
+    /// optimization level ([`OptLevel::Full`]) and builds the global
+    /// routing index.
     pub fn compile(suite: &MonitorSuite, app: &AppGraph) -> Result<Self, CompileIssue> {
+        Self::compile_with(suite, app, crate::opt::OptLevel::default())
+    }
+
+    /// Compiles every machine at an explicit optimization level — see
+    /// [`CompiledMachine::compile_with`].
+    pub fn compile_with(
+        suite: &MonitorSuite,
+        app: &AppGraph,
+        opt: crate::opt::OptLevel,
+    ) -> Result<Self, CompileIssue> {
         if suite.machines().len() > u16::MAX as usize {
             return Err(CompileIssue::TooLarge);
         }
         let machines = suite
             .machines()
             .iter()
-            .map(|m| CompiledMachine::compile(m, app))
+            .map(|m| CompiledMachine::compile_with(m, app, opt))
             .collect::<Result<Vec<_>, _>>()?;
-        let max_regs = machines.iter().map(CompiledMachine::max_regs).max().unwrap_or(0);
+        let max_regs = machines
+            .iter()
+            .map(CompiledMachine::max_regs)
+            .max()
+            .unwrap_or(0);
         let routing = RoutingIndex::build(&machines, app.task_count());
         Ok(CompiledSuite {
             machines,
@@ -1266,10 +1618,13 @@ mod tests {
 
         // Retarget the store to slot 2: the reassembled machine's
         // access set must follow the code, not the original spec.
+        // The optimizer fuses `Const; StoreVar` into `ConstStore`, so
+        // match both encodings of the write.
         let mut raw = c.to_raw();
         for op in raw.code.iter_mut() {
-            if let Op::StoreVar { slot, .. } = op {
-                *slot = 2;
+            match op {
+                Op::StoreVar { slot, .. } | Op::ConstStore { slot, .. } => *slot = 2,
+                _ => {}
             }
         }
         let c2 = CompiledMachine::from_raw(raw);

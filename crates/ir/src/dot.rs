@@ -27,11 +27,7 @@ pub fn machine_to_dot(m: &StateMachine) -> String {
 
     // An invisible entry arrow into the initial state.
     let _ = writeln!(out, "    __start [shape=point];");
-    let _ = writeln!(
-        out,
-        "    __start -> \"{}\";",
-        m.states[m.initial as usize]
-    );
+    let _ = writeln!(out, "    __start -> \"{}\";", m.states[m.initial as usize]);
     for s in &m.states {
         let _ = writeln!(out, "    \"{s}\";");
     }
@@ -170,7 +166,10 @@ mod tests {
         let dot = machine_to_dot(&suite.machines()[0]);
         assert!(dot.contains("endB := t;"), "{dot}");
         assert!(dot.contains("(t - endB)"), "{dot}");
-        assert!(!dot.contains("\n[("), "guards must be \\n-escaped in labels");
+        assert!(
+            !dot.contains("\n[("),
+            "guards must be \\n-escaped in labels"
+        );
     }
 
     #[test]

@@ -408,9 +408,6 @@ mod tests {
             emit: None,
         });
         let mut s = MachineState::initial(&m);
-        assert_eq!(
-            step(&m, &mut s, &start("x", 0)),
-            Err(EvalError::UnknownVar)
-        );
+        assert_eq!(step(&m, &mut s, &start("x", 0)), Err(EvalError::UnknownVar));
     }
 }

@@ -367,10 +367,7 @@ mod tests {
     fn literals_and_vars() {
         let e = env();
         assert_eq!(eval(&Expr::int(7), &e, &ctx()).unwrap(), Value::Int(7));
-        assert_eq!(
-            eval(&Expr::var("i"), &e, &ctx()).unwrap(),
-            Value::Int(3)
-        );
+        assert_eq!(eval(&Expr::var("i"), &e, &ctx()).unwrap(), Value::Int(3));
         assert_eq!(
             eval(&Expr::var("zzz"), &e, &ctx()),
             Err(EvalError::UnknownVar)

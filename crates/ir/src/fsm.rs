@@ -278,10 +278,7 @@ mod tests {
         assert_eq!(m.var_index("start"), Some(1));
         assert_eq!(m.var_index("nope"), None);
         assert_eq!(m.state_index("S1"), Some(1));
-        assert_eq!(
-            m.initial_vars(),
-            vec![Value::Int(0), Value::Time(0)]
-        );
+        assert_eq!(m.initial_vars(), vec![Value::Int(0), Value::Time(0)]);
     }
 
     #[test]

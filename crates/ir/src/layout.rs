@@ -191,7 +191,11 @@ impl MachineLayout {
         out.resize(self.block_len, 0);
         out[..self.state_bytes].copy_from_slice(&state.to_le_bytes()[..self.state_bytes]);
         for (slot, v) in self.slots.iter().zip(vars) {
-            encode_slot(slot.enc, v, &mut out[slot.offset..slot.offset + slot.enc.width()]);
+            encode_slot(
+                slot.enc,
+                v,
+                &mut out[slot.offset..slot.offset + slot.enc.width()],
+            );
         }
     }
 
@@ -217,7 +221,13 @@ impl MachineLayout {
 
     /// Decodes the block prefix covering slots `0..covered`, pushing
     /// one value per covered slot (the delta path's partial load).
-    pub fn decode_prefix(&self, bytes: &[u8], covered: usize, state: &mut u32, vars: &mut Vec<Value>) {
+    pub fn decode_prefix(
+        &self,
+        bytes: &[u8],
+        covered: usize,
+        state: &mut u32,
+        vars: &mut Vec<Value>,
+    ) {
         *state = self.decode_state(bytes);
         vars.clear();
         for slot in self.slots.iter().take(covered) {
@@ -238,7 +248,11 @@ impl MachineLayout {
         out.resize(span, 0);
         out[..self.state_bytes].copy_from_slice(&state.to_le_bytes()[..self.state_bytes]);
         for (slot, v) in self.slots.iter().take(covered).zip(vars) {
-            encode_slot(slot.enc, v, &mut out[slot.offset..slot.offset + slot.enc.width()]);
+            encode_slot(
+                slot.enc,
+                v,
+                &mut out[slot.offset..slot.offset + slot.enc.width()],
+            );
         }
     }
 
@@ -287,22 +301,46 @@ fn int_enc(lo: i64, hi: i64) -> SlotEnc {
     if lo >= 0 {
         // Zero-extended unsigned widths.
         if hi <= u8::MAX as i64 {
-            SlotEnc::Int { width: 1, signed: false }
+            SlotEnc::Int {
+                width: 1,
+                signed: false,
+            }
         } else if hi <= u16::MAX as i64 {
-            SlotEnc::Int { width: 2, signed: false }
+            SlotEnc::Int {
+                width: 2,
+                signed: false,
+            }
         } else if hi <= u32::MAX as i64 {
-            SlotEnc::Int { width: 4, signed: false }
+            SlotEnc::Int {
+                width: 4,
+                signed: false,
+            }
         } else {
-            SlotEnc::Int { width: 8, signed: true }
+            SlotEnc::Int {
+                width: 8,
+                signed: true,
+            }
         }
     } else if fits(i8::MIN as i64, i8::MAX as i64) {
-        SlotEnc::Int { width: 1, signed: true }
+        SlotEnc::Int {
+            width: 1,
+            signed: true,
+        }
     } else if fits(i16::MIN as i64, i16::MAX as i64) {
-        SlotEnc::Int { width: 2, signed: true }
+        SlotEnc::Int {
+            width: 2,
+            signed: true,
+        }
     } else if fits(i32::MIN as i64, i32::MAX as i64) {
-        SlotEnc::Int { width: 4, signed: true }
+        SlotEnc::Int {
+            width: 4,
+            signed: true,
+        }
     } else {
-        SlotEnc::Int { width: 8, signed: true }
+        SlotEnc::Int {
+            width: 8,
+            signed: true,
+        }
     }
 }
 
@@ -474,9 +512,11 @@ pub fn int_bounds(var_inits: &[Value], code: &[Op], lits: &[Value]) -> Vec<(i64,
     // every installed machine has passed). Mutated raw code with a
     // backward jump gets the trivially sound answer instead.
     let backward = code.iter().enumerate().any(|(i, op)| match *op {
-        Op::Jump { target } | Op::JumpIfFalse { target, .. } | Op::JumpIfTrue { target, .. } => {
-            (target as usize) <= i
-        }
+        Op::Jump { target }
+        | Op::JumpIfFalse { target, .. }
+        | Op::JumpIfTrue { target, .. }
+        | Op::CmpBranch { target, .. }
+        | Op::LoadCmpBranch { target, .. } => (target as usize) <= i,
         _ => false,
     });
     if backward {
@@ -491,13 +531,16 @@ pub fn int_bounds(var_inits: &[Value], code: &[Op], lits: &[Value]) -> Vec<(i64,
             | Op::LoadEventTime { dst }
             | Op::LoadDepData { dst }
             | Op::LoadEnergy { dst } => dst as usize,
-            Op::Bin { dst, a, b, .. } => (dst as usize).max(a as usize).max(b as usize),
+            Op::Bin { dst, a, b, .. } | Op::CmpBranch { dst, a, b, .. } => {
+                (dst as usize).max(a as usize).max(b as usize)
+            }
             Op::Not { dst, src } => (dst as usize).max(src as usize),
             Op::AssertBool { src } | Op::JumpIfFalse { src, .. } | Op::JumpIfTrue { src, .. } => {
                 src as usize
             }
-            Op::Jump { .. } => 0,
+            Op::Jump { .. } | Op::ConstStore { .. } => 0,
             Op::StoreVar { src, .. } => src as usize,
+            Op::LoadCmpBranch { dst, .. } => dst as usize,
         })
         .max()
         .map(|m| m + 1)
@@ -517,10 +560,10 @@ pub fn int_bounds(var_inits: &[Value], code: &[Op], lits: &[Value]) -> Vec<(i64,
         let mut changed = false;
         let mut changed_slots = vec![false; n];
         let store = |slots: &mut Vec<AbsVal>,
-                         changed_slots: &mut Vec<bool>,
-                         slot: usize,
-                         v: AbsVal,
-                         changed: &mut bool| {
+                     changed_slots: &mut Vec<bool>,
+                     slot: usize,
+                     v: AbsVal,
+                     changed: &mut bool| {
             if slot >= n {
                 return;
             }
@@ -576,7 +619,32 @@ pub fn int_bounds(var_inits: &[Value], code: &[Op], lits: &[Value]) -> Vec<(i64,
                 Op::JumpIfFalse { .. } | Op::JumpIfTrue { .. } => {}
                 Op::StoreVar { slot, src } => {
                     let v = regs[src as usize];
-                    store(&mut slots, &mut changed_slots, slot as usize, v, &mut changed);
+                    store(
+                        &mut slots,
+                        &mut changed_slots,
+                        slot as usize,
+                        v,
+                        &mut changed,
+                    );
+                }
+                // The fused branches survive only when their result
+                // reads as a bool, so `dst` is `Bool` past them — same
+                // reasoning as `Not`.
+                Op::CmpBranch { dst, .. } | Op::LoadCmpBranch { dst, .. } => {
+                    regs[dst as usize] = AbsVal::Bool
+                }
+                Op::ConstStore { slot, lit } => {
+                    let v = lits
+                        .get(lit as usize)
+                        .map(AbsVal::of)
+                        .unwrap_or(AbsVal::Top);
+                    store(
+                        &mut slots,
+                        &mut changed_slots,
+                        slot as usize,
+                        v,
+                        &mut changed,
+                    );
                 }
             }
         }
@@ -621,12 +689,8 @@ fn abs_bin(op: BinOp, a: AbsVal, b: AbsVal) -> AbsVal {
     use AbsVal::*;
     match (op, a, b) {
         (_, Bot, _) | (_, _, Bot) => Bot,
-        (BinOp::Add, Int(al, ah), Int(bl, bh)) => {
-            Int(al.saturating_add(bl), ah.saturating_add(bh))
-        }
-        (BinOp::Sub, Int(al, ah), Int(bl, bh)) => {
-            Int(al.saturating_sub(bh), ah.saturating_sub(bl))
-        }
+        (BinOp::Add, Int(al, ah), Int(bl, bh)) => Int(al.saturating_add(bl), ah.saturating_add(bh)),
+        (BinOp::Sub, Int(al, ah), Int(bl, bh)) => Int(al.saturating_sub(bh), ah.saturating_sub(bl)),
         (
             BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge,
             Int(..) | Time | Float | Bool,
@@ -667,23 +731,38 @@ mod tests {
         for (enc, vals) in [
             (SlotEnc::Bool, vec![Value::Bool(true), Value::Bool(false)]),
             (
-                SlotEnc::Int { width: 1, signed: false },
+                SlotEnc::Int {
+                    width: 1,
+                    signed: false,
+                },
                 vec![int(0), int(255)],
             ),
             (
-                SlotEnc::Int { width: 1, signed: true },
+                SlotEnc::Int {
+                    width: 1,
+                    signed: true,
+                },
                 vec![int(-128), int(127)],
             ),
             (
-                SlotEnc::Int { width: 2, signed: true },
+                SlotEnc::Int {
+                    width: 2,
+                    signed: true,
+                },
                 vec![int(-32768), int(32767)],
             ),
             (
-                SlotEnc::Int { width: 4, signed: false },
+                SlotEnc::Int {
+                    width: 4,
+                    signed: false,
+                },
                 vec![int(0), int(u32::MAX as i64)],
             ),
             (
-                SlotEnc::Int { width: 8, signed: true },
+                SlotEnc::Int {
+                    width: 8,
+                    signed: true,
+                },
                 vec![int(i64::MIN), int(i64::MAX)],
             ),
             (SlotEnc::Time, vec![Value::Time(0), Value::Time(u64::MAX)]),
@@ -693,7 +772,12 @@ mod tests {
             ),
             (
                 SlotEnc::Tagged,
-                vec![int(-7), Value::Bool(true), Value::Time(9), Value::Float(2.5)],
+                vec![
+                    int(-7),
+                    Value::Bool(true),
+                    Value::Time(9),
+                    Value::Float(2.5),
+                ],
             ),
         ] {
             for v in vals {
@@ -706,16 +790,40 @@ mod tests {
 
     #[test]
     fn int_enc_picks_tight_widths() {
-        assert_eq!(int_enc(0, 200), SlotEnc::Int { width: 1, signed: false });
-        assert_eq!(int_enc(-1, 100), SlotEnc::Int { width: 1, signed: true });
-        assert_eq!(int_enc(0, 60_000), SlotEnc::Int { width: 2, signed: false });
+        assert_eq!(
+            int_enc(0, 200),
+            SlotEnc::Int {
+                width: 1,
+                signed: false
+            }
+        );
+        assert_eq!(
+            int_enc(-1, 100),
+            SlotEnc::Int {
+                width: 1,
+                signed: true
+            }
+        );
+        assert_eq!(
+            int_enc(0, 60_000),
+            SlotEnc::Int {
+                width: 2,
+                signed: false
+            }
+        );
         assert_eq!(
             int_enc(-40_000, 10),
-            SlotEnc::Int { width: 4, signed: true }
+            SlotEnc::Int {
+                width: 4,
+                signed: true
+            }
         );
         assert_eq!(
             int_enc(0, i64::MAX),
-            SlotEnc::Int { width: 8, signed: true }
+            SlotEnc::Int {
+                width: 8,
+                signed: true
+            }
         );
     }
 
@@ -740,7 +848,12 @@ mod tests {
         let code = vec![
             Op::LoadVar { dst: 0, slot: 0 },
             Op::Const { dst: 1, lit: 0 },
-            Op::Bin { op: BinOp::Add, dst: 0, a: 0, b: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
             Op::StoreVar { slot: 0, src: 0 },
         ];
         let b = int_bounds(&[int(0)], &code, &[int(1)]);
@@ -760,12 +873,20 @@ mod tests {
             body: 0..2,
             emit: None,
         }];
-        let inits = [int(0), Value::Bool(false), Value::Time(0), Value::Float(0.0)];
+        let inits = [
+            int(0),
+            Value::Bool(false),
+            Value::Time(0),
+            Value::Float(0.0),
+        ];
         let l = MachineLayout::packed(&inits, &code, &[int(5)], &transitions, 0);
         assert_eq!(l.state_bytes, 1);
         assert_eq!(
             l.slots[0].enc,
-            SlotEnc::Int { width: 1, signed: false }
+            SlotEnc::Int {
+                width: 1,
+                signed: false
+            }
         );
         assert_eq!(l.slots[1].enc, SlotEnc::Bool);
         assert_eq!(l.slots[2].enc, SlotEnc::Time);
@@ -773,7 +894,12 @@ mod tests {
         // 1 (state) + 1 + 1 + 8 + 8
         assert_eq!(l.block_len, 19);
 
-        let vars = vec![int(5), Value::Bool(true), Value::Time(77), Value::Float(1.25)];
+        let vars = vec![
+            int(5),
+            Value::Bool(true),
+            Value::Time(77),
+            Value::Float(1.25),
+        ];
         let mut img = Vec::new();
         l.encode(1, &vars, &mut img);
         assert_eq!(img.len(), l.block_len);
@@ -809,10 +935,20 @@ mod tests {
         let code = vec![
             Op::LoadVar { dst: 0, slot: 1 },
             Op::Const { dst: 1, lit: 0 },
-            Op::Bin { op: BinOp::Add, dst: 0, a: 0, b: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
             Op::StoreVar { slot: 0, src: 0 },
             Op::LoadVar { dst: 0, slot: 0 },
-            Op::Bin { op: BinOp::Add, dst: 0, a: 0, b: 1 },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: 0,
+                a: 0,
+                b: 1,
+            },
             Op::StoreVar { slot: 1, src: 0 },
         ];
         let b = int_bounds(&[int(0), int(0)], &code, &[int(1)]);

@@ -10,6 +10,11 @@
 //! - an ahead-of-time compiler ([`mod@compile`]) lowering machines to
 //!   slot-indexed bytecode with per-event dispatch tables — the
 //!   allocation-free fast path the engine runs by default;
+//! - a bytecode optimizer ([`mod@opt`]) running between codegen and
+//!   the verifier: constant folding, dead-code/dead-store
+//!   elimination, jump threading, fused superinstructions, and
+//!   register compaction, with `OptLevel::None` kept as the
+//!   differential oracle;
 //! - the model-to-model transformation ([`mod@lower`]) from resolved
 //!   property sets to machines;
 //! - a textual IR syntax with printer ([`mod@print`]) and parser
@@ -31,6 +36,7 @@ pub mod expr;
 pub mod fsm;
 pub mod layout;
 pub mod lower;
+pub mod opt;
 pub mod parse;
 pub mod print;
 pub mod validate;
@@ -43,12 +49,13 @@ pub use analysis::{
     LayoutKind, SuiteBounds,
 };
 pub use compile::{
-    AccessSet, CompiledEvent, CompiledMachine, CompiledSuite, CompileIssue, RawMachine,
+    AccessSet, CompileIssue, CompiledEvent, CompiledMachine, CompiledSuite, RawMachine, StepCost,
 };
 pub use exec::{IrEvent, MachineState};
 pub use fsm::{MonitorSuite, StateMachine};
 pub use layout::{MachineLayout, SlotEnc, SlotLayout};
 pub use lower::lower_set;
+pub use opt::{optimize_machine, OptLevel};
 
 /// Everything that can go wrong when compiling a specification.
 #[derive(Clone, Debug, PartialEq)]

@@ -116,7 +116,9 @@ fn lower_property(
             *max_attempt,
             path,
         ),
-        PropertyKind::DpData { var: _, lo, hi } => lower_dp_data(&task, *lo, *hi, prop.on_fail, path),
+        PropertyKind::DpData { var: _, lo, hi } => {
+            lower_dp_data(&task, *lo, *hi, prop.on_fail, path)
+        }
         PropertyKind::Energy { min_nanojoules } => {
             lower_energy(&task, *min_nanojoules, prop.on_fail, path)
         }
@@ -613,8 +615,7 @@ mod tests {
 
     #[test]
     fn max_duration_keeps_first_start_timestamp() {
-        let (suite, _) =
-            compile("send { maxDuration: 100ms onFail: skipTask; }");
+        let (suite, _) = compile("send { maxDuration: 100ms onFail: skipTask; }");
         let m = &suite.machines()[0];
         let mut s = MachineState::initial(m);
         step(m, &mut s, &start("send", 0)).unwrap();
@@ -640,15 +641,16 @@ mod tests {
         step(m, &mut s, &start("send", 0)).unwrap();
         // An unrelated task's event past the deadline reveals the
         // violation (the `anyEvent` trigger of Figure 7).
-        let v = step(m, &mut s, &start("accel", 2_000_000)).unwrap().unwrap();
+        let v = step(m, &mut s, &start("accel", 2_000_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.action, OnFail::SkipTask);
         assert_eq!(s.state, m.state_index("Idle").unwrap());
     }
 
     #[test]
     fn collect_accumulates_across_failures() {
-        let (suite, _) =
-            compile("calcAvg { collect: 3 dpTask: bodyTemp onFail: restartPath; }");
+        let (suite, _) = compile("calcAvg { collect: 3 dpTask: bodyTemp onFail: restartPath; }");
         let m = &suite.machines()[0];
         assert!(!m.reset_on_path_restart, "collect must survive restarts");
         let mut s = MachineState::initial(m);
@@ -677,17 +679,19 @@ mod tests {
 
     #[test]
     fn mitd_without_escalation_fails_on_late_start() {
-        let (suite, _) = compile(
-            "send { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }",
-        );
+        let (suite, _) = compile("send { MITD: 5min dpTask: accel onFail: restartPath Path: 2; }");
         let m = &suite.machines()[0];
         let mut s = MachineState::initial(m);
         step(m, &mut s, &end("accel", 0)).unwrap();
         // 4 minutes later: fine.
-        assert!(step(m, &mut s, &start("send", 240_000_000)).unwrap().is_none());
+        assert!(step(m, &mut s, &start("send", 240_000_000))
+            .unwrap()
+            .is_none());
         step(m, &mut s, &end("accel", 250_000_000)).unwrap();
         // 6 minutes after accel: violation.
-        let v = step(m, &mut s, &start("send", 610_000_000)).unwrap().unwrap();
+        let v = step(m, &mut s, &start("send", 610_000_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.action, OnFail::RestartPath);
         assert_eq!(v.path, Some(2));
     }
@@ -698,7 +702,10 @@ mod tests {
             "send { MITD: 5min dpTask: accel onFail: restartPath maxAttempt: 3 onFail: skipPath Path: 2; }",
         );
         let m = &suite.machines()[0];
-        assert!(!m.reset_on_path_restart, "MITD budget must survive restarts");
+        assert!(
+            !m.reset_on_path_restart,
+            "MITD budget must survive restarts"
+        );
         let mut s = MachineState::initial(m);
         let mut t = 0u64;
         let six_min = 360_000_000u64;
@@ -736,7 +743,9 @@ mod tests {
         // clears the budget (starts alone do not: a power failure could
         // still strand the re-attempt past the bound)…
         step(m, &mut s, &end("accel", 3_000_000)).unwrap();
-        assert!(step(m, &mut s, &start("send", 3_500_000)).unwrap().is_none());
+        assert!(step(m, &mut s, &start("send", 3_500_000))
+            .unwrap()
+            .is_none());
         step(m, &mut s, &end("send", 3_600_000)).unwrap();
         // …so the next failure is primary again, not the escalation.
         step(m, &mut s, &end("accel", 4_000_000)).unwrap();
@@ -749,58 +758,66 @@ mod tests {
         // The §5.2 scenario: an in-time start followed by a power
         // failure; the re-attempt start after a long outage must STILL
         // be checked (the data is only consumed at completion).
-        let (suite, _) = compile(
-            "send { MITD: 1s dpTask: accel onFail: restartPath Path: 2; }",
-        );
+        let (suite, _) = compile("send { MITD: 1s dpTask: accel onFail: restartPath Path: 2; }");
         let m = &suite.machines()[0];
         let mut s = MachineState::initial(m);
         step(m, &mut s, &end("accel", 0)).unwrap();
         assert!(step(m, &mut s, &start("send", 500_000)).unwrap().is_none());
         // Power failure; re-attempt 10 s later: stale.
-        let v = step(m, &mut s, &start("send", 10_500_000)).unwrap().unwrap();
+        let v = step(m, &mut s, &start("send", 10_500_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.action, OnFail::RestartPath);
         // The producer re-runs; the refreshed timestamp is observed
         // even though the machine never left WaitStartA.
         step(m, &mut s, &end("accel", 11_000_000)).unwrap();
-        assert!(step(m, &mut s, &start("send", 11_200_000)).unwrap().is_none());
+        assert!(step(m, &mut s, &start("send", 11_200_000))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn period_flags_gaps_beyond_interval_plus_jitter() {
-        let (suite, _) = compile(
-            "accel { period: 10s jitter: 1s onFail: restartTask; }",
-        );
+        let (suite, _) = compile("accel { period: 10s jitter: 1s onFail: restartTask; }");
         let m = &suite.machines()[0];
         let mut s = MachineState::initial(m);
         assert!(step(m, &mut s, &start("accel", 0)).unwrap().is_none());
         // 10.5 s gap: inside interval + jitter.
-        assert!(step(m, &mut s, &start("accel", 10_500_000)).unwrap().is_none());
+        assert!(step(m, &mut s, &start("accel", 10_500_000))
+            .unwrap()
+            .is_none());
         // 12 s gap: violation.
-        let v = step(m, &mut s, &start("accel", 22_500_000)).unwrap().unwrap();
+        let v = step(m, &mut s, &start("accel", 22_500_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.action, OnFail::RestartTask);
         // The late start still re-bases the period.
-        assert!(step(m, &mut s, &start("accel", 32_000_000)).unwrap().is_none());
+        assert!(step(m, &mut s, &start("accel", 32_000_000))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
     fn period_escalation_counts_consecutive_failures() {
-        let (suite, _) = compile(
-            "accel { period: 1s onFail: restartTask maxAttempt: 2 onFail: skipPath; }",
-        );
+        let (suite, _) =
+            compile("accel { period: 1s onFail: restartTask maxAttempt: 2 onFail: skipPath; }");
         let m = &suite.machines()[0];
         let mut s = MachineState::initial(m);
         step(m, &mut s, &start("accel", 0)).unwrap();
-        let v = step(m, &mut s, &start("accel", 10_000_000)).unwrap().unwrap();
+        let v = step(m, &mut s, &start("accel", 10_000_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.action, OnFail::RestartTask);
-        let v = step(m, &mut s, &start("accel", 20_000_000)).unwrap().unwrap();
+        let v = step(m, &mut s, &start("accel", 20_000_000))
+            .unwrap()
+            .unwrap();
         assert_eq!(v.action, OnFail::SkipPath);
     }
 
     #[test]
     fn dp_data_range_checks_end_events() {
-        let (suite, _) = compile(
-            "calcAvg { dpData: avgTemp Range: [36, 38] onFail: completePath; }",
-        );
+        let (suite, _) =
+            compile("calcAvg { dpData: avgTemp Range: [36, 38] onFail: completePath; }");
         let m = &suite.machines()[0];
         let mut s = MachineState::initial(m);
         let mut ev = end("calcAvg", 0);
@@ -849,7 +866,11 @@ mod tests {
             let mut oracle_started = false;
             for t in 0..50u64 {
                 let is_start = rng.random_bool(0.7);
-                let task = if rng.random_bool(0.8) { "accel" } else { "other" };
+                let task = if rng.random_bool(0.8) {
+                    "accel"
+                } else {
+                    "other"
+                };
                 let ev = if is_start {
                     start(task, t)
                 } else {

@@ -653,8 +653,8 @@ mod tests {
 
         for m in suite.machines() {
             let text = print_machine(m);
-            let parsed = parse_machine(&text)
-                .unwrap_or_else(|e| panic!("machine {}: {e}\n{text}", m.name));
+            let parsed =
+                parse_machine(&text).unwrap_or_else(|e| panic!("machine {}: {e}\n{text}", m.name));
             assert_eq!(&parsed, m, "round-trip mismatch for {}\n{text}", m.name);
         }
 
@@ -725,9 +725,10 @@ mod tests {
         assert!(err.message.contains("identifier"));
         let err = parse_machine("machine x task a wat {}").unwrap_err();
         assert!(err.message.contains("resettable"));
-        let err =
-            parse_machine("machine x task a persistent { state S initial; on bogus from S to S { }; }")
-                .unwrap_err();
+        let err = parse_machine(
+            "machine x task a persistent { state S initial; on bogus from S to S { }; }",
+        )
+        .unwrap_err();
         assert!(err.message.contains("unknown trigger"));
         let err = parse_machine(
             "machine x task a persistent { state S initial; on anyEvent from S to Z { }; }",
@@ -740,10 +741,9 @@ mod tests {
 
     #[test]
     fn duplicate_initial_is_rejected() {
-        let err = parse_machine(
-            "machine x task a persistent { state S initial; state R initial; }",
-        )
-        .unwrap_err();
+        let err =
+            parse_machine("machine x task a persistent { state S initial; state R initial; }")
+                .unwrap_err();
         assert!(err.message.contains("multiple `initial`"));
     }
 

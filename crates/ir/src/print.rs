@@ -232,9 +232,8 @@ mod tests {
             }),
         });
         let text = print_machine(&m);
-        assert!(text.contains(
-            "on startTask(a) from A to B if (i >= 2) { i := 0; } fail skipPath path 1;"
-        ));
+        assert!(text
+            .contains("on startTask(a) from A to B if (i >= 2) { i := 0; } fail skipPath path 1;"));
     }
 
     #[test]

@@ -287,11 +287,7 @@ fn expr_reads<'m>(e: &'m Expr, out: &mut HashSet<&'m str>) {
 }
 
 /// Collects variable names a statement reads and writes.
-fn stmt_reads_writes<'m>(
-    s: &'m Stmt,
-    reads: &mut HashSet<&'m str>,
-    writes: &mut HashSet<&'m str>,
-) {
+fn stmt_reads_writes<'m>(s: &'m Stmt, reads: &mut HashSet<&'m str>, writes: &mut HashSet<&'m str>) {
     match s {
         Stmt::Assign(name, e) => {
             writes.insert(name.as_str());
@@ -384,11 +380,7 @@ fn infer(e: &Expr, m: &StateMachine) -> Result<VarType, String> {
                     if comparable || lt == rt {
                         Ok(VarType::Bool)
                     } else {
-                        Err(format!(
-                            "equality of {} and {}",
-                            lt.keyword(),
-                            rt.keyword()
-                        ))
+                        Err(format!("equality of {} and {}", lt.keyword(), rt.keyword()))
                     }
                 }
                 And | Or => {
@@ -473,9 +465,7 @@ mod tests {
             "machine x task a persistent { state S initial; \
              on startTask(a) from S to S if depData > 1.0 { }; }",
         );
-        assert!(validate(&m)
-            .iter()
-            .any(|i| i.message.contains("depData")));
+        assert!(validate(&m).iter().any(|i| i.message.contains("depData")));
     }
 
     #[test]
@@ -504,8 +494,7 @@ mod tests {
         assert!(
             issues
                 .iter()
-                .any(|i| i.severity == Severity::Warning
-                    && i.message.contains("identical guard")),
+                .any(|i| i.severity == Severity::Warning && i.message.contains("identical guard")),
             "{issues:?}"
         );
         // Distinct guards do not shadow.
@@ -529,10 +518,8 @@ mod tests {
         );
         let issues = validate(&m);
         assert!(
-            issues
-                .iter()
-                .any(|i| i.severity == Severity::Warning
-                    && i.message.contains("`dead` is assigned but never read")),
+            issues.iter().any(|i| i.severity == Severity::Warning
+                && i.message.contains("`dead` is assigned but never read")),
             "{issues:?}"
         );
         assert!(
@@ -545,9 +532,9 @@ mod tests {
             "machine x task a persistent { var n: int = 0; state S initial; \
              on startTask(a) from S to S { n := n + 1; }; }",
         );
-        assert!(
-            !validate(&m).iter().any(|i| i.message.contains("never read")),
-        );
+        assert!(!validate(&m)
+            .iter()
+            .any(|i| i.message.contains("never read")),);
     }
 
     #[test]
@@ -590,7 +577,9 @@ mod tests {
              state S initial; state S; }",
         );
         let issues = validate(&m);
-        assert!(issues.iter().any(|i| i.message.contains("duplicate variable")));
+        assert!(issues
+            .iter()
+            .any(|i| i.message.contains("duplicate variable")));
         assert!(issues.iter().any(|i| i.message.contains("duplicate state")));
     }
 

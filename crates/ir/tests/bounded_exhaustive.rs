@@ -30,11 +30,7 @@ fn machine(spec: &str) -> StateMachine {
     suite.machines()[0].clone()
 }
 
-fn drive(
-    m: &StateMachine,
-    seq: &[Sym],
-    times: &[u64],
-) -> Vec<bool> {
+fn drive(m: &StateMachine, seq: &[Sym], times: &[u64]) -> Vec<bool> {
     let mut state = MachineState::initial(m);
     let mut out = Vec::with_capacity(seq.len());
     for (i, sym) in seq.iter().enumerate() {
@@ -174,9 +170,7 @@ fn mitd_matches_oracle_exhaustively_with_time() {
                         armed = true;
                         false
                     }
-                    Sym::StartA => {
-                        armed && now.saturating_sub(end_b.unwrap_or(0)) > limit_us
-                    }
+                    Sym::StartA => armed && now.saturating_sub(end_b.unwrap_or(0)) > limit_us,
                     Sym::EndA => {
                         if armed {
                             armed = false;

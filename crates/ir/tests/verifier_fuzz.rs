@@ -86,9 +86,9 @@ fn mutate(raw: &mut RawMachine, kind: u8, a: u64, b: u64) {
                         *slot = n16;
                     }
                 }
-                Op::LoadEventTime { dst }
-                | Op::LoadDepData { dst }
-                | Op::LoadEnergy { dst } => *dst = n16,
+                Op::LoadEventTime { dst } | Op::LoadDepData { dst } | Op::LoadEnergy { dst } => {
+                    *dst = n16
+                }
                 Op::Bin {
                     dst, a: ra, b: rb, ..
                 } => match a % 3 {
@@ -119,13 +119,43 @@ fn mutate(raw: &mut RawMachine, kind: u8, a: u64, b: u64) {
                         *src = n16;
                     }
                 }
+                Op::CmpBranch {
+                    dst,
+                    a: ra,
+                    b: rb,
+                    target,
+                    ..
+                } => match a % 4 {
+                    0 => *dst = n16,
+                    1 => *ra = n16,
+                    2 => *rb = n16,
+                    _ => *target = (b % target_bound) as u32,
+                },
+                Op::LoadCmpBranch {
+                    dst,
+                    slot,
+                    lit,
+                    target,
+                    ..
+                } => match a % 4 {
+                    0 => *dst = n16,
+                    1 => *slot = n16,
+                    2 => *lit = n16,
+                    _ => *target = (b % target_bound) as u32,
+                },
+                Op::ConstStore { slot, lit } => {
+                    if a & 1 == 0 {
+                        *slot = n16;
+                    } else {
+                        *lit = n16;
+                    }
+                }
             }
         }
         // Swap two instructions (ranges now run foreign code).
         1 => {
             if code_len >= 2 {
-                raw.code
-                    .swap(a as usize % code_len, b as usize % code_len);
+                raw.code.swap(a as usize % code_len, b as usize % code_len);
             }
         }
         // Rewire a transition endpoint.
@@ -259,6 +289,45 @@ proptest! {
             exercise(&mutant, &src.initial_vars());
         }
     }
+
+    /// The optimizer is verifier-monotone: for any mutant the verifier
+    /// accepts, the optimized mutant must also be accepted — and must
+    /// still execute safely. This is the property that makes running
+    /// the optimizer *before* the install-time gate sound: optimization
+    /// can never turn a verified program into a rejected (or unsafe)
+    /// one, even on adversarial inputs no compiler would emit.
+    #[test]
+    fn optimizer_output_always_verifies(
+        machine_sel in 0usize..64,
+        mutations in proptest::collection::vec(
+            (0u8..10, proptest::strategy::any::<u64>(), proptest::strategy::any::<u64>()),
+            1..4,
+        ),
+    ) {
+        let corpus = corpus();
+        let (src, cm) = &corpus[machine_sel % corpus.len()];
+        let mut raw = cm.to_raw();
+        for (kind, a, b) in &mutations {
+            mutate(&mut raw, *kind, *a, *b);
+        }
+        let mutant = CompiledMachine::from_raw(raw);
+
+        let (name, state_count, var_types) = env_of(src);
+        let env = MachineEnv {
+            name: &name,
+            state_count,
+            var_types: &var_types,
+        };
+        if verify_machine(&mutant, &env).iter().all(|d| !d.is_error()) {
+            let opt = artemis_ir::optimize_machine(&mutant);
+            let diags = verify_machine(&opt, &env);
+            prop_assert!(
+                diags.iter().all(|d| !d.is_error()),
+                "optimizer broke a verified mutant: {diags:?}"
+            );
+            exercise(&opt, &src.initial_vars());
+        }
+    }
 }
 
 /// The acceptance statistics that make the property above non-vacuous:
@@ -276,7 +345,12 @@ fn mutation_population_is_split() {
     for _ in 0..2_000 {
         let (src, cm) = &corpus[rng.random_range(0..corpus.len())];
         let mut raw = cm.to_raw();
-        mutate(&mut raw, rng.random_range(0u64..10) as u8, rng.next_u64(), rng.next_u64());
+        mutate(
+            &mut raw,
+            rng.random_range(0u64..10) as u8,
+            rng.next_u64(),
+            rng.next_u64(),
+        );
         let mutant = CompiledMachine::from_raw(raw);
         let (name, state_count, var_types) = env_of(src);
         let env = MachineEnv {
@@ -298,6 +372,50 @@ fn mutation_population_is_split() {
     assert!(
         rejected >= 100,
         "too few mutants rejected ({rejected}/2000): the verifier is not catching corruption"
+    );
+}
+
+/// Deterministic twin of `optimizer_output_always_verifies`: a fixed
+/// 2 000-mutant population where every accepted mutant is optimized,
+/// re-verified, and exercised. Also asserts the leg is non-vacuous.
+#[test]
+fn optimized_mutant_population_verifies() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore, SeedableRng};
+
+    let corpus = corpus();
+    let mut rng = StdRng::seed_from_u64(0x0971_417E);
+    let mut optimized = 0u32;
+    for _ in 0..2_000 {
+        let (src, cm) = &corpus[rng.random_range(0..corpus.len())];
+        let mut raw = cm.to_raw();
+        mutate(
+            &mut raw,
+            rng.random_range(0u64..10) as u8,
+            rng.next_u64(),
+            rng.next_u64(),
+        );
+        let mutant = CompiledMachine::from_raw(raw);
+        let (name, state_count, var_types) = env_of(src);
+        let env = MachineEnv {
+            name: &name,
+            state_count,
+            var_types: &var_types,
+        };
+        if verify_machine(&mutant, &env).iter().all(|d| !d.is_error()) {
+            let opt = artemis_ir::optimize_machine(&mutant);
+            let diags = verify_machine(&opt, &env);
+            assert!(
+                diags.iter().all(|d| !d.is_error()),
+                "optimizer broke a verified mutant: {diags:?}"
+            );
+            exercise(&opt, &src.initial_vars());
+            optimized += 1;
+        }
+    }
+    assert!(
+        optimized >= 100,
+        "too few mutants reached the optimizer ({optimized}/2000): the leg is near-vacuous"
     );
 }
 

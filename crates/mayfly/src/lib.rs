@@ -380,7 +380,12 @@ impl MayflyRuntime {
         Ok(true)
     }
 
-    fn run_task(&mut self, dev: &mut Device, task: TaskId, cur_path: PathId) -> Result<(), Interrupt> {
+    fn run_task(
+        &mut self,
+        dev: &mut Device,
+        task: TaskId,
+        cur_path: PathId,
+    ) -> Result<(), Interrupt> {
         dev.trace_push(TraceEvent::TaskStart { task, attempt: 1 });
         let mut tx = TxWriter::new();
         {

@@ -139,6 +139,7 @@ pub mod remote;
 pub mod state;
 
 use core::cell::RefCell;
+use std::sync::Arc;
 
 use artemis_core::action::Action;
 use artemis_core::app::{AppGraph, PathId, TaskId};
@@ -149,6 +150,7 @@ use artemis_ir::exec::{step, IrEvent, MachineState};
 use artemis_ir::expr::{EventCtx, Value};
 use artemis_ir::fsm::MonitorSuite;
 use artemis_ir::layout::{MachineLayout, NV_VALUE_BYTES};
+use artemis_ir::opt::OptLevel;
 use artemis_ir::validate::{validate_strict, Issue};
 use immortal::Routine;
 use intermittent_sim::device::{CostCategory, Device, Interrupt, MemOwner};
@@ -382,6 +384,21 @@ pub struct CacheStats {
     pub invalidations: u64,
 }
 
+/// Dynamic bytecode execution counters
+/// ([`MonitorEngine::exec_stats`]): what the compiled core *actually*
+/// ran, as opposed to the static per-key ceilings the engine bills
+/// through [`CompiledMachine::step_cost`]. Volatile (a reboot replays
+/// the in-flight event and re-counts its instructions — the honest
+/// dynamic figure on an intermittent device).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExecStats {
+    /// Bytecode instructions dispatched across all machine steps.
+    pub instructions: u64,
+    /// `CompiledMachine::step` invocations (one per machine per
+    /// delivered event that dispatches to it).
+    pub machine_steps: u64,
+}
+
 /// Everything [`MonitorEngine::install_with`] can be told.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct InstallOptions {
@@ -405,6 +422,13 @@ pub struct InstallOptions {
     /// Byte-granular dirty-diff commits on the cached delta/batch
     /// paths (on by default; inert whenever the shadow cache is off).
     pub diff: DiffMode,
+    /// Bytecode optimization level for ahead-of-time compilation
+    /// ([`OptLevel::Full`] by default). [`OptLevel::None`] ships the
+    /// straight-from-lowering bytecode and serves as the differential
+    /// oracle for the optimizer. Ignored by
+    /// [`MonitorEngine::install_precompiled`], whose caller already
+    /// holds compiled bytecode.
+    pub opt: OptLevel,
     /// Journal capacity override in payload bytes. `None` derives the
     /// capacity from the static resource bounds: the worst-case single
     /// commit any event or reset can stage, across both commit formats
@@ -784,7 +808,7 @@ pub struct MonitorEngine {
     /// Bytecode, dispatch tables, the routing index, and the task-name
     /// table interned once at install (both modes resolve event task
     /// ids through it).
-    compiled: CompiledSuite,
+    compiled: Arc<CompiledSuite>,
     machines: Vec<LoadedMachine>,
     routine: Routine,
     journal: Journal,
@@ -809,6 +833,9 @@ pub struct MonitorEngine {
     /// `Some` iff [`CacheMode::Enabled`] took effect (routed compiled
     /// path only): the volatile shadow of the hot path's FRAM reads.
     cache: Option<RefCell<ShadowCache>>,
+    /// Dynamic executed-instruction counters (volatile, like the cache
+    /// stats — see [`ExecStats`]).
+    exec: RefCell<ExecStats>,
     scratch: RefCell<Scratch>,
 }
 
@@ -899,7 +926,8 @@ impl MonitorEngine {
         // bytecode — and the interned task-name table both modes use.
         // Suites that pass the checks above always compile; the error
         // arm guards hand-written machines.
-        let compiled = CompiledSuite::compile(&suite, app).map_err(InstallError::Compile)?;
+        let compiled =
+            CompiledSuite::compile_with(&suite, app, opts.opt).map_err(InstallError::Compile)?;
         Self::install_precompiled(dev, suite, compiled, app, opts)
     }
 
@@ -919,6 +947,22 @@ impl MonitorEngine {
         app: &AppGraph,
         opts: InstallOptions,
     ) -> Result<Self, InstallError> {
+        Self::install_precompiled_shared(dev, suite, Arc::new(compiled), app, opts)
+    }
+
+    /// [`MonitorEngine::install_precompiled`] over a *shared* compiled
+    /// suite: many engines (one per simulated device) can hold the same
+    /// immutable bytecode through an [`Arc`] instead of each carrying a
+    /// private copy — the fleet harness compiles once per worker sweep,
+    /// not once per device. All mutable monitor state (FRAM blocks,
+    /// journal, caches, scratch) stays per-engine.
+    pub fn install_precompiled_shared(
+        dev: &mut Device,
+        suite: MonitorSuite,
+        compiled: Arc<CompiledSuite>,
+        app: &AppGraph,
+        opts: InstallOptions,
+    ) -> Result<Self, InstallError> {
         let InstallOptions {
             mode,
             routing,
@@ -929,6 +973,8 @@ impl MonitorEngine {
             diff,
             journal_capacity,
             energy,
+            // Compilation already happened in the caller's hands.
+            opt: _,
         } = opts;
 
         // The packed layout only exists in compiled mode (the
@@ -1062,8 +1108,7 @@ impl MonitorEngine {
                 LayoutMode::Packed => suite.len().div_ceil(8).max(1),
                 LayoutMode::Tagged => 8,
             };
-            let routed = if routing == RoutingMode::Routed && suite.len() <= MAX_ROUTED_MACHINES
-            {
+            let routed = if routing == RoutingMode::Routed && suite.len() <= MAX_ROUTED_MACHINES {
                 let worklist_addr = dev
                     .nv_alloc_raw(u16_list_bytes(suite.len()), owner, "monitor.worklist")
                     .map_err(dev_err)?;
@@ -1251,16 +1296,15 @@ impl MonitorEngine {
             // done bitmap — are that path's). The epoch starts at the
             // device's *current* reboot generation so a freshly
             // installed engine doesn't count a spurious invalidation.
-            let cache = (cache == CacheMode::Enabled
-                && mode == ExecMode::Compiled
-                && routed.is_some())
-            .then(|| {
-                RefCell::new(ShadowCache::new(
-                    dev.sram().generation(),
-                    machines.len(),
-                    verdict_cells.len(),
-                ))
-            });
+            let cache =
+                (cache == CacheMode::Enabled && mode == ExecMode::Compiled && routed.is_some())
+                    .then(|| {
+                        RefCell::new(ShadowCache::new(
+                            dev.sram().generation(),
+                            machines.len(),
+                            verdict_cells.len(),
+                        ))
+                    });
             // Dirty-diff commits need the shadow's authoritative old
             // image; with the cache off the sparse paths stay
             // slot-granular (the differential oracle).
@@ -1281,6 +1325,7 @@ impl MonitorEngine {
                 layout_mode,
                 diff_enabled,
                 cache,
+                exec: RefCell::new(ExecStats::default()),
                 scratch,
             })
         })();
@@ -1340,6 +1385,15 @@ impl MonitorEngine {
         self.cache
             .as_ref()
             .map_or_else(CacheStats::default, |c| c.borrow().stats)
+    }
+
+    /// Dynamic bytecode execution counters (all-zero in interpreter
+    /// mode, which runs no bytecode). The measured side of the static
+    /// [`CompiledMachine::step_cost`] ceilings: for every delivered
+    /// event, `instructions` grows by at most the key's
+    /// `step_cost(kind, task).instructions`.
+    pub fn exec_stats(&self) -> ExecStats {
+        *self.exec.borrow()
     }
 
     /// Pushes the current [`CacheStats`] onto the device trace ring
@@ -1856,9 +1910,9 @@ impl MonitorEngine {
                                 dev.compute(ROUTING_LOOKUP_CYCLES)?;
                                 self.stage_worklist(rs, &encoded, &mut tx);
                             }
-                            None => {
-                                self.routine.stage_begin(&mut tx, self.machines.len() as u32)
-                            }
+                            None => self
+                                .routine
+                                .stage_begin(&mut tx, self.machines.len() as u32),
                         }
                         dev.commit(&self.journal, &tx)?;
                     }
@@ -2085,7 +2139,9 @@ impl MonitorEngine {
             let dispatched = cm.dispatch_len(kind, encoded.task);
             cycles += COMPILED_DISPATCH_CYCLES;
             if dispatched > 0 {
-                cycles += STEP_PER_TRANSITION_CYCLES * dispatched as u64;
+                // Same static per-key compute ceiling the per-event
+                // path bills (see `step_compiled`).
+                cycles += cm.step_cost(kind, encoded.task).cycles;
                 access.union_with(cm.access(kind, encoded.task));
                 step_mask |= 1 << e;
             }
@@ -2115,8 +2171,12 @@ impl MonitorEngine {
         let scratch = &mut *self.scratch.borrow_mut();
         self.load_block_cached(dev, i as usize, addr, len, span, scratch)?;
         let mut before_state = 0u32;
-        lm.layout
-            .decode_prefix(&scratch.block, covered, &mut before_state, &mut scratch.vars);
+        lm.layout.decode_prefix(
+            &scratch.block,
+            covered,
+            &mut before_state,
+            &mut scratch.vars,
+        );
         scratch.vars.resize(cm.var_count(), Value::Int(0));
         let mut state = before_state;
 
@@ -2134,9 +2194,21 @@ impl MonitorEngine {
                     energy_nj: encoded.energy_nj,
                 },
             };
+            let mut executed = 0u64;
             let emit = cm
-                .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
+                .step_counting(
+                    &mut state,
+                    &mut scratch.vars,
+                    &event,
+                    &mut scratch.regs,
+                    &mut executed,
+                )
                 .unwrap_or(None);
+            {
+                let mut exec = self.exec.borrow_mut();
+                exec.instructions += executed;
+                exec.machine_steps += 1;
+            }
             if let Some(fail) = emit {
                 emits.push((e, fail.action, fail.path.or(lm.machine.path)));
             }
@@ -2150,7 +2222,8 @@ impl MonitorEngine {
         let mut buf = [0u8; NV_VALUE_BYTES];
         let mut runs: Vec<(usize, usize)> = Vec::new();
         let changed = if whole {
-            lm.layout.encode(state, &scratch.vars, &mut scratch.block_new);
+            lm.layout
+                .encode(state, &scratch.vars, &mut scratch.block_new);
             scratch.block_new != scratch.block
         } else if self.diff_enabled {
             lm.layout
@@ -2162,9 +2235,11 @@ impl MonitorEngine {
             if !c {
                 for &slot in &access.writes {
                     let off = lm.layout.slots[slot as usize].offset;
-                    let w =
-                        lm.layout
-                            .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                    let w = lm.layout.encode_slot_into(
+                        slot as usize,
+                        &scratch.vars[slot as usize],
+                        &mut buf,
+                    );
                     if scratch.block[off..off + w] != buf[..w] {
                         c = true;
                         break;
@@ -2190,9 +2265,11 @@ impl MonitorEngine {
             stx.push_raw(addr, lm.layout.encode_state(state));
             for &slot in &access.writes {
                 let off = lm.layout.slots[slot as usize].offset;
-                let w = lm
-                    .layout
-                    .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                let w = lm.layout.encode_slot_into(
+                    slot as usize,
+                    &scratch.vars[slot as usize],
+                    &mut buf,
+                );
                 stx.push_raw(addr + off, buf[..w].to_vec());
             }
         }
@@ -2221,8 +2298,10 @@ impl MonitorEngine {
             if !emits.is_empty() {
                 let gen = c.gen;
                 for (k, (e, action, path)) in emits.iter().enumerate() {
-                    c.verdicts[count as usize + k] =
-                        (gen, (i | ((*e as u32) << 16), encode_action(*action, *path)));
+                    c.verdicts[count as usize + k] = (
+                        gen,
+                        (i | ((*e as u32) << 16), encode_action(*action, *path)),
+                    );
                 }
                 c.verdict_count = Some(count + emits.len() as u32);
             }
@@ -2365,7 +2444,12 @@ impl MonitorEngine {
 
     /// The armed worklist's entry count (0 = nothing pending).
     fn read_worklist_count(&self, dev: &mut Device, rs: &RoutedState) -> Result<usize, Interrupt> {
-        self.list_count_cached(dev, rs.worklist_addr, shadow_routed_wl, shadow_routed_wl_mut)
+        self.list_count_cached(
+            dev,
+            rs.worklist_addr,
+            shadow_routed_wl,
+            shadow_routed_wl_mut,
+        )
     }
 
     /// Routed dispatch: step the pending entries of the armed worklist.
@@ -2428,7 +2512,10 @@ impl MonitorEngine {
         match completion {
             Completion::Step(i) => self.routine.complete_step(dev, i),
             Completion::Bit(done) => {
-                let rs = self.routed.as_ref().expect("bitmap completion without routed state");
+                let rs = self
+                    .routed
+                    .as_ref()
+                    .expect("bitmap completion without routed state");
                 rs.done.write(dev, done)?;
                 self.cache_put(|c| c.done = Some(done));
                 Ok(())
@@ -2447,7 +2534,10 @@ impl MonitorEngine {
         match completion {
             Completion::Step(i) => self.routine.atomic_step(dev, &self.journal, i, tx),
             Completion::Bit(done) => {
-                let rs = self.routed.as_ref().expect("bitmap completion without routed state");
+                let rs = self
+                    .routed
+                    .as_ref()
+                    .expect("bitmap completion without routed state");
                 rs.done.stage(tx, done);
                 dev.commit(&self.journal, tx)?;
                 self.cache_put(|c| {
@@ -2520,7 +2610,11 @@ impl MonitorEngine {
             dev.compute(COMPILED_DISPATCH_CYCLES)?;
             return self.finish_plain(dev, completion);
         }
-        dev.compute(COMPILED_DISPATCH_CYCLES + STEP_PER_TRANSITION_CYCLES * dispatched as u64)?;
+        // Bill the key's static compute ceiling (cycle-priced worst
+        // path through the dispatched transitions). Static and
+        // state-independent, so the charge never leaks machine state —
+        // and the bounds/energy passes can price the exact same table.
+        dev.compute(COMPILED_DISPATCH_CYCLES + cm.step_cost(kind, encoded.task).cycles)?;
 
         // Routed + delta: load only the covering slot span and commit
         // a sparse record over the static write set. Keys that touch
@@ -2529,7 +2623,8 @@ impl MonitorEngine {
             let access = cm.access(kind, encoded.task);
             if !access.whole_block {
                 if let Completion::Bit(done) = completion {
-                    return self.step_compiled_delta(dev, i, lm, cm, access, encoded, kind, addr, done);
+                    return self
+                        .step_compiled_delta(dev, i, lm, cm, access, encoded, kind, addr, done);
                 }
             }
         }
@@ -2556,11 +2651,24 @@ impl MonitorEngine {
         // monitor has no error channel either). Partial variable
         // mutations are kept, matching the interpreter's observable
         // effects.
+        let mut executed = 0u64;
         let emit = cm
-            .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
+            .step_counting(
+                &mut state,
+                &mut scratch.vars,
+                &event,
+                &mut scratch.regs,
+                &mut executed,
+            )
             .unwrap_or(None);
+        {
+            let mut exec = self.exec.borrow_mut();
+            exec.instructions += executed;
+            exec.machine_steps += 1;
+        }
 
-        lm.layout.encode(state, &scratch.vars, &mut scratch.block_new);
+        lm.layout
+            .encode(state, &scratch.vars, &mut scratch.block_new);
         if emit.is_none() && scratch.block_new == scratch.block {
             return self.finish_plain(dev, completion);
         }
@@ -2622,8 +2730,12 @@ impl MonitorEngine {
         let scratch = &mut *self.scratch.borrow_mut();
         self.load_block_cached(dev, i as usize, addr, len, span, scratch)?;
         let mut before_state = 0u32;
-        lm.layout
-            .decode_prefix(&scratch.block, covered, &mut before_state, &mut scratch.vars);
+        lm.layout.decode_prefix(
+            &scratch.block,
+            covered,
+            &mut before_state,
+            &mut scratch.vars,
+        );
         scratch.vars.resize(cm.var_count(), Value::Int(0));
         let mut state = before_state;
 
@@ -2636,9 +2748,21 @@ impl MonitorEngine {
                 energy_nj: encoded.energy_nj,
             },
         };
+        let mut executed = 0u64;
         let emit = cm
-            .step(&mut state, &mut scratch.vars, &event, &mut scratch.regs)
+            .step_counting(
+                &mut state,
+                &mut scratch.vars,
+                &event,
+                &mut scratch.regs,
+                &mut executed,
+            )
             .unwrap_or(None);
+        {
+            let mut exec = self.exec.borrow_mut();
+            exec.instructions += executed;
+            exec.machine_steps += 1;
+        }
 
         // Change detection over the written footprint only (byte-level,
         // like the whole-block path): anything else cannot have moved.
@@ -2657,9 +2781,11 @@ impl MonitorEngine {
             if !c {
                 for &slot in &access.writes {
                     let off = lm.layout.slots[slot as usize].offset;
-                    let w =
-                        lm.layout
-                            .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                    let w = lm.layout.encode_slot_into(
+                        slot as usize,
+                        &scratch.vars[slot as usize],
+                        &mut buf,
+                    );
                     if scratch.block[off..off + w] != buf[..w] {
                         c = true;
                         break;
@@ -2681,9 +2807,11 @@ impl MonitorEngine {
             stx.push_raw(addr, lm.layout.encode_state(state));
             for &slot in &access.writes {
                 let off = lm.layout.slots[slot as usize].offset;
-                let w = lm
-                    .layout
-                    .encode_slot_into(slot as usize, &scratch.vars[slot as usize], &mut buf);
+                let w = lm.layout.encode_slot_into(
+                    slot as usize,
+                    &scratch.vars[slot as usize],
+                    &mut buf,
+                );
                 stx.push_raw(addr + off, buf[..w].to_vec());
             }
         }
@@ -2736,8 +2864,8 @@ impl MonitorEngine {
         // Cheap dismissals first — the generated C's trigger test. A
         // dismissed machine cannot change state, so its step completion
         // is a plain counter write (re-execution is harmless).
-        let dismissed = path_dismissed
-            || matches!(&lm.observed, Some(tasks) if !tasks.contains(&encoded.task));
+        let dismissed =
+            path_dismissed || matches!(&lm.observed, Some(tasks) if !tasks.contains(&encoded.task));
         if dismissed {
             dev.compute(STEP_BASE_CYCLES)?;
             return self.finish_plain(dev, completion);
@@ -2795,7 +2923,11 @@ impl MonitorEngine {
         if mstate.state != before_state {
             tx.write(state_cell, mstate.state);
         }
-        for ((cell, v), old) in var_cells.iter().zip(&scratch.vars).zip(&scratch.before_vars) {
+        for ((cell, v), old) in var_cells
+            .iter()
+            .zip(&scratch.vars)
+            .zip(&scratch.before_vars)
+        {
             if v != old {
                 tx.write(cell, NvValue(*v));
             }
@@ -3103,9 +3235,7 @@ mod tests {
         // Deliver exactly 5 accel completions (seq 1..=5) across power
         // failures, then a send start (seq 6): must pass.
         let sim = Simulator::new(RunLimit::reboots(10_000));
-        let delivered = dev
-            .nv_alloc::<u64>(0, MemOwner::App, "delivered")
-            .unwrap();
+        let delivered = dev.nv_alloc::<u64>(0, MemOwner::App, "delivered").unwrap();
         let outcome = sim.run(&mut dev, &mut |dev: &mut Device| {
             engine.monitor_finalize(dev)?;
             loop {
@@ -3603,6 +3733,51 @@ mod tests {
         (suite, app)
     }
 
+    /// The dynamic executed-instruction counters must agree with the
+    /// static per-key instruction ceilings: equal on an unguarded
+    /// workload (the only path *is* the worst path), and bounded by
+    /// them wherever guards can exit early. This is the measured side
+    /// of the ceiling the engine bills compute through.
+    #[test]
+    fn exec_counters_match_static_instruction_ceiling() {
+        const EVENTS: u64 = 20;
+        const MACHINES: usize = 4;
+        let (suite, app) = dispatch_suite(MACHINES, 3);
+        let t0 = app.task_by_name("t0").unwrap();
+        let compiled = CompiledSuite::compile(&suite, &app).unwrap();
+        let per_event: u64 = compiled
+            .machines()
+            .iter()
+            .map(|m| m.step_cost(EventKind::StartTask, 0).instructions)
+            .sum();
+        assert!(per_event > 0, "dispatching key must have a nonzero ceiling");
+
+        let mut dev = DeviceBuilder::msp430fr5994().build();
+        let engine = MonitorEngine::install(&mut dev, suite.clone(), &app).unwrap();
+        engine.reset_monitor(&mut dev).unwrap();
+        assert_eq!(engine.exec_stats(), ExecStats::default());
+        for seq in 1..=EVENTS {
+            engine
+                .call_monitor(&mut dev, seq, &MonitorEvent::start(t0, t(seq)))
+                .unwrap();
+        }
+        let stats = engine.exec_stats();
+        assert_eq!(stats.machine_steps, EVENTS * MACHINES as u64);
+        // Single unguarded transition per machine: executed == ceiling.
+        assert_eq!(stats.instructions, EVENTS * per_event);
+
+        // Interpreter mode runs no bytecode: counters stay zero.
+        let mut dev_i = DeviceBuilder::msp430fr5994().build();
+        let engine_i =
+            MonitorEngine::install_with_mode(&mut dev_i, suite, &app, ExecMode::Interpreter)
+                .unwrap();
+        engine_i.reset_monitor(&mut dev_i).unwrap();
+        engine_i
+            .call_monitor(&mut dev_i, 1, &MonitorEvent::start(t0, t(1)))
+            .unwrap();
+        assert_eq!(engine_i.exec_stats(), ExecStats::default());
+    }
+
     /// The energy twin of [`bounds_model_matches_engine`]: per-event
     /// predicted delivery energy (ops, bytes and cycles priced through
     /// the device's cost model) must equal the simulator's measured
@@ -3886,7 +4061,10 @@ mod tests {
         let pushed = dev.trace().count(|e| {
             matches!(
                 e,
-                artemis_core::trace::TraceEvent::CacheStats { invalidations: 1, .. }
+                artemis_core::trace::TraceEvent::CacheStats {
+                    invalidations: 1,
+                    ..
+                }
             )
         });
         assert_eq!(pushed, 1);
@@ -4025,10 +4203,7 @@ mod tests {
             .call_monitor(&mut dev, 1, &MonitorEvent::start(accel, t(0)))
             .unwrap();
         assert!(dev.stats().time(CostCategory::Monitor) > before);
-        assert_eq!(
-            dev.stats().time(CostCategory::App),
-            SimDuration::ZERO
-        );
+        assert_eq!(dev.stats().time(CostCategory::App), SimDuration::ZERO);
     }
 
     #[test]
@@ -4098,9 +4273,14 @@ mod tests {
         let ops_for = |routing: RoutingMode| {
             let mut dev = DeviceBuilder::msp430fr5994().build();
             let suite = artemis_ir::parse::parse_suite(&src).unwrap();
-            let engine =
-                MonitorEngine::install_with_routing(&mut dev, suite, &app, ExecMode::Compiled, routing)
-                    .unwrap();
+            let engine = MonitorEngine::install_with_routing(
+                &mut dev,
+                suite,
+                &app,
+                ExecMode::Compiled,
+                routing,
+            )
+            .unwrap();
             engine.reset_monitor(&mut dev).unwrap();
             let accel = app.task_by_name("accel").unwrap();
             let before = dev.fram().read_ops();

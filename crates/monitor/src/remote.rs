@@ -30,7 +30,7 @@ use artemis_ir::validate::validate_strict;
 use intermittent_sim::device::{CostCategory, Device, Interrupt};
 
 use crate::{decode_action_pub as decode_action, encode_action_pub as encode_action};
-use crate::{InstallError, Monitoring, MonitorVerdict};
+use crate::{InstallError, MonitorVerdict, Monitoring};
 
 /// Bytes on the wire for one event message (kind, task, timestamp,
 /// depData, path, sequence number).
@@ -143,9 +143,7 @@ impl RemoteMonitorEngine {
 impl Monitoring for RemoteMonitorEngine {
     fn reset_monitor(&self, dev: &mut Device) -> Result<(), Interrupt> {
         // A control message over the radio.
-        dev.billed(CostCategory::Monitor, |dev| {
-            dev.transmit(CONTROL_MSG_BYTES)
-        })?;
+        dev.billed(CostCategory::Monitor, |dev| dev.transmit(CONTROL_MSG_BYTES))?;
         let mut state = self.state.borrow_mut();
         for (machine, mstate) in state.machines.iter_mut() {
             mstate.reset(machine);
@@ -189,9 +187,7 @@ impl Monitoring for RemoteMonitorEngine {
     }
 
     fn on_path_restart(&self, dev: &mut Device, path: PathId) -> Result<(), Interrupt> {
-        dev.billed(CostCategory::Monitor, |dev| {
-            dev.transmit(CONTROL_MSG_BYTES)
-        })?;
+        dev.billed(CostCategory::Monitor, |dev| dev.transmit(CONTROL_MSG_BYTES))?;
         let mut state = self.state.borrow_mut();
         for (machine, mstate) in state.machines.iter_mut() {
             if machine.reset_on_path_restart && machine.path == Some(path.number()) {

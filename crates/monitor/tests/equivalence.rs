@@ -10,6 +10,7 @@ use artemis_core::property::OnFail;
 use artemis_core::time::{SimDuration, SimInstant};
 use artemis_ir::exec::{ir_event, step, MachineState};
 use artemis_ir::expr::Value;
+use artemis_ir::OptLevel;
 use artemis_monitor::{
     BatchMode, CacheMode, DeltaMode, DiffMode, ExecMode, InstallOptions, MonitorEngine,
     MonitorVerdict, RoutingMode,
@@ -45,11 +46,20 @@ fn env_cache_mode() -> CacheMode {
     }
 }
 
-/// [`InstallOptions::default`] with the cache mode taken from the
-/// environment — the baseline every helper in this file installs with.
+/// CI also runs the suite once with `ARTEMIS_OPT_LEVEL=none`, forcing
+/// every engine below onto the unoptimized differential oracle — so
+/// each property doubles as a bytecode-optimizer oracle too.
+fn env_opt_level() -> OptLevel {
+    OptLevel::from_env()
+}
+
+/// [`InstallOptions::default`] with the cache mode and bytecode
+/// optimization level taken from the environment — the baseline every
+/// helper in this file installs with.
 fn base_opts() -> InstallOptions {
     InstallOptions {
         cache: env_cache_mode(),
+        opt: env_opt_level(),
         ..InstallOptions::default()
     }
 }
@@ -75,11 +85,8 @@ fn ev_strategy() -> impl Strategy<Value = Vec<Ev>> {
 /// Reference verdicts from the pure interpreter.
 fn oracle(app: &AppGraph, events: &[Ev]) -> Vec<Vec<(usize, OnFail)>> {
     let suite = artemis_ir::compile(SPEC, app).unwrap();
-    let mut states: Vec<MachineState> = suite
-        .machines()
-        .iter()
-        .map(MachineState::initial)
-        .collect();
+    let mut states: Vec<MachineState> =
+        suite.machines().iter().map(MachineState::initial).collect();
     let mut t = 0u64;
     let mut out = Vec::new();
     for e in events {
@@ -108,7 +115,9 @@ fn engine_run(app: &AppGraph, events: &[Ev], dev: &mut Device) -> Vec<Vec<(usize
     let suite = artemis_ir::compile(SPEC, app).unwrap();
     let engine = MonitorEngine::install_with(dev, suite, app, base_opts()).unwrap();
     // Drive through the simulator so power failures reboot and resume.
-    let done = dev.nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done").unwrap();
+    let done = dev
+        .nv_alloc::<u32>(0, intermittent_sim::MemOwner::App, "done")
+        .unwrap();
     let sim = Simulator::new(RunLimit::reboots(100_000));
 
     let mut results: Vec<Vec<(usize, OnFail)>> = Vec::new();
@@ -197,12 +206,12 @@ fn action() -> impl Strategy<Value = &'static str> {
 /// MITD + maxAttempt, maxDuration).
 fn spec_strategy() -> impl Strategy<Value = String> {
     (
-        proptest::option::of((1u32..4, action())),            // maxTries on a
-        proptest::option::of((1u32..20, action())),           // period on a
+        proptest::option::of((1u32..4, action())),  // maxTries on a
+        proptest::option::of((1u32..20, action())), // period on a
         proptest::option::of((30u32..40, 0u32..5, action())), // dpData range on a
-        proptest::option::of((1u32..4, action())),            // collect on b
-        proptest::option::of((1u32..15, 1u32..3, action())),  // MITD + maxAttempt on b
-        proptest::option::of((1u32..8, action())),            // maxDuration on b
+        proptest::option::of((1u32..4, action())),  // collect on b
+        proptest::option::of((1u32..15, 1u32..3, action())), // MITD + maxAttempt on b
+        proptest::option::of((1u32..8, action())),  // maxDuration on b
     )
         .prop_map(|(mt, per, dp, col, mitd, md)| {
             let mut a_block = String::new();
@@ -220,8 +229,9 @@ fn spec_strategy() -> impl Strategy<Value = String> {
                 b_block += &format!("collect: {n} dpTask: a onFail: {act}; ");
             }
             if let Some((s, tries, act)) = mitd {
-                b_block +=
-                    &format!("MITD: {s}s dpTask: a onFail: restartPath maxAttempt: {tries} onFail: {act}; ");
+                b_block += &format!(
+                    "MITD: {s}s dpTask: a onFail: restartPath maxAttempt: {tries} onFail: {act}; "
+                );
             }
             if let Some((s, act)) = md {
                 b_block += &format!("maxDuration: {s}s onFail: {act}; ");
@@ -258,9 +268,9 @@ fn rich_ev_strategy() -> impl Strategy<Value = Vec<(Ev, Option<u32>)>> {
 /// group-commit batch path is built for.
 fn burst_ev_strategy() -> impl Strategy<Value = Vec<(Ev, Option<u32>)>> {
     let pair = (
-        any::<bool>(),                 // ending task
-        any::<bool>(),                 // starting task
-        0u64..20_000,                  // gap before the burst
+        any::<bool>(),                   // ending task
+        any::<bool>(),                   // starting task
+        0u64..20_000,                    // gap before the burst
         proptest::option::of(25u32..45), // dpData sample on a's end
     )
         .prop_map(|(end_a, start_a, gap_ms, dep)| {
@@ -427,7 +437,10 @@ fn engine_run_batch_cache(
             let n = chunk.min(events.len() - idx);
             let mut batch = Vec::with_capacity(n);
             for (j, (e, dep)) in events[idx..idx + n].iter().enumerate() {
-                let t: u64 = events[..=idx + j].iter().map(|(e, _)| e.gap_ms * 1_000).sum();
+                let t: u64 = events[..=idx + j]
+                    .iter()
+                    .map(|(e, _)| e.gap_ms * 1_000)
+                    .sum();
                 batch.push(rich_event(e, *dep, t));
             }
             let verdicts = engine.deliver_batch(dev, idx as u64 + 1, &batch)?;
@@ -511,6 +524,62 @@ proptest! {
         let (vi, si) = engine_run_mode(&app, &spec, &events, &mut dev_i, ExecMode::Interpreter);
         prop_assert_eq!(vc, vi, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
         prop_assert_eq!(sc, si, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
+    }
+
+    /// Optimized bytecode (`OptLevel::Full`) vs the unoptimized oracle
+    /// (`OptLevel::None`) vs the interpreter, on random specs and
+    /// continuous power: every verdict and the final decoded machine
+    /// state must agree three ways.
+    #[test]
+    fn optimized_equals_unoptimized_and_interpreter_on_random_specs(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+    ) {
+        let app = rich_app();
+        let mut dev_o = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let mut dev_i = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vo, so) = engine_run_opts(
+            &app, &spec, &events, &mut dev_o,
+            InstallOptions { opt: OptLevel::Full, ..base_opts() });
+        let (vu, su) = engine_run_opts(
+            &app, &spec, &events, &mut dev_u,
+            InstallOptions { opt: OptLevel::None, ..base_opts() });
+        let (vi, si) = engine_run_opts(
+            &app, &spec, &events, &mut dev_i,
+            InstallOptions { mode: ExecMode::Interpreter, ..base_opts() });
+        prop_assert_eq!(&vo, &vu, "Full/None verdict divergence on spec: {}", spec);
+        prop_assert_eq!(&so, &su, "Full/None state divergence on spec: {}", spec);
+        prop_assert_eq!(vo, vi, "Full/interpreter verdict divergence on spec: {}", spec);
+        prop_assert_eq!(so, si, "Full/interpreter state divergence on spec: {}", spec);
+    }
+
+    /// Optimized bytecode on an intermittent device vs the unoptimized
+    /// oracle on continuous power: fused superinstructions must replay
+    /// across random power-failure schedules without changing a verdict
+    /// or a variable — the optimizer cannot move a crash window in an
+    /// observable way.
+    #[test]
+    fn optimized_equals_unoptimized_under_random_power_failures(
+        spec in spec_strategy(),
+        events in rich_ev_strategy(),
+        budget_nj in 4_000u64..40_000,
+    ) {
+        let app = rich_app();
+        let mut dev_o = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
+        let (vo, so) = engine_run_opts(
+            &app, &spec, &events, &mut dev_o,
+            InstallOptions { opt: OptLevel::Full, ..base_opts() });
+        let (vu, su) = engine_run_opts(
+            &app, &spec, &events, &mut dev_u,
+            InstallOptions { opt: OptLevel::None, ..base_opts() });
+        prop_assert_eq!(vo, vu, "verdict divergence, budget {} nJ, spec: {}", budget_nj, spec);
+        prop_assert_eq!(so, su, "state divergence, budget {} nJ, spec: {}", budget_nj, spec);
     }
 
     /// Routed dispatch (armed worklists + completion bitmap) vs the
@@ -831,6 +900,54 @@ fn arming_crash_windows_preserve_verdicts_and_state() {
     );
 }
 
+/// The optimizer's deterministic crash-window sweep: fused
+/// superinstructions collapse several step-commit windows into one, so
+/// the fine-grained budget sweep must land brown-outs inside (and
+/// between) the *fused* windows and still recover to exactly the
+/// unoptimized oracle's verdicts and state.
+#[test]
+fn optimizer_crash_windows_preserve_verdicts_and_state() {
+    let app = rich_app();
+    let events = crash_events();
+    let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
+    let (vu, su) = engine_run_opts(
+        &app,
+        CRASH_SPEC,
+        &events,
+        &mut dev_u,
+        InstallOptions {
+            opt: OptLevel::None,
+            ..base_opts()
+        },
+    );
+
+    let mut total_reboots = 0u64;
+    for budget_nj in (700..3_000).step_by(25) {
+        let mut dev_o = DeviceBuilder::msp430fr5994()
+            .trace_disabled()
+            .capacitor(Capacitor::with_budget(Energy::from_nano_joules(budget_nj)))
+            .harvester(Harvester::FixedDelay(SimDuration::from_millis(100)))
+            .build();
+        let (vo, so) = engine_run_opts(
+            &app,
+            CRASH_SPEC,
+            &events,
+            &mut dev_o,
+            InstallOptions {
+                opt: OptLevel::Full,
+                ..base_opts()
+            },
+        );
+        assert_eq!(vo, vu, "verdict divergence at budget {budget_nj} nJ");
+        assert_eq!(so, su, "state divergence at budget {budget_nj} nJ");
+        total_reboots += dev_o.reboots();
+    }
+    assert!(
+        total_reboots > 100,
+        "sweep too gentle to hit the crash windows ({total_reboots} reboots)"
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Sparse-delta commit crash windows (deterministic).
 //
@@ -871,7 +988,10 @@ fn sparse_delta_commit_crash_windows_never_tear() {
         .into_iter()
         .find(|c| c.task == Some(0))
         .unwrap();
-    assert_eq!(key.delta_machines, 1, "twin machine must take the delta path");
+    assert_eq!(
+        key.delta_machines, 1,
+        "twin machine must take the delta path"
+    );
     assert_eq!(key.degraded_machines, 0);
 
     // Continuous-power whole-block reference image.
@@ -1042,7 +1162,10 @@ fn diff_commit_crash_windows_never_tear() {
                 // Every reboot is a recovery point: a torn or misdiffed
                 // commit surfaces here as a half-applied increment.
                 let (a, b) = twins(&engine.snapshot(dev));
-                assert_eq!(a, b, "torn diff commit at budget {budget_nj} nJ ({cache:?})");
+                assert_eq!(
+                    a, b,
+                    "torn diff commit at budget {budget_nj} nJ ({cache:?})"
+                );
                 loop {
                     let idx = dev.nv_read(&done)? as usize;
                     if idx as u64 >= EVENTS {
@@ -1055,7 +1178,10 @@ fn diff_commit_crash_windows_never_tear() {
                         &MonitorEvent::start(TaskId(0), SimInstant::from_micros(seq * 1_000)),
                     )?;
                     let (a, b) = twins(&engine.snapshot(dev));
-                    assert_eq!(a, b, "torn diff commit at budget {budget_nj} nJ ({cache:?})");
+                    assert_eq!(
+                        a, b,
+                        "torn diff commit at budget {budget_nj} nJ ({cache:?})"
+                    );
                     dev.nv_write(&done, (idx + 1) as u32)?;
                 }
             });
@@ -1190,8 +1316,14 @@ fn cached_batch_crash_windows_preserve_verdicts_and_state() {
     let app = rich_app();
     let events = crash_events();
     let mut dev_u = DeviceBuilder::msp430fr5994().trace_disabled().build();
-    let (vu, su) =
-        engine_run_batch_cache(&app, CRASH_SPEC, &events, &mut dev_u, 4, CacheMode::Disabled);
+    let (vu, su) = engine_run_batch_cache(
+        &app,
+        CRASH_SPEC,
+        &events,
+        &mut dev_u,
+        4,
+        CacheMode::Disabled,
+    );
 
     let mut total_reboots = 0u64;
     for budget_nj in (900..3_200).step_by(25) {
@@ -1268,7 +1400,11 @@ fn redelivered_completed_batch_is_a_noop() {
         );
         let again = engine.deliver_batch(&mut dev, seq, batch).unwrap();
         assert_eq!(again, verdicts, "verdicts changed on round {round}");
-        assert_eq!(engine.snapshot(&dev), snap, "state changed on round {round}");
+        assert_eq!(
+            engine.snapshot(&dev),
+            snap,
+            "state changed on round {round}"
+        );
     }
 }
 
@@ -1292,7 +1428,9 @@ fn redelivered_completed_seq_only_replays_verdicts() {
     let first = loop {
         seq += 1;
         assert!(seq <= 8, "no property fired after {seq} starts");
-        let v = engine.call_monitor(&mut dev, seq, &ev(seq * 1_000)).unwrap();
+        let v = engine
+            .call_monitor(&mut dev, seq, &ev(seq * 1_000))
+            .unwrap();
         if !v.is_empty() {
             break v;
         }
@@ -1300,7 +1438,9 @@ fn redelivered_completed_seq_only_replays_verdicts() {
     let snap = engine.snapshot(&dev);
 
     // Live redelivery: same verdicts, no FRAM-visible state change.
-    let again = engine.call_monitor(&mut dev, seq, &ev(seq * 1_000)).unwrap();
+    let again = engine
+        .call_monitor(&mut dev, seq, &ev(seq * 1_000))
+        .unwrap();
     assert_eq!(again, first);
     assert_eq!(engine.snapshot(&dev), snap);
 
@@ -1308,7 +1448,9 @@ fn redelivered_completed_seq_only_replays_verdicts() {
     // seq check still short-circuits the worklist.
     dev.power_cycle();
     assert!(!engine.monitor_finalize(&mut dev).unwrap());
-    let after_reboot = engine.call_monitor(&mut dev, seq, &ev(seq * 1_000)).unwrap();
+    let after_reboot = engine
+        .call_monitor(&mut dev, seq, &ev(seq * 1_000))
+        .unwrap();
     assert_eq!(after_reboot, first);
     assert_eq!(engine.snapshot(&dev), snap);
 }

@@ -193,7 +193,10 @@ pub struct Union<T> {
 impl<T> Union<T> {
     /// Builds a union; `branches` must be non-empty.
     pub fn new(branches: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
-        assert!(!branches.is_empty(), "prop_oneof! needs at least one branch");
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
         Union { branches }
     }
 }
@@ -393,7 +396,11 @@ mod tests {
     fn map_filter_vec_option_compose() {
         let mut rng = StdRng::seed_from_u64(11);
         let strat = crate::collection::vec(
-            crate::option::of((0u32..100).prop_map(|v| v * 2).prop_filter("odd", |v| *v % 4 == 0)),
+            crate::option::of(
+                (0u32..100)
+                    .prop_map(|v| v * 2)
+                    .prop_filter("odd", |v| *v % 4 == 0),
+            ),
             1..5,
         );
         for _ in 0..200 {
@@ -457,7 +464,15 @@ mod tests {
     #[test]
     fn tuples_generate_componentwise() {
         let mut rng = StdRng::seed_from_u64(14);
-        let strat = (0u8..5, any::<bool>(), Just("x"), 0i64..=0, 1usize..2, 0u32..1, 9u64..10);
+        let strat = (
+            0u8..5,
+            any::<bool>(),
+            Just("x"),
+            0i64..=0,
+            1usize..2,
+            0u32..1,
+            9u64..10,
+        );
         let (a, _b, c, d, e, f, g) = strat.generate(&mut rng).unwrap();
         assert!(a < 5);
         assert_eq!((c, d, e, f, g), ("x", 0, 1, 0, 9));

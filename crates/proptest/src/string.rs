@@ -39,7 +39,10 @@ impl CharSet {
             }
             CharSet::Lit(c) => *c,
             CharSet::Class(ranges) => {
-                let total: u32 = ranges.iter().map(|(lo, hi)| *hi as u32 - *lo as u32 + 1).sum();
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
                 let mut pick = rng.random_range(0..total);
                 for (lo, hi) in ranges {
                     let span = *hi as u32 - *lo as u32 + 1;
@@ -169,8 +172,8 @@ fn parse(pattern: &str) -> Result<Vec<(CharSet, Quant)>, String> {
 
 /// Generates one string matching `pattern`.
 pub fn generate(pattern: &str, rng: &mut StdRng) -> NewValue<String> {
-    let atoms = parse(pattern)
-        .map_err(|e| Rejection(format!("bad string pattern {pattern:?}: {e}")))?;
+    let atoms =
+        parse(pattern).map_err(|e| Rejection(format!("bad string pattern {pattern:?}: {e}")))?;
     let mut out = String::new();
     for (set, quant) in &atoms {
         let count = rng.random_range(quant.min..=quant.max);
@@ -213,7 +216,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for _ in 0..200 {
             let s = generate(".*", &mut rng).unwrap();
-            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)), "{s:?}");
+            assert!(
+                s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)),
+                "{s:?}"
+            );
         }
     }
 

@@ -207,19 +207,31 @@ mod tests {
     fn runner_is_deterministic_per_name() {
         let mut first: Vec<u64> = Vec::new();
         crate::test_runner::run(
-            &ProptestConfig { cases: 5, ..ProptestConfig::default() },
+            &ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            },
             "det",
             |rng| {
-                first.push(crate::strategy::Strategy::generate(&(0u64..1_000_000), rng)?);
+                first.push(crate::strategy::Strategy::generate(
+                    &(0u64..1_000_000),
+                    rng,
+                )?);
                 Ok(())
             },
         );
         let mut second: Vec<u64> = Vec::new();
         crate::test_runner::run(
-            &ProptestConfig { cases: 5, ..ProptestConfig::default() },
+            &ProptestConfig {
+                cases: 5,
+                ..ProptestConfig::default()
+            },
             "det",
             |rng| {
-                second.push(crate::strategy::Strategy::generate(&(0u64..1_000_000), rng)?);
+                second.push(crate::strategy::Strategy::generate(
+                    &(0u64..1_000_000),
+                    rng,
+                )?);
                 Ok(())
             },
         );

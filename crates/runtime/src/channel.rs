@@ -26,11 +26,7 @@ impl Channel {
     /// Allocates an empty channel in FRAM.
     pub fn new(dev: &mut Device, owner: MemOwner, label: &str) -> Result<Channel, Interrupt> {
         Ok(Channel {
-            values: dev.nv_alloc(
-                [0.0; CHANNEL_CAPACITY],
-                owner,
-                &format!("{label}.values"),
-            )?,
+            values: dev.nv_alloc([0.0; CHANNEL_CAPACITY], owner, &format!("{label}.values"))?,
             len: dev.nv_alloc(0u32, owner, &format!("{label}.len"))?,
         })
     }
@@ -78,8 +74,8 @@ impl Channel {
 mod tests {
     use super::*;
     use intermittent_sim::device::DeviceBuilder;
-    use intermittent_sim::journal::Journal;
     use intermittent_sim::fram::MemOwner;
+    use intermittent_sim::journal::Journal;
 
     fn setup() -> (Device, Channel, Journal) {
         let mut dev = DeviceBuilder::msp430fr5994().build();

@@ -320,7 +320,9 @@ impl ArtemisRuntimeBuilder {
             end_dep: dev
                 .nv_alloc((0u8, 0u64), owner, "rt.end_dep")
                 .map_err(dev_err)?,
-            unmonitored: dev.nv_alloc(0u8, owner, "rt.unmonitored").map_err(dev_err)?,
+            unmonitored: dev
+                .nv_alloc(0u8, owner, "rt.unmonitored")
+                .map_err(dev_err)?,
             emergency: dev.nv_alloc(0u8, owner, "rt.emergency").map_err(dev_err)?,
             path_results: dev
                 .nv_alloc([PATH_PENDING; MAX_PATHS], owner, "rt.path_results")
@@ -654,9 +656,8 @@ impl<M: Monitoring> ArtemisRuntime<M> {
 
             if status == STATUS_READY {
                 let action = if monitored {
-                    let redelivered = self.burst
-                        && cur_idx > 0
-                        && dev.nv_read(&self.cells.start_delivered)? != 0;
+                    let redelivered =
+                        self.burst && cur_idx > 0 && dev.nv_read(&self.cells.start_delivered)? != 0;
                     let verdicts = if redelivered {
                         // This task's StartTask already went out as the
                         // second half of a task-boundary burst.

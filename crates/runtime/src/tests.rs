@@ -255,7 +255,9 @@ fn mitd_with_max_attempt_skips_after_three_restarts() {
     .unwrap();
     let mut rb = ArtemisRuntimeBuilder::new(app.clone());
     rb.body("accel", |ctx| ctx.compute(10_000));
-    rb.body("classify", |ctx| ctx.idle(SimDuration::from_micros(1_500_000)));
+    rb.body("classify", |ctx| {
+        ctx.idle(SimDuration::from_micros(1_500_000))
+    });
     rb.body("send", |ctx| ctx.compute(1_000));
     let mut rt = rb.install(&mut dev, suite).unwrap();
 
@@ -310,8 +312,15 @@ fn dp_data_out_of_range_triggers_emergency_complete_path() {
     // Path 1 completed (alert ran, unmonitored); path 2 never executed.
     assert_eq!(out.completed, vec![PathId(0)]);
     assert_eq!(out.skipped, vec![PathId(1)]);
-    assert_eq!(dev.trace().completions_of(app.task_by_name("alert").unwrap()), 1);
-    assert_eq!(dev.trace().attempts_of(app.task_by_name("other").unwrap()), 0);
+    assert_eq!(
+        dev.trace()
+            .completions_of(app.task_by_name("alert").unwrap()),
+        1
+    );
+    assert_eq!(
+        dev.trace().attempts_of(app.task_by_name("other").unwrap()),
+        0
+    );
 }
 
 #[test]
@@ -354,8 +363,7 @@ fn max_duration_violation_skips_task() {
     let app = b.build().unwrap();
 
     let mut dev = continuous_device();
-    let suite =
-        artemis_ir::compile("slow { maxDuration: 10ms onFail: skipTask; }", &app).unwrap();
+    let suite = artemis_ir::compile("slow { maxDuration: 10ms onFail: skipTask; }", &app).unwrap();
     let mut rb = ArtemisRuntimeBuilder::new(app.clone());
     rb.body("slow", |ctx| ctx.compute(50_000)); // 50 ms at 1 MHz
     rb.body("tail", |ctx| ctx.compute(1_000));
@@ -384,8 +392,7 @@ fn energy_property_skips_task_when_capacitor_is_low() {
 
     // 100 µJ capacitor; the property requires 200 µJ: never satisfied.
     let mut dev = intermittent_device(100, SimDuration::from_secs(1));
-    let suite =
-        artemis_ir::compile("hungry { energy: 200uJ onFail: skipTask; }", &app).unwrap();
+    let suite = artemis_ir::compile("hungry { energy: 200uJ onFail: skipTask; }", &app).unwrap();
     let mut rb = ArtemisRuntimeBuilder::new(app.clone());
     rb.body("hungry", |ctx| ctx.compute(10_000));
     rb.body("frugal", |ctx| ctx.compute(1_000));
@@ -396,8 +403,16 @@ fn energy_property_skips_task_when_capacitor_is_low() {
         .completed()
         .unwrap();
     assert_eq!(out.completed, vec![PathId(0)]);
-    assert_eq!(dev.trace().completions_of(app.task_by_name("hungry").unwrap()), 0);
-    assert_eq!(dev.trace().completions_of(app.task_by_name("frugal").unwrap()), 1);
+    assert_eq!(
+        dev.trace()
+            .completions_of(app.task_by_name("hungry").unwrap()),
+        0
+    );
+    assert_eq!(
+        dev.trace()
+            .completions_of(app.task_by_name("frugal").unwrap()),
+        1
+    );
 }
 
 #[test]
@@ -506,14 +521,19 @@ fn start_triggered_complete_path_runs_task_unmonitored() {
     // The guarded task itself still ran (completePath suspends
     // monitoring rather than skipping work).
     assert_eq!(
-        dev.trace().completions_of(app.task_by_name("hungry").unwrap()),
+        dev.trace()
+            .completions_of(app.task_by_name("hungry").unwrap()),
         1
     );
     assert_eq!(
-        dev.trace().completions_of(app.task_by_name("tail").unwrap()),
+        dev.trace()
+            .completions_of(app.task_by_name("tail").unwrap()),
         1
     );
-    assert_eq!(dev.trace().attempts_of(app.task_by_name("other").unwrap()), 0);
+    assert_eq!(
+        dev.trace().attempts_of(app.task_by_name("other").unwrap()),
+        0
+    );
 }
 
 #[test]
@@ -594,9 +614,14 @@ fn burst_verdicts_survive_the_marker_redelivery() {
         counts.push((
             dev.trace()
                 .count(|e| matches!(e, TraceEvent::Violation { .. })),
-            dev.trace().count(
-                |e| matches!(e, TraceEvent::ActionTaken { action: Action::RestartTask }),
-            ),
+            dev.trace().count(|e| {
+                matches!(
+                    e,
+                    TraceEvent::ActionTaken {
+                        action: Action::RestartTask
+                    }
+                )
+            }),
         ));
     }
     assert_eq!(counts[0], counts[1], "burst run diverged: {counts:?}");
@@ -681,10 +706,18 @@ fn end_triggered_restart_task_reruns_until_in_budget() {
         .expect("the warm re-run must satisfy the deadline");
     assert!(out.all_completed());
     let warm_id = app.task_by_name("warm").unwrap();
-    assert_eq!(dev.trace().completions_of(warm_id), 2, "one overrun + one re-run");
     assert_eq!(
-        dev.trace()
-            .count(|e| matches!(e, TraceEvent::ActionTaken { action: Action::RestartTask })),
+        dev.trace().completions_of(warm_id),
+        2,
+        "one overrun + one re-run"
+    );
+    assert_eq!(
+        dev.trace().count(|e| matches!(
+            e,
+            TraceEvent::ActionTaken {
+                action: Action::RestartTask
+            }
+        )),
         1
     );
 }

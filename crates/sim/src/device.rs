@@ -17,8 +17,8 @@ use artemis_core::trace::{Trace, TraceEvent};
 use crate::capacitor::Capacitor;
 use crate::clock::PersistentClock;
 use crate::energy::Energy;
-use crate::fram::{Fram, NvCell, NvData, Sram};
 pub use crate::fram::MemOwner;
+use crate::fram::{Fram, NvCell, NvData, Sram};
 use crate::harvester::Harvester;
 use crate::journal::{Journal, JournalOp, SparseTx, TxWriter};
 use crate::mcu::{Cost, CostModel};
@@ -106,8 +106,11 @@ pub enum CostCategory {
 
 impl CostCategory {
     /// All categories, in report order.
-    pub const ALL: [CostCategory; 3] =
-        [CostCategory::App, CostCategory::Runtime, CostCategory::Monitor];
+    pub const ALL: [CostCategory; 3] = [
+        CostCategory::App,
+        CostCategory::Runtime,
+        CostCategory::Monitor,
+    ];
 
     /// Human-readable label.
     pub fn label(self) -> &'static str {
@@ -151,9 +154,7 @@ impl DeviceStats {
 
     /// Total billed execution time across categories.
     pub fn total_time(&self) -> SimDuration {
-        self.times
-            .iter()
-            .fold(SimDuration::ZERO, |a, b| a + *b)
+        self.times.iter().fold(SimDuration::ZERO, |a, b| a + *b)
     }
 }
 
@@ -392,11 +393,7 @@ impl Device {
 
     /// Commits a sparse write-set crash-atomically as one journal
     /// record, billing each FRAM access at its direction's price.
-    pub fn commit_sparse(
-        &mut self,
-        journal: &Journal,
-        tx: &SparseTx,
-    ) -> Result<(), Interrupt> {
+    pub fn commit_sparse(&mut self, journal: &Journal, tx: &SparseTx) -> Result<(), Interrupt> {
         let power = &mut self.power;
         let costs = &self.costs;
         journal.commit_sparse(&mut self.fram, tx, &mut |bytes, op| {
@@ -421,11 +418,7 @@ impl Device {
     }
 
     /// Reads a staged-or-committed value through a write-set.
-    pub fn tx_read<T: NvData>(
-        &mut self,
-        tx: &TxWriter,
-        cell: &NvCell<T>,
-    ) -> Result<T, Interrupt> {
+    pub fn tx_read<T: NvData>(&mut self, tx: &TxWriter, cell: &NvCell<T>) -> Result<T, Interrupt> {
         let cost = self.costs.fram_read(T::SIZE);
         self.power.spend(cost)?;
         Ok(tx.read(&mut self.fram, cell))
@@ -731,7 +724,7 @@ mod tests {
     #[test]
     fn impossible_demand_is_a_fault_not_a_loop() {
         let mut dev = tiny_device(1); // 1 µJ budget
-        // One accel sample costs 300 µJ: impossible.
+                                      // One accel sample costs 300 µJ: impossible.
         let r = dev.sample(Peripheral::Accelerometer);
         assert!(matches!(
             r,
@@ -807,9 +800,7 @@ mod tests {
             .build();
         let mut trickled = DeviceBuilder::msp430fr5994()
             .capacitor(Capacitor::with_budget(budget))
-            .harvester(Harvester::ConstantPower {
-                nanowatts: 300_000,
-            })
+            .harvester(Harvester::ConstantPower { nanowatts: 300_000 })
             .build();
         let count = |dev: &mut Device| {
             let mut n = 0;
@@ -834,10 +825,7 @@ mod tests {
         let mut dev = tiny_device(1_000);
         dev.power_cycle();
         let trace = dev.trace();
-        assert_eq!(
-            trace.count(|e| matches!(e, TraceEvent::PowerFailure)),
-            1
-        );
+        assert_eq!(trace.count(|e| matches!(e, TraceEvent::PowerFailure)), 1);
         assert_eq!(trace.count(|e| matches!(e, TraceEvent::Charged { .. })), 1);
     }
 }

@@ -23,9 +23,7 @@ use artemis_core::time::SimDuration;
 /// let e = Energy::from_micro_joules(2) + Energy::from_nano_joules(500);
 /// assert_eq!(e.as_nano_joules(), 2_500);
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Energy(u64);
 
 impl Energy {
@@ -233,10 +231,7 @@ mod tests {
 
     #[test]
     fn sum_folds() {
-        let total: Energy = [1u64, 2, 3]
-            .into_iter()
-            .map(Energy::from_nano_joules)
-            .sum();
+        let total: Energy = [1u64, 2, 3].into_iter().map(Energy::from_nano_joules).sum();
         assert_eq!(total, Energy::from_nano_joules(6));
     }
 }

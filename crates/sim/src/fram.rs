@@ -476,7 +476,9 @@ mod tests {
     #[test]
     fn scalar_round_trips() {
         let mut fram = Fram::new(256);
-        let a = fram.alloc::<u64>(0xDEAD_BEEF_0BAD_F00D, MemOwner::App, "a").unwrap();
+        let a = fram
+            .alloc::<u64>(0xDEAD_BEEF_0BAD_F00D, MemOwner::App, "a")
+            .unwrap();
         let b = fram.alloc::<i32>(-7, MemOwner::App, "b").unwrap();
         let c = fram.alloc::<f64>(36.6, MemOwner::App, "c").unwrap();
         let d = fram.alloc::<bool>(true, MemOwner::App, "d").unwrap();

@@ -160,10 +160,7 @@ mod tests {
 
     #[test]
     fn trace_cycles() {
-        let mut h = Harvester::trace(vec![
-            SimDuration::from_secs(1),
-            SimDuration::from_secs(2),
-        ]);
+        let mut h = Harvester::trace(vec![SimDuration::from_secs(1), SimDuration::from_secs(2)]);
         let c = cap();
         assert_eq!(h.charging_delay(&c), SimDuration::from_secs(1));
         assert_eq!(h.charging_delay(&c), SimDuration::from_secs(2));

@@ -50,6 +50,6 @@ pub use energy::Energy;
 pub use fram::{Fram, NvCell, NvData, Sram};
 pub use harvester::Harvester;
 pub use journal::{Journal, TxWriter};
-pub use mcu::{CostModel, EnergyProfile};
+pub use mcu::{CostModel, EnergyProfile, OpCycles};
 pub use peripherals::{Peripheral, PeripheralBank, ValueSource};
 pub use simulator::{IntermittentSystem, RunLimit, SimOutcome, Simulator};

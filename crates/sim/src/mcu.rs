@@ -61,6 +61,63 @@ impl Cost {
     }
 }
 
+/// Per-opcode CPU cycle prices for the monitor bytecode executor.
+///
+/// The monitor engine bills each event delivery as a *static* per
+/// (event-kind, task) cycle ceiling computed from these prices (see
+/// `artemis_ir`'s per-key step-cost tables), so the same table drives
+/// both the simulator's runtime billing and the install-time energy
+/// feasibility ceilings. Prices are MSP430-flavoured: immediate loads
+/// are cheapest, slot (memory) traffic costs an extra cycle, and the
+/// fused superinstructions price below the sum of the ops they
+/// replace but above any single constituent.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCycles {
+    /// Register loads with no slot traffic: `Const`, `LoadEventTime`,
+    /// `LoadEnergy`.
+    pub load_imm: u64,
+    /// Slot reads into a register: `LoadVar`, `LoadDepData`.
+    pub load_slot: u64,
+    /// ALU ops on registers: `Bin`, `Not`, `AssertBool`.
+    pub alu: u64,
+    /// Control flow: `Jump`, `JumpIfFalse`, `JumpIfTrue`.
+    pub branch: u64,
+    /// Register-to-slot stores: `StoreVar`.
+    pub store_slot: u64,
+    /// Fused compare + conditional branch: `CmpBranch`.
+    pub cmp_branch: u64,
+    /// Fused slot load + compare + conditional branch:
+    /// `LoadCmpBranch`.
+    pub load_cmp_branch: u64,
+    /// Fused literal-to-slot store: `ConstStore`.
+    pub const_store: u64,
+    /// Per-transition dispatch-scan overhead inside one `step`: the
+    /// from-state test and guard set-up for every transition listed
+    /// under the delivered (event-kind, task) key.
+    pub transition_scan: u64,
+}
+
+impl OpCycles {
+    /// MSP430FR5994-flavoured prices (1 cycle = 1 µs at 1 MHz).
+    pub const MSP430: OpCycles = OpCycles {
+        load_imm: 2,
+        load_slot: 3,
+        alu: 2,
+        branch: 2,
+        store_slot: 3,
+        cmp_branch: 3,
+        load_cmp_branch: 4,
+        const_store: 3,
+        transition_scan: 2,
+    };
+}
+
+impl Default for OpCycles {
+    fn default() -> Self {
+        OpCycles::MSP430
+    }
+}
+
 /// Per-operation prices for the simulated MCU.
 ///
 /// This struct is the **single source of truth** for every simulated
@@ -85,6 +142,8 @@ pub struct CostModel {
     pub fram_write_per_byte: Cost,
     /// Power drawn while idling in low-power mode, in nanowatts.
     pub idle_power_nanowatts: u64,
+    /// Per-opcode cycle prices for the monitor bytecode executor.
+    pub op_cycles: OpCycles,
 }
 
 impl CostModel {
@@ -119,6 +178,7 @@ impl CostModel {
             ),
             // LPM3 ballpark.
             idle_power_nanowatts: 3_000,
+            op_cycles: OpCycles::MSP430,
         }
     }
 
@@ -181,9 +241,17 @@ impl CostModel {
         self.fram_read_base
             .energy
             .saturating_mul(reads as u64)
-            .saturating_add(self.fram_read_per_byte.energy.saturating_mul(read_bytes as u64))
+            .saturating_add(
+                self.fram_read_per_byte
+                    .energy
+                    .saturating_mul(read_bytes as u64),
+            )
             .saturating_add(self.fram_write_base.energy.saturating_mul(writes as u64))
-            .saturating_add(self.fram_write_per_byte.energy.saturating_mul(write_bytes as u64))
+            .saturating_add(
+                self.fram_write_per_byte
+                    .energy
+                    .saturating_mul(write_bytes as u64),
+            )
             .saturating_add(self.energy_per_cycle.saturating_mul(cycles))
     }
 }
@@ -255,6 +323,23 @@ mod tests {
             kilo.energy.as_pico_joules(),
             one.energy.as_pico_joules() * 1_000
         );
+    }
+
+    #[test]
+    fn op_cycle_table_is_the_msp430_one_by_default() {
+        // The bytecode compiler prices its static step ceilings with
+        // `OpCycles::default()`; the engine bills through the cost
+        // model's table. The two must be the same table or the
+        // model-vs-engine exactness pins would silently diverge.
+        assert_eq!(CostModel::msp430fr5994().op_cycles, OpCycles::default());
+        assert_eq!(OpCycles::default(), OpCycles::MSP430);
+        // Fused superinstructions must price below the op sequences
+        // they replace, else "fewer instructions" would not mean
+        // "fewer cycles".
+        let c = OpCycles::MSP430;
+        assert!(c.cmp_branch < c.alu + c.branch);
+        assert!(c.load_cmp_branch < c.load_slot + c.load_imm + c.alu + c.branch);
+        assert!(c.const_store < c.load_imm + c.store_slot);
     }
 
     #[test]

@@ -139,20 +139,14 @@ impl PeripheralBank {
             },
             microphone: PeripheralConfig {
                 // A cough-detection window: 50 ms, ~150 µJ.
-                cost: Cost::new(
-                    SimDuration::from_millis(50),
-                    Energy::from_micro_joules(150),
-                ),
+                cost: Cost::new(SimDuration::from_millis(50), Energy::from_micro_joules(150)),
                 cost_per_byte: Cost::FREE,
                 values: ValueSource::uniform(0.0, 1.0, seed ^ 0x01c0),
             },
             radio: PeripheralConfig {
                 // BLE advertisement burst: 20 ms base at ~10 mW = 200 µJ,
                 // plus a small per-byte cost.
-                cost: Cost::new(
-                    SimDuration::from_millis(20),
-                    Energy::from_micro_joules(200),
-                ),
+                cost: Cost::new(SimDuration::from_millis(20), Energy::from_micro_joules(200)),
                 cost_per_byte: Cost::new(
                     SimDuration::from_micros(8),
                     Energy::from_nano_joules(100),
@@ -231,7 +225,10 @@ mod tests {
     fn radio_cost_scales_with_payload() {
         let bank = PeripheralBank::thunderboard_defaults(1);
         assert!(bank.tx_cost(100).energy > bank.tx_cost(10).energy);
-        assert_eq!(bank.tx_cost(0).energy, bank.config(Peripheral::BleRadio).cost.energy);
+        assert_eq!(
+            bank.tx_cost(0).energy,
+            bank.config(Peripheral::BleRadio).cost.energy
+        );
     }
 
     #[test]

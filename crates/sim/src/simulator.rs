@@ -291,11 +291,10 @@ mod tests {
         let mut dev = device(1, 1);
         let sim = Simulator::new(RunLimit::unbounded());
         // Demand more than the whole capacitor: an impossible op.
-        let outcome: SimOutcome<()> =
-            sim.run(&mut dev, &mut |dev: &mut Device| {
-                dev.compute(1_000_000_000)?;
-                Ok(())
-            });
+        let outcome: SimOutcome<()> = sim.run(&mut dev, &mut |dev: &mut Device| {
+            dev.compute(1_000_000_000)?;
+            Ok(())
+        });
         assert!(matches!(
             outcome,
             SimOutcome::NonTermination(NonTermination::Fault(Fault::ImpossibleDemand { .. }))

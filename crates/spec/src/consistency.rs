@@ -110,7 +110,10 @@ pub fn check(set: &PropertySet, app: &AppGraph) -> Vec<ConsistencyIssue> {
             if earlier.task == entry.task
                 && earlier.property.kind.keyword() == prop.kind.keyword()
                 && earlier.property.path == prop.path
-                && !matches!(prop.kind, PropertyKind::Collect { .. } | PropertyKind::Mitd { .. })
+                && !matches!(
+                    prop.kind,
+                    PropertyKind::Collect { .. } | PropertyKind::Mitd { .. }
+                )
             {
                 issues.push(ConsistencyIssue {
                     severity: ConsistencySeverity::Suspicious,
@@ -125,27 +128,23 @@ pub fn check(set: &PropertySet, app: &AppGraph) -> Vec<ConsistencyIssue> {
 
         match &prop.kind {
             PropertyKind::MaxDuration { .. } if prop.on_fail == OnFail::RestartTask => {
-                {
-                    issues.push(ConsistencyIssue {
-                        severity: ConsistencySeverity::Suspicious,
-                        task: task_name.clone(),
-                        message: "`maxDuration … onFail: restartTask` re-runs the task \
+                issues.push(ConsistencyIssue {
+                    severity: ConsistencySeverity::Suspicious,
+                    task: task_name.clone(),
+                    message: "`maxDuration … onFail: restartTask` re-runs the task \
                                   that just overran; unless the overrun was transient \
                                   this loops"
-                            .to_string(),
-                    });
-                }
+                        .to_string(),
+                });
             }
             PropertyKind::MaxTries { .. } if prop.on_fail == OnFail::RestartTask => {
-                {
-                    issues.push(ConsistencyIssue {
-                        severity: ConsistencySeverity::Contradiction,
-                        task: task_name.clone(),
-                        message: "`maxTries … onFail: restartTask` restarts the task that just \
+                issues.push(ConsistencyIssue {
+                    severity: ConsistencySeverity::Contradiction,
+                    task: task_name.clone(),
+                    message: "`maxTries … onFail: restartTask` restarts the task that just \
                                   exhausted its attempts — a guaranteed loop"
-                            .to_string(),
-                    });
-                }
+                        .to_string(),
+                });
             }
             PropertyKind::Collect { count, dp_task } => {
                 if *count > RUNTIME_CHANNEL_CAPACITY {
@@ -331,9 +330,8 @@ mod tests {
 
     #[test]
     fn duplicate_kind_is_suspicious() {
-        let issues = issues_for(
-            "sense { maxTries: 3 onFail: skipPath; maxTries: 5 onFail: skipPath; }",
-        );
+        let issues =
+            issues_for("sense { maxTries: 3 onFail: skipPath; maxTries: 5 onFail: skipPath; }");
         assert_eq!(issues.len(), 1);
         assert_eq!(issues[0].severity, ConsistencySeverity::Suspicious);
     }
@@ -409,11 +407,7 @@ mod more_tests {
         let t = b.task("slow");
         b.path(&[t]);
         let app = b.build().unwrap();
-        let set = crate::compile(
-            "slow { maxDuration: 10ms onFail: restartTask; }",
-            &app,
-        )
-        .unwrap();
+        let set = crate::compile("slow { maxDuration: 10ms onFail: restartTask; }", &app).unwrap();
         let issues = check(&set, &app);
         assert_eq!(issues.len(), 1);
         assert_eq!(issues[0].severity, ConsistencySeverity::Suspicious);

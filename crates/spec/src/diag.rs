@@ -151,7 +151,11 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     /// Creates an error-severity diagnostic.
-    pub fn error(pass: &'static str, subject: impl Into<String>, message: impl Into<String>) -> Self {
+    pub fn error(
+        pass: &'static str,
+        subject: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
         Diagnostic {
             severity: Severity::Error,
             pass,
@@ -191,8 +195,11 @@ impl Diagnostic {
     /// falling back to the one-line `Display` form.
     pub fn render(&self, source: &str) -> String {
         match self.span {
-            Some(span) => Diag::new(span, format!("[{}] {}: {}", self.pass, self.subject, self.message))
-                .render(source),
+            Some(span) => Diag::new(
+                span,
+                format!("[{}] {}: {}", self.pass, self.subject, self.message),
+            )
+            .render(source),
             None => format!("{self}\n"),
         }
     }

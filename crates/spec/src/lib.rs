@@ -158,7 +158,10 @@ mod proptests {
 
     fn ast_strategy() -> impl Strategy<Value = SpecAst> {
         proptest::collection::vec(
-            (ident_strategy(), proptest::collection::vec(prop_strategy(), 0..4)),
+            (
+                ident_strategy(),
+                proptest::collection::vec(prop_strategy(), 0..4),
+            ),
             0..5,
         )
         .prop_map(|blocks| SpecAst {

@@ -477,10 +477,9 @@ mod tests {
 
     #[test]
     fn on_fail_position_disambiguates_primary_vs_escalation() {
-        let ast = parse(
-            "t { MITD: 2s dpTask: u onFail: restartPath maxAttempt: 2 onFail: skipPath; }",
-        )
-        .unwrap();
+        let ast =
+            parse("t { MITD: 2s dpTask: u onFail: restartPath maxAttempt: 2 onFail: skipPath; }")
+                .unwrap();
         let p = &ast.blocks[0].props[0];
         assert_eq!(p.on_fail.unwrap().value, AstAction::RestartPath);
         assert_eq!(
@@ -613,8 +612,9 @@ mod recovery_tests {
     fn recovering_parser_resyncs_on_missing_semicolon() {
         // The first property lacks `;`: its diagnostic points at the
         // following keyword, and the resync eats up to the real `;`.
-        let (ast, diags) =
-            parse_recovering("a { maxTries: 3 onFail: skipPath maxDuration: 5s onFail: skipTask; }");
+        let (ast, diags) = parse_recovering(
+            "a { maxTries: 3 onFail: skipPath maxDuration: 5s onFail: skipTask; }",
+        );
         assert_eq!(diags.len(), 1);
         assert_eq!(ast.blocks.len(), 1);
     }

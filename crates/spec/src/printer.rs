@@ -142,10 +142,7 @@ mod tests {
             assert_eq!(a.props.len(), b.props.len());
             for (pa, pb) in a.props.iter().zip(&b.props) {
                 assert_eq!(pa.kind, pb.kind);
-                assert_eq!(
-                    pa.on_fail.map(|s| s.value),
-                    pb.on_fail.map(|s| s.value)
-                );
+                assert_eq!(pa.on_fail.map(|s| s.value), pb.on_fail.map(|s| s.value));
             }
         }
     }

@@ -109,7 +109,11 @@ fn lower_prop(prop: &PropDecl, app: &AppGraph) -> Result<(PropertyKind, OnFail),
             }
         }
         PropKind::Collect(n) => {
-            forbid(prop, Need::RANGE | Need::MAX_ATTEMPT | Need::JITTER, "collect")?;
+            forbid(
+                prop,
+                Need::RANGE | Need::MAX_ATTEMPT | Need::JITTER,
+                "collect",
+            )?;
             let dp = require_dp_task(prop, app, "collect")?;
             PropertyKind::Collect {
                 count: clamp_u32_raw(*n, prop.span, "collect")?,
@@ -117,7 +121,11 @@ fn lower_prop(prop: &PropDecl, app: &AppGraph) -> Result<(PropertyKind, OnFail),
             }
         }
         PropKind::DpData(var) => {
-            forbid(prop, Need::DP_TASK | Need::MAX_ATTEMPT | Need::JITTER, "dpData")?;
+            forbid(
+                prop,
+                Need::DP_TASK | Need::MAX_ATTEMPT | Need::JITTER,
+                "dpData",
+            )?;
             let range = prop.range.ok_or_else(|| {
                 Diag::new(prop.span, "`dpData` requires a `Range: [lo, hi]` modifier")
             })?;
@@ -142,17 +150,12 @@ fn lower_prop(prop: &PropDecl, app: &AppGraph) -> Result<(PropertyKind, OnFail),
 }
 
 fn require_on_fail(prop: &PropDecl) -> Result<OnFail, Diag> {
-    prop.on_fail
-        .map(|a| ast_action(a.value))
-        .ok_or_else(|| {
-            Diag::new(
-                prop.span,
-                format!(
-                    "`{}` requires an `onFail:` action",
-                    prop.kind.keyword()
-                ),
-            )
-        })
+    prop.on_fail.map(|a| ast_action(a.value)).ok_or_else(|| {
+        Diag::new(
+            prop.span,
+            format!("`{}` requires an `onFail:` action", prop.kind.keyword()),
+        )
+    })
 }
 
 fn require_dp_task(
@@ -166,12 +169,8 @@ fn require_dp_task(
             format!("`{keyword}` requires a `dpTask:` dependency"),
         )
     })?;
-    app.task_by_name(&dp.value).ok_or_else(|| {
-        Diag::new(
-            dp.span,
-            format!("unknown dependency task `{}`", dp.value),
-        )
-    })
+    app.task_by_name(&dp.value)
+        .ok_or_else(|| Diag::new(dp.span, format!("unknown dependency task `{}`", dp.value)))
 }
 
 fn max_attempt(prop: &PropDecl) -> Result<Option<MaxAttempt>, Diag> {
@@ -207,8 +206,7 @@ fn clamp_u32(v: Spanned<u64>, what: &str) -> Result<u32, Diag> {
 }
 
 fn clamp_u32_raw(v: u64, span: Span, what: &str) -> Result<u32, Diag> {
-    u32::try_from(v)
-        .map_err(|_| Diag::new(span, format!("`{what}` value {v} is out of range")))
+    u32::try_from(v).map_err(|_| Diag::new(span, format!("`{what}` value {v} is out of range")))
 }
 
 /// Modifier-applicability flags used by [`forbid`].

@@ -63,7 +63,9 @@ fn main() {
     let outcome = rt.run_once(&mut dev, RunLimit::sim_time(SimDuration::from_mins(1)));
     println!("outcome: {outcome:?}");
 
-    let sends = dev.trace().completions_of(app.task_by_name("send").unwrap());
+    let sends = dev
+        .trace()
+        .completions_of(app.task_by_name("send").unwrap());
     println!("send completed {sends} time(s) — the cap allows 2");
     assert_eq!(sends, 2, "rate cap must hold");
     println!("\ntimeline:\n{}", dev.trace().render());

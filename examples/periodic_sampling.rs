@@ -19,7 +19,8 @@ fn main() {
     // The cadence contract: one sampling round every 30 s (±3 s). A
     // missed beat restarts the task (i.e. samples immediately); three
     // consecutive misses skip the round entirely.
-    let spec = "sample: { period: 30s jitter: 3s onFail: restartTask maxAttempt: 3 onFail: skipPath; }";
+    let spec =
+        "sample: { period: 30s jitter: 3s onFail: restartTask maxAttempt: 3 onFail: skipPath; }";
     let suite = artemis::ir::compile(spec, &app).expect("compiles");
 
     // Stochastic harvesting: outages of 1–20 s, seeded for repeatability.

@@ -23,7 +23,11 @@ fn main() {
     println!(
         "compiled {} monitor(s): {:?}",
         monitors.len(),
-        monitors.machines().iter().map(|m| &m.name).collect::<Vec<_>>()
+        monitors
+            .machines()
+            .iter()
+            .map(|m| &m.name)
+            .collect::<Vec<_>>()
     );
 
     // 3. A simulated batteryless device: a small capacitor charged by a
@@ -52,11 +56,7 @@ fn main() {
     let outcome = rt.run_once(&mut dev, RunLimit::sim_time(SimDuration::from_mins(10)));
     match outcome {
         SimOutcome::Completed(out) => {
-            println!(
-                "completed after {} reboot(s): {:?}",
-                dev.reboots(),
-                out
-            );
+            println!("completed after {} reboot(s): {:?}", dev.reboots(), out);
         }
         SimOutcome::NonTermination(why) => println!("did not terminate: {why}"),
     }

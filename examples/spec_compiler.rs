@@ -14,8 +14,9 @@ use artemis::spec;
 
 fn main() {
     let source = match std::env::args().nth(1) {
-        Some(path) => std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("cannot read `{path}`: {e}")),
+        Some(path) => {
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read `{path}`: {e}"))
+        }
         None => spec::samples::FIGURE5.to_string(),
     };
     let app = health_app();

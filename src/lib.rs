@@ -48,11 +48,11 @@
 pub use artemis_bench as bench;
 pub use artemis_core as core;
 pub use artemis_fleet as fleet;
-pub use checkpoint;
 pub use artemis_ir as ir;
 pub use artemis_monitor as monitor;
 pub use artemis_runtime as runtime;
 pub use artemis_spec as spec;
+pub use checkpoint;
 pub use immortal;
 pub use intermittent_sim as sim;
 pub use mayfly;

@@ -48,7 +48,10 @@ fn check_accepts_a_valid_spec() {
         .unwrap();
     assert!(out.status.success(), "{out:?}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("ok: 2 propert(ies), 2 machine(s)"), "{stdout}");
+    assert!(
+        stdout.contains("ok: 2 propert(ies), 2 machine(s)"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -104,9 +107,7 @@ fn compile_emits_ir_c_and_rust() {
 
 #[test]
 fn merged_paths_resolve_with_the_path_qualifier() {
-    let spec = write_spec(
-        "send { collect: 1 dpTask: accel onFail: restartPath Path: 2; }",
-    );
+    let spec = write_spec("send { collect: 1 dpTask: accel onFail: restartPath Path: 2; }");
     let out = artemis()
         .args([
             "check",
@@ -121,11 +122,14 @@ fn merged_paths_resolve_with_the_path_qualifier() {
 
 #[test]
 fn monitored_variable_syntax_in_paths() {
-    let spec = write_spec(
-        "calc { dpData: avg Range: [36, 38] onFail: completePath; }",
-    );
+    let spec = write_spec("calc { dpData: avg Range: [36, 38] onFail: completePath; }");
     let out = artemis()
-        .args(["check", spec.0.to_str().unwrap(), "--paths", "calc:avg>send"])
+        .args([
+            "check",
+            spec.0.to_str().unwrap(),
+            "--paths",
+            "calc:avg>send",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "{out:?}");

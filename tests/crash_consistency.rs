@@ -18,11 +18,8 @@ fn app() -> AppGraph {
 }
 
 fn install(dev: &mut Device, graph: &AppGraph) -> ArtemisRuntime {
-    let suite = artemis::ir::compile(
-        "sum { collect: 1 dpTask: c onFail: restartPath; }",
-        graph,
-    )
-    .unwrap();
+    let suite =
+        artemis::ir::compile("sum { collect: 1 dpTask: c onFail: restartPath; }", graph).unwrap();
     let mut rb = ArtemisRuntimeBuilder::new(graph.clone());
     rb.channel("values");
     rb.channel("result");

@@ -127,8 +127,7 @@ fn maximum_tries_bounds_attempts_under_real_power_failures() {
     let app = b.build().unwrap();
 
     let mut dev = device(30, 10);
-    let suite =
-        artemis::ir::compile("greedy { maxTries: 4 onFail: skipPath; }", &app).unwrap();
+    let suite = artemis::ir::compile("greedy { maxTries: 4 onFail: skipPath; }", &app).unwrap();
     let mut rb = ArtemisRuntimeBuilder::new(app.clone());
     rb.body("greedy", |ctx| {
         for _ in 0..40 {

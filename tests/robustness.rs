@@ -3,8 +3,7 @@
 //! error, and the benchmark under the external-monitor deployment.
 
 use artemis::bench::health::{
-    artemis_builder, benchmark_capacitor, health_app, install_artemis, install_mayfly,
-    HEALTH_SPEC,
+    artemis_builder, benchmark_capacitor, health_app, install_artemis, install_mayfly, HEALTH_SPEC,
 };
 use artemis::monitor::{Monitoring, RemoteMonitorEngine};
 use artemis::prelude::*;
@@ -19,13 +18,8 @@ fn fig12_shape_holds_under_stochastic_charging() {
 
     // Outages 30–90 s: far below the 5-minute bound.
     for seed in [1u64, 2, 3] {
-        let short = || {
-            Harvester::stochastic(
-                SimDuration::from_secs(30),
-                SimDuration::from_secs(90),
-                seed,
-            )
-        };
+        let short =
+            || Harvester::stochastic(SimDuration::from_secs(30), SimDuration::from_secs(90), seed);
         let mut dev = artemis::bench::health::benchmark_device(short());
         let mut rt = install_artemis(&mut dev, HEALTH_SPEC);
         assert!(
@@ -94,7 +88,10 @@ fn simultaneous_failures_arbitrate_to_most_severe() {
         .unwrap();
     assert_eq!(verdicts.len(), 2, "{verdicts:?}");
     let actions: Vec<Action> = verdicts.iter().map(|v| v.action).collect();
-    assert_eq!(Action::arbitrate(&actions), Some(Action::SkipPath(PathId(0))));
+    assert_eq!(
+        Action::arbitrate(&actions),
+        Some(Action::SkipPath(PathId(0)))
+    );
 }
 
 /// Timekeeping error (±5 % per outage, the accuracy class of remanence
@@ -147,10 +144,7 @@ fn health_benchmark_runs_under_remote_monitoring() {
         .expect("completes");
     assert!(out.all_completed(), "{out:?}");
     // And the node kept zero monitor FRAM.
-    assert_eq!(
-        dev.fram().used_by(artemis::sim::MemOwner::Monitor),
-        0
-    );
+    assert_eq!(dev.fram().used_by(artemis::sim::MemOwner::Monitor), 0);
 }
 
 fn artemis_builder_runtime(
